@@ -1,0 +1,721 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (§5) plus the ablation benches DESIGN.md calls out.
+
+   Figures 3–9   — Barton queries BQ1–BQ7 (fig 4, 5, 6, 8 with the
+                   28-property restriction variants as well);
+   Figures 10–14 — LUBM queries LQ1–LQ5;
+   Figure 15     — memory usage on both data sets;
+   abl-*         — load path, join kernel, dictionary and list-sharing
+                   ablations.
+
+   Output is one gnuplot-style series block per figure: response time
+   (seconds) against store size (triples) per method, which is the shape
+   of the paper's log-scale plots.  `--bechamel` runs the same query
+   bodies under Bechamel's OLS estimator at the largest sweep size. *)
+
+open Workloads
+
+type mode =
+  | Quick
+  | Full
+
+(* ------------------------------------------------------------------- *)
+(* Data environments (built once per run, shared across figures)        *)
+(* ------------------------------------------------------------------- *)
+
+let barton_cfg = function
+  | Quick -> Barton.config ~subjects:40_000 ~seed:7 ()
+  | Full -> Barton.config ~subjects:350_000 ~seed:7 ()
+
+let barton_sizes = function
+  | Quick -> [ 30_000; 60_000; 120_000; 240_000 ]
+  | Full -> [ 250_000; 500_000; 1_000_000; 2_000_000 ]
+
+let lubm_cfg = function
+  | Quick -> Lubm.config ~universities:8 ~departments_per_university:4 ~seed:42 ()
+  | Full -> Lubm.config ~universities:32 ~departments_per_university:8 ~seed:42 ()
+
+let lubm_sizes = function
+  | Quick -> [ 30_000; 60_000; 120_000; 240_000 ]
+  | Full -> [ 250_000; 500_000; 1_000_000; 2_000_000 ]
+
+type env = {
+  barton : Harness.sized_stores list Lazy.t;
+  lubm : Harness.sized_stores list Lazy.t;
+}
+
+let make_env mode =
+  {
+    barton =
+      lazy
+        (Harness.build_prefixes ~kinds:Stores.all_kinds ~sizes:(barton_sizes mode)
+           (Barton.generate_seq (barton_cfg mode)));
+    lubm =
+      lazy
+        (Harness.build_prefixes ~kinds:Stores.all_kinds ~sizes:(lubm_sizes mode)
+           (Lubm.generate_seq (lubm_cfg mode)));
+  }
+
+(* ------------------------------------------------------------------- *)
+(* Figure machinery                                                     *)
+(* ------------------------------------------------------------------- *)
+
+let timing_repeats = 3
+
+(* Run every (label, body) variant at every sweep point for every
+   method.  A body may be [None] when the vocabulary is missing at that
+   sweep point. *)
+let sweep sized ~variants =
+  List.concat_map
+    (fun { Harness.n_triples; stores; dict } ->
+      List.concat_map
+        (fun store ->
+          List.filter_map
+            (fun (label_suffix, run) ->
+              match run dict store with
+              | None -> None
+              | Some thunk ->
+                  let seconds, _ = Harness.time ~warmup:1 ~repeats:timing_repeats thunk in
+                  Some
+                    {
+                      Harness.size = n_triples;
+                      method_ = Stores.name store ^ label_suffix;
+                      seconds;
+                    })
+            variants)
+        stores)
+    sized
+
+let print_series ~figure ~title points =
+  Format.printf "@[<v>%a@]@." (Harness.pp_series ~figure ~title) points
+
+(* A Barton query body, made total over missing vocabulary. *)
+let barton_variant ?restrict_label run =
+  let label = match restrict_label with None -> "" | Some l -> l in
+  ( label,
+    fun dict store ->
+      match Queries_barton.resolve_ids dict with
+      | None -> None
+      | Some ids -> Some (fun () -> run dict store ids) )
+
+let barton_plain run = [ barton_variant run ]
+
+let barton_with_28 run run28 =
+  [
+    barton_variant run;
+    barton_variant ~restrict_label:" 28" (fun dict store ids ->
+        run28 (Queries_barton.restriction_28 dict) dict store ids);
+  ]
+
+let lubm_variant run =
+  ( "",
+    fun dict store ->
+      match Queries_lubm.resolve_ids dict with
+      | None -> None
+      | Some ids -> Some (fun () -> run store ids) )
+
+(* Forcing results so the work cannot be optimised away. *)
+let force_list l = ignore (List.length l)
+
+let fig_barton env ~figure ~title variants =
+  print_series ~figure ~title (sweep (Lazy.force env.barton) ~variants)
+
+let fig_lubm env ~figure ~title run =
+  print_series ~figure ~title (sweep (Lazy.force env.lubm) ~variants:[ lubm_variant run ])
+
+(* ------------------------------------------------------------------- *)
+(* The figures                                                          *)
+(* ------------------------------------------------------------------- *)
+
+let fig3 env =
+  fig_barton env ~figure:"fig3" ~title:"Barton Query 1 (type counts)"
+    (barton_plain (fun _ store ids -> force_list (Queries_barton.bq1 store ids)))
+
+let fig4 env =
+  fig_barton env ~figure:"fig4" ~title:"Barton Query 2 (property frequencies of Type:Text)"
+    (barton_with_28
+       (fun _ store ids -> force_list (Queries_barton.bq2 store ids))
+       (fun restrict _ store ids -> force_list (Queries_barton.bq2 ~restrict store ids)))
+
+let fig5 env =
+  fig_barton env ~figure:"fig5" ~title:"Barton Query 3 (popular objects per property)"
+    (barton_with_28
+       (fun _ store ids -> force_list (Queries_barton.bq3 store ids))
+       (fun restrict _ store ids -> force_list (Queries_barton.bq3 ~restrict store ids)))
+
+let fig6 env =
+  fig_barton env ~figure:"fig6" ~title:"Barton Query 4 (BQ3 over Text and Language:French)"
+    (barton_with_28
+       (fun _ store ids -> force_list (Queries_barton.bq4 store ids))
+       (fun restrict _ store ids -> force_list (Queries_barton.bq4 ~restrict store ids)))
+
+let fig7 env =
+  fig_barton env ~figure:"fig7" ~title:"Barton Query 5 (inference via Records/Type)"
+    (barton_plain (fun _ store ids -> force_list (Queries_barton.bq5 store ids)))
+
+let fig8 env =
+  fig_barton env ~figure:"fig8" ~title:"Barton Query 6 (known or inferred Text, aggregated)"
+    (barton_with_28
+       (fun _ store ids -> force_list (Queries_barton.bq6 store ids))
+       (fun restrict _ store ids -> force_list (Queries_barton.bq6 ~restrict store ids)))
+
+let fig9 env =
+  fig_barton env ~figure:"fig9" ~title:"Barton Query 7 (Point 'end' selection)"
+    (barton_plain (fun _ store ids -> force_list (Queries_barton.bq7 store ids)))
+
+let fig10 env =
+  fig_lubm env ~figure:"fig10" ~title:"LUBM Query 1 (all related to Course10)" (fun store ids ->
+      force_list (Queries_lubm.lq1 store ids))
+
+let fig11 env =
+  fig_lubm env ~figure:"fig11" ~title:"LUBM Query 2 (all related to University0)"
+    (fun store ids -> force_list (Queries_lubm.lq2 store ids))
+
+let fig12 env =
+  fig_lubm env ~figure:"fig12" ~title:"LUBM Query 3 (all about AssociateProfessor10)"
+    (fun store ids ->
+      let out, inc = Queries_lubm.lq3 store ids in
+      force_list out;
+      force_list inc)
+
+let fig13 env =
+  fig_lubm env ~figure:"fig13" ~title:"LUBM Query 4 (people in AP10's courses)"
+    (fun store ids -> force_list (Queries_lubm.lq4 store ids))
+
+let fig14 env =
+  fig_lubm env ~figure:"fig14" ~title:"LUBM Query 5 (degree holders from AP10's universities)"
+    (fun store ids -> force_list (Queries_lubm.lq5 store ids))
+
+let fig15 env =
+  let memory_points sized =
+    List.concat_map
+      (fun { Harness.n_triples; stores; _ } ->
+        List.map
+          (fun store ->
+            {
+              Harness.size = n_triples;
+              method_ = Stores.name store;
+              seconds = Harness.words_to_mb (Stores.memory_words store);
+            })
+          stores)
+      sized
+  in
+  print_series ~figure:"fig15-barton" ~title:"Memory consumption, Barton data set (MB, not seconds)"
+    (memory_points (Lazy.force env.barton));
+  print_series ~figure:"fig15-lubm" ~title:"Memory consumption, LUBM data set (MB, not seconds)"
+    (memory_points (Lazy.force env.lubm))
+
+(* ------------------------------------------------------------------- *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------- *)
+
+(* abl-load: bulk (3-sort monotone appends) vs incremental (binary
+   insertion) load throughput on the Hexastore. *)
+let abl_load _env =
+  let dict = Dict.Term_dict.create () in
+  let triples =
+    Array.of_seq
+      (Seq.map (Dict.Term_dict.encode_triple dict)
+         (Lubm.generate_seq (Lubm.config ~universities:2 ~departments_per_university:2 ())))
+  in
+  let sizes =
+    List.filter (fun n -> n < Array.length triples) [ 2_000; 8_000; 16_000 ]
+    @ [ Array.length triples ]
+  in
+  let points =
+    List.concat_map
+      (fun n ->
+        let prefix = Array.sub triples 0 n in
+        let bulk_s, _ =
+          Harness.time ~warmup:0 ~repeats:3 (fun () ->
+              let h = Hexa.Hexastore.create ~dict () in
+              Hexa.Hexastore.add_bulk_ids h prefix)
+        in
+        let incr_s, _ =
+          Harness.time ~warmup:0 ~repeats:3 (fun () ->
+              let h = Hexa.Hexastore.create ~dict () in
+              Array.iter (fun tr -> ignore (Hexa.Hexastore.add_ids h tr)) prefix;
+              n)
+        in
+        [
+          { Harness.size = n; method_ = "bulk"; seconds = bulk_s };
+          { Harness.size = n; method_ = "incremental"; seconds = incr_s };
+        ])
+      sizes
+  in
+  print_series ~figure:"abl-load" ~title:"Hexastore load path: bulk vs incremental (seconds)"
+    points
+
+(* abl-join: first-step pairwise join kernels on real s-lists — linear
+   merge vs galloping vs hash probe (§4.2's merge-join claim). *)
+let abl_join env =
+  match List.rev (Lazy.force env.barton) with
+  | [] -> ()
+  | { Harness.stores; dict; n_triples } :: _ -> (
+      let hexa =
+        List.find_map (function Stores.Hexa h -> Some h | Stores.Covp _ -> None) stores
+      in
+      match (hexa, Queries_barton.resolve_ids dict) with
+      | Some h, Some ids ->
+          let list_of p o =
+            match Hexa.Hexastore.subjects_of_po h ~p ~o with
+            | Some l -> l
+            | None -> Vectors.Sorted_ivec.create ()
+          in
+          let text = list_of ids.type_p ids.text in
+          let french = list_of ids.language ids.french in
+          let hash_join a b =
+            let tbl = Hashtbl.create (Vectors.Sorted_ivec.length a) in
+            Vectors.Sorted_ivec.iter (fun x -> Hashtbl.replace tbl x ()) a;
+            let hits = ref 0 in
+            Vectors.Sorted_ivec.iter (fun x -> if Hashtbl.mem tbl x then incr hits) b;
+            !hits
+          in
+          let bench name f =
+            let s, _ = Harness.time ~warmup:1 ~repeats:5 f in
+            { Harness.size = n_triples; method_ = name; seconds = s }
+          in
+          let points =
+            [
+              bench "merge-join" (fun () ->
+                  Vectors.Sorted_ivec.length (Vectors.Merge.intersect text french));
+              bench "gallop-join" (fun () ->
+                  Vectors.Sorted_ivec.length (Vectors.Merge.intersect_gallop text french));
+              bench "hash-join" (fun () -> hash_join text french);
+            ]
+          in
+          print_series ~figure:"abl-join"
+            ~title:"First-step pairwise join kernels on Text x French subject lists" points
+      | _ -> ())
+
+(* abl-dict: id-level pattern count vs term-level lookup (strings through
+   the dictionary) — the per-query cost §4.1's dictionary encoding keeps
+   out of the inner loops. *)
+let abl_dict env =
+  match List.rev (Lazy.force env.barton) with
+  | [] -> ()
+  | { Harness.stores; dict; n_triples } :: _ -> (
+      let hexa =
+        List.find_map (function Stores.Hexa h -> Some h | Stores.Covp _ -> None) stores
+      in
+      match (hexa, Queries_barton.resolve_ids dict) with
+      | Some h, Some ids ->
+          let type_term = Rdf.Term.iri Barton.type_p in
+          let text_term = Rdf.Term.iri Barton.text_type in
+          let id_s, _ =
+            Harness.time ~warmup:1 ~repeats:5 (fun () ->
+                let acc = ref 0 in
+                for _ = 1 to 1000 do
+                  acc :=
+                    !acc + Hexa.Hexastore.count h (Hexa.Pattern.make ~p:ids.type_p ~o:ids.text ())
+                done;
+                !acc)
+          in
+          let term_s, _ =
+            Harness.time ~warmup:1 ~repeats:5 (fun () ->
+                let acc = ref 0 in
+                for _ = 1 to 1000 do
+                  acc := !acc + Hexa.Hexastore.count_terms h ~p:type_term ~o:text_term ()
+                done;
+                !acc)
+          in
+          print_series ~figure:"abl-dict"
+            ~title:"1000 pattern counts: id-level vs term-level (dictionary) access"
+            [
+              { Harness.size = n_triples; method_ = "id-level"; seconds = id_s };
+              { Harness.size = n_triples; method_ = "term-level"; seconds = term_s };
+            ]
+      | _ -> ())
+
+(* abl-share: measured memory with shared terminal lists vs the
+   hypothetical unshared layout (each twin ordering owning its own copy
+   of every terminal list). *)
+let abl_share env =
+  let family idx =
+    let acc = ref 0 in
+    Hexa.Index.iter
+      (fun _ v ->
+        Hexa.Pair_vector.iter (fun _ l -> acc := !acc + Vectors.Sorted_ivec.memory_words l) v)
+      idx;
+    !acc
+  in
+  let points =
+    List.concat_map
+      (fun { Harness.n_triples; stores; _ } ->
+        List.concat_map
+          (function
+            | Stores.Hexa h ->
+                let shared = Hexa.Hexastore.memory_words h in
+                let extra =
+                  family (Hexa.Hexastore.spo h)
+                  + family (Hexa.Hexastore.sop h)
+                  + family (Hexa.Hexastore.pos h)
+                in
+                [
+                  {
+                    Harness.size = n_triples;
+                    method_ = "shared";
+                    seconds = Harness.words_to_mb shared;
+                  };
+                  {
+                    Harness.size = n_triples;
+                    method_ = "unshared";
+                    seconds = Harness.words_to_mb (shared + extra);
+                  };
+                ]
+            | Stores.Covp _ -> [])
+          stores)
+      (Lazy.force env.barton)
+  in
+  print_series ~figure:"abl-share"
+    ~title:"Terminal-list sharing: measured vs hypothetical unshared memory (MB)" points
+
+(* abl-star: §4.2's merge-join claim as an executor choice — a 3-arm star
+   (Type:Text ∧ Language:French ∧ Origin:DLC) evaluated by the k-way
+   merge-join operator vs. the generic index-nested-loop executor. *)
+let abl_star env =
+  match List.rev (Lazy.force env.barton) with
+  | [] -> ()
+  | { Harness.stores; dict; n_triples } :: _ -> (
+      let hexa =
+        List.find_map (function Stores.Hexa h -> Some h | Stores.Covp _ -> None) stores
+      in
+      match (hexa, Queries_barton.resolve_ids dict) with
+      | Some h, Some ids ->
+          let constraints =
+            [
+              { Query.Star.p = ids.type_p; o = Some ids.text };
+              { Query.Star.p = ids.language; o = Some ids.french };
+              { Query.Star.p = ids.origin; o = Some ids.dlc };
+            ]
+          in
+          let tps =
+            [
+              Query.Algebra.tp (Query.Algebra.Var "s")
+                (Query.Algebra.Term (Rdf.Term.iri Barton.type_p))
+                (Query.Algebra.Term (Rdf.Term.iri Barton.text_type));
+              Query.Algebra.tp (Query.Algebra.Var "s")
+                (Query.Algebra.Term (Rdf.Term.iri Barton.language_p))
+                (Query.Algebra.Term (Rdf.Term.string_literal Barton.french));
+              Query.Algebra.tp (Query.Algebra.Var "s")
+                (Query.Algebra.Term (Rdf.Term.iri Barton.origin_p))
+                (Query.Algebra.Term (Rdf.Term.iri Barton.dlc));
+            ]
+          in
+          let boxed = Hexa.Store_sig.box_hexastore h in
+          let star_s, n_star =
+            Harness.time ~repeats:5 (fun () -> Query.Star.count h constraints)
+          in
+          let exec_s, n_exec =
+            Harness.time ~repeats:5 (fun () ->
+                Query.Exec.count boxed
+                  (Query.Algebra.Distinct
+                     (Query.Algebra.Project ([ "s" ], Query.Algebra.Bgp tps))))
+          in
+          assert (n_star = n_exec);
+          print_series ~figure:"abl-star"
+            ~title:
+              (Printf.sprintf
+                 "3-arm star (Text ∧ French ∧ DLC, %d matches): merge-join vs nested-loop"
+                 n_star)
+            [
+              { Harness.size = n_triples; method_ = "merge-join"; seconds = star_s };
+              { Harness.size = n_triples; method_ = "nested-loop"; seconds = exec_s };
+            ]
+      | _ -> ())
+
+(* abl-partial: the §6 index-selection direction — memory and query cost
+   of a workload-recommended partial store against the full sextuple
+   store, on the LUBM data. *)
+let abl_partial env =
+  match List.rev (Lazy.force env.lubm) with
+  | [] -> ()
+  | { Harness.stores; dict; n_triples } :: _ -> (
+      let hexa =
+        List.find_map (function Stores.Hexa h -> Some h | Stores.Covp _ -> None) stores
+      in
+      match (hexa, Queries_lubm.resolve_ids dict) with
+      | Some full, Some ids ->
+          (* The LUBM benchmark workload's shapes. *)
+          let workload =
+            [ (Hexa.Pattern.O, 4); (Hexa.Pattern.S, 2); (Hexa.Pattern.Sp, 2);
+              (Hexa.Pattern.Po, 3); (Hexa.Pattern.P, 1) ]
+          in
+          let r = Hexa.Advisor.recommend workload in
+          let partial = Hexa.Partial.create ~dict ~orderings:r.keep () in
+          let all = Array.of_seq (Hexa.Hexastore.lookup full (Hexa.Pattern.wildcard)) in
+          ignore (Hexa.Partial.add_bulk_ids partial all);
+          let points =
+            [
+              {
+                Harness.size = n_triples;
+                method_ = "memory-full-MB";
+                seconds = Harness.words_to_mb (Hexa.Hexastore.memory_words full);
+              };
+              {
+                Harness.size = n_triples;
+                method_ = "memory-partial-MB";
+                seconds = Harness.words_to_mb (Hexa.Partial.memory_words partial);
+              };
+            ]
+          in
+          let timing name pat =
+            let f_s, _ =
+              Harness.time ~repeats:3 (fun () -> Seq.length (Hexa.Hexastore.lookup full pat))
+            in
+            let p_s, _ =
+              Harness.time ~repeats:3 (fun () -> Seq.length (Hexa.Partial.lookup partial pat))
+            in
+            [
+              { Harness.size = n_triples; method_ = name ^ "-full"; seconds = f_s };
+              { Harness.size = n_triples; method_ = name ^ "-partial"; seconds = p_s };
+            ]
+          in
+          let points =
+            points
+            @ timing "lookup-O" (Hexa.Pattern.make ~o:ids.course10 ())
+            @ timing "lookup-S" (Hexa.Pattern.make ~s:ids.assoc_prof10 ())
+            @ timing "lookup-So-dropped"
+                (Hexa.Pattern.make ~s:ids.assoc_prof10 ~o:ids.course10 ())
+          in
+          print_series ~figure:"abl-partial"
+            ~title:
+              (Format.asprintf "Workload-selected partial store (%s) vs full sextuple store"
+                 (String.concat "+" (List.map Hexa.Ordering.name r.keep)))
+            points
+      | _ -> ())
+
+(* abl-cyclic: §2.2.2's Kowari-style scheme — the three cyclic orderings
+   {spo, pos, osp} only.  The paper argues such indices "cannot provide,
+   for example, a sorted list of the subjects defined for a given
+   property"; here that shows up as non-native shapes (P, So, Sp's twin)
+   answered by fallback traversals. *)
+let abl_cyclic env =
+  match List.rev (Lazy.force env.lubm) with
+  | [] -> ()
+  | { Harness.stores; dict; n_triples } :: _ -> (
+      let hexa =
+        List.find_map (function Stores.Hexa h -> Some h | Stores.Covp _ -> None) stores
+      in
+      match (hexa, Queries_lubm.resolve_ids dict) with
+      | Some full, Some ids ->
+          let cyclic =
+            Hexa.Partial.create ~dict
+              ~orderings:[ Hexa.Ordering.Spo; Hexa.Ordering.Pos; Hexa.Ordering.Osp ] ()
+          in
+          let all = Array.of_seq (Hexa.Hexastore.lookup full Hexa.Pattern.wildcard) in
+          ignore (Hexa.Partial.add_bulk_ids cyclic all);
+          let probe name pat =
+            let h_s, n_h =
+              Harness.time ~repeats:3 (fun () -> Seq.length (Hexa.Hexastore.lookup full pat))
+            in
+            let c_s, n_c =
+              Harness.time ~repeats:3 (fun () -> Seq.length (Hexa.Partial.lookup cyclic pat))
+            in
+            assert (n_h = n_c);
+            [
+              { Harness.size = n_triples; method_ = name ^ "-hexastore"; seconds = h_s };
+              { Harness.size = n_triples; method_ = name ^ "-cyclic3"; seconds = c_s };
+            ]
+          in
+          let type_p = ids.type_p in
+          (* The paper's §2.2.2 point verbatim: the cyclic indices "cannot
+             provide ... a sorted list of the subjects defined for a given
+             property".  The Hexastore reads pso's subject vector; the
+             cyclic store must collect subjects from pos[p]'s s-lists and
+             sort them. *)
+          let sorted_subjects_full () =
+            match Hexa.Index.find_vector (Hexa.Hexastore.pso full) type_p with
+            | None -> 0
+            | Some v -> Vectors.Sorted_ivec.length (Hexa.Pair_vector.keys v)
+          in
+          let sorted_subjects_cyclic () =
+            let acc = Vectors.Dynarray_int.create () in
+            Seq.iter
+              (fun (tr : Dict.Term_dict.id_triple) -> Vectors.Dynarray_int.push acc tr.s)
+              (Hexa.Partial.lookup cyclic (Hexa.Pattern.make ~p:type_p ()));
+            Vectors.Dynarray_int.sort_uniq acc;
+            Vectors.Dynarray_int.length acc
+          in
+          let full_s, n_f = Harness.time ~repeats:3 sorted_subjects_full in
+          let cyc_s, n_c = Harness.time ~repeats:3 sorted_subjects_cyclic in
+          assert (n_f = n_c);
+          let points =
+            probe "lookup-O" (Hexa.Pattern.make ~o:ids.course10 ())
+            @ [
+                {
+                  Harness.size = n_triples;
+                  method_ = "sorted-subjects-of-p-hexastore";
+                  seconds = full_s;
+                };
+                {
+                  Harness.size = n_triples;
+                  method_ = "sorted-subjects-of-p-cyclic3";
+                  seconds = cyc_s;
+                };
+              ]
+            @ probe "lookup-So" (Hexa.Pattern.make ~s:ids.assoc_prof10 ~o:ids.university0 ())
+            @ [
+                {
+                  Harness.size = n_triples;
+                  method_ = "memory-hexastore-MB";
+                  seconds = Harness.words_to_mb (Hexa.Hexastore.memory_words full);
+                };
+                {
+                  Harness.size = n_triples;
+                  method_ = "memory-cyclic3-MB";
+                  seconds = Harness.words_to_mb (Hexa.Partial.memory_words cyclic);
+                };
+              ]
+          in
+          print_series ~figure:"abl-cyclic"
+            ~title:"Kowari-style cyclic 3-index scheme (spo+pos+osp) vs the full Hexastore"
+            points
+      | _ -> ())
+
+(* abl-usage: which of the six indices each benchmark query strategy
+   reads on the Hexastore (the §6 observation that some indices are
+   seldom used under a given workload). *)
+let abl_usage _env =
+  Format.printf "# figure abl-usage — index families read by each Hexastore query strategy@.";
+  Format.printf "# query  indices@.";
+  List.iter
+    (fun (q, idx) -> Format.printf "%s %s@." q idx)
+    [
+      ("BQ1", "pos");
+      ("BQ2", "pos,spo");
+      ("BQ3", "pos,spo");
+      ("BQ4", "pos,spo");
+      ("BQ5", "pos,pso,spo");
+      ("BQ6", "pos,pso,spo");
+      ("BQ7", "pos,pso");
+      ("LQ1", "osp");
+      ("LQ2", "osp");
+      ("LQ3", "spo,osp");
+      ("LQ4", "spo,osp");
+      ("LQ5", "sop,pos");
+      ("(never)", "ops");
+    ];
+  Format.printf "@."
+
+(* ------------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks (one grouped test per figure)              *)
+(* ------------------------------------------------------------------- *)
+
+let bechamel_suite env =
+  let open Bechamel in
+  let sized_last l = List.nth l (List.length l - 1) in
+  let barton = sized_last (Lazy.force env.barton) in
+  let lubm = sized_last (Lazy.force env.lubm) in
+  let barton_ids = Option.get (Queries_barton.resolve_ids barton.Harness.dict) in
+  let lubm_ids = Option.get (Queries_lubm.resolve_ids lubm.Harness.dict) in
+  let per_store sized run =
+    List.map
+      (fun store -> Test.make ~name:(Stores.name store) (Staged.stage (fun () -> run store)))
+      sized.Harness.stores
+  in
+  let group name sized run = Test.make_grouped ~name (per_store sized run) in
+  let tests =
+    [
+      group "fig3/BQ1" barton (fun s -> force_list (Queries_barton.bq1 s barton_ids));
+      group "fig4/BQ2" barton (fun s -> force_list (Queries_barton.bq2 s barton_ids));
+      group "fig5/BQ3" barton (fun s -> force_list (Queries_barton.bq3 s barton_ids));
+      group "fig6/BQ4" barton (fun s -> force_list (Queries_barton.bq4 s barton_ids));
+      group "fig7/BQ5" barton (fun s -> force_list (Queries_barton.bq5 s barton_ids));
+      group "fig8/BQ6" barton (fun s -> force_list (Queries_barton.bq6 s barton_ids));
+      group "fig9/BQ7" barton (fun s -> force_list (Queries_barton.bq7 s barton_ids));
+      group "fig10/LQ1" lubm (fun s -> force_list (Queries_lubm.lq1 s lubm_ids));
+      group "fig11/LQ2" lubm (fun s -> force_list (Queries_lubm.lq2 s lubm_ids));
+      group "fig12/LQ3" lubm (fun s ->
+          let o, i = Queries_lubm.lq3 s lubm_ids in
+          force_list o;
+          force_list i);
+      group "fig13/LQ4" lubm (fun s -> force_list (Queries_lubm.lq4 s lubm_ids));
+      group "fig14/LQ5" lubm (fun s -> force_list (Queries_lubm.lq5 s lubm_ids));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  Format.printf "# Bechamel OLS estimates (ns/run), monotonic clock@.";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+          instance raw
+      in
+      let rows = Hashtbl.fold (fun name res acc -> (name, res) :: acc) ols [] in
+      List.iter
+        (fun (name, res) ->
+          match Analyze.OLS.estimates res with
+          | Some [ ns ] -> Format.printf "%-36s %14.0f ns/run@." name ns
+          | _ -> Format.printf "%-36s (no estimate)@." name)
+        (List.sort compare rows))
+    tests
+
+(* ------------------------------------------------------------------- *)
+(* CLI                                                                  *)
+(* ------------------------------------------------------------------- *)
+
+let figures =
+  [
+    ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
+    ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
+    ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
+    ("abl-load", abl_load); ("abl-join", abl_join); ("abl-dict", abl_dict);
+    ("abl-share", abl_share); ("abl-star", abl_star); ("abl-partial", abl_partial);
+    ("abl-cyclic", abl_cyclic); ("abl-usage", abl_usage);
+  ]
+
+let run_bench full selected bechamel list_only =
+  if list_only then begin
+    List.iter (fun (name, _) -> print_endline name) figures;
+    0
+  end
+  else begin
+    let mode = if full then Full else Quick in
+    let env = make_env mode in
+    Format.printf "# Hexastore benchmark harness — mode: %s@."
+      (match mode with Quick -> "quick" | Full -> "full");
+    if bechamel then bechamel_suite env
+    else begin
+      let to_run =
+        match selected with
+        | [] -> figures
+        | names ->
+            List.filter_map
+              (fun n ->
+                match List.assoc_opt n figures with
+                | Some f -> Some (n, f)
+                | None ->
+                    Format.eprintf "unknown figure %S (use --list)@." n;
+                    None)
+              names
+      in
+      List.iter (fun (_, f) -> f env) to_run
+    end;
+    0
+  end
+
+let () =
+  let open Cmdliner in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Full-size sweeps (paper-scale prefixes; slower).")
+  in
+  let figure =
+    Arg.(
+      value & opt_all string []
+      & info [ "figure"; "f" ] ~docv:"ID" ~doc:"Run only this figure (repeatable); see --list.")
+  in
+  let bechamel =
+    Arg.(value & flag & info [ "bechamel" ] ~doc:"Run the Bechamel micro-benchmark suite instead.")
+  in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List figure ids and exit.") in
+  let term = Term.(const run_bench $ full $ figure $ bechamel $ list_only) in
+  let info =
+    Cmd.info "hexastore-bench"
+      ~doc:
+        "Regenerate the figures of 'Hexastore: Sextuple Indexing for Semantic Web Data Management'"
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,1 @@
+bin/datagen.ml: Arg Cmd Cmdliner Format Fun Rdf Term Workloads

@@ -1,0 +1,1 @@
+bin/hexastore_cli.ml: Arg Cmd Cmdliner Dict Filename Format Fun Hexa List Printf Query Rdf String Term

@@ -1,0 +1,1 @@
+bin/hexastore_cli.mli:

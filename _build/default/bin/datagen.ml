@@ -1,0 +1,51 @@
+(* datagen — emit the benchmark data sets as N-Triples.
+
+   Generates either the LUBM-like academic data set or the Barton-like
+   library catalog (see DESIGN.md for the substitution rationale) so the
+   benchmark inputs can be inspected, version-pinned, or loaded into
+   other triple stores. *)
+
+open Cmdliner
+
+let write_seq out triples =
+  let emit oc = Rdf.Ntriples.to_channel oc triples in
+  match out with
+  | None -> emit stdout
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> emit oc)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let lubm_cmd =
+  let unis = Arg.(value & opt int 10 & info [ "universities" ] ~docv:"N") in
+  let depts = Arg.(value & opt int 4 & info [ "departments" ] ~docv:"N" ~doc:"Departments per university.") in
+  let run out seed universities departments_per_university =
+    let cfg = Workloads.Lubm.config ~universities ~departments_per_university ~seed () in
+    let n = write_seq out (Workloads.Lubm.generate_seq cfg) in
+    Format.eprintf "wrote %d LUBM-like triples@." n
+  in
+  Cmd.v
+    (Cmd.info "lubm" ~doc:"Generate the LUBM-like academic data set (§5.1.2).")
+    Term.(const run $ out_arg $ seed_arg $ unis $ depts)
+
+let barton_cmd =
+  let subjects = Arg.(value & opt int 50_000 & info [ "subjects" ] ~docv:"N" ~doc:"Catalog records.") in
+  let run out seed subjects =
+    let cfg = Workloads.Barton.config ~subjects ~seed () in
+    let n = write_seq out (Workloads.Barton.generate_seq cfg) in
+    Format.eprintf "wrote %d Barton-like triples@." n
+  in
+  Cmd.v
+    (Cmd.info "barton" ~doc:"Generate the Barton-like library catalog data set (§5.1.1).")
+    Term.(const run $ out_arg $ seed_arg $ subjects)
+
+let () =
+  let info = Cmd.info "datagen" ~version:"1.0.0" ~doc:"Benchmark data set generator." in
+  exit (Cmd.eval (Cmd.group info [ lubm_cmd; barton_cmd ]))

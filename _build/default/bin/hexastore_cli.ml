@@ -1,0 +1,223 @@
+(* hexastore — command-line front end to the store.
+
+   Subcommands:
+     query     load RDF data and run a SPARQL-subset query
+     stats     load RDF data and print store statistics
+     convert   translate between N-Triples and Turtle
+     snapshot  compile RDF data into a binary store snapshot
+
+   Data files may be N-Triples (.nt), Turtle (.ttl) or binary snapshots
+   (.snap); the format is chosen by extension, overridable with
+   --format. *)
+
+open Cmdliner
+
+let detect_format ~format path =
+  match format with
+  | Some f -> f
+  | None ->
+      if Filename.check_suffix path ".ttl" then "turtle"
+      else if Filename.check_suffix path ".snap" then "snapshot"
+      else "ntriples"
+
+let load_data ~format path =
+  match detect_format ~format path with
+  | "turtle" -> Rdf.Turtle.load_file ~namespaces:(Rdf.Namespace.default ()) path
+  | "ntriples" -> Rdf.Ntriples.load_file path
+  | "snapshot" -> Hexa.Hexastore.to_triples (Hexa.Snapshot.load path)
+  | f -> failwith (Printf.sprintf "unknown format %S (expected ntriples, turtle or snapshot)" f)
+
+let load_store ~format path =
+  match detect_format ~format path with
+  | "snapshot" -> Hexa.Snapshot.load path
+  | _ -> Hexa.Hexastore.of_triples (load_data ~format path)
+
+let handle_errors f =
+  try f () with
+  | Rdf.Ntriples.Parse_error (line, msg) ->
+      Format.eprintf "N-Triples parse error, line %d: %s@." line msg;
+      exit 1
+  | Rdf.Turtle.Parse_error (line, msg) ->
+      Format.eprintf "Turtle parse error, line %d: %s@." line msg;
+      exit 1
+  | Query.Sparql.Parse_error (line, msg) ->
+      Format.eprintf "query parse error, line %d: %s@." line msg;
+      exit 1
+  | Hexa.Snapshot.Corrupt msg ->
+      Format.eprintf "corrupt snapshot: %s@." msg;
+      exit 1
+  | Sys_error msg | Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+
+let format_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "format" ] ~docv:"FMT" ~doc:"Input format: ntriples or turtle (default: by extension).")
+
+let data_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA" ~doc:"RDF data file.")
+
+(* --- query ------------------------------------------------------------ *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(
+      required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"SPARQL query text, or @FILE.")
+  in
+  let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
+  let run data format query_text csv =
+    handle_errors (fun () ->
+        let store = load_store ~format data in
+        let text =
+          if String.length query_text > 0 && query_text.[0] = '@' then (
+            let path = String.sub query_text 1 (String.length query_text - 1) in
+            let ic = open_in path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic)))
+          else query_text
+        in
+        let q = Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) text in
+        let boxed = Hexa.Store_sig.box_hexastore store in
+        if q.is_ask then print_endline (if Query.Exec.ask boxed q.algebra then "yes" else "no")
+        else
+          match q.template with
+          | Some template ->
+              let triples = Query.Exec.construct boxed ~template q.algebra in
+              List.iter (fun t -> print_endline (Rdf.Triple.to_string t)) triples
+          | None -> begin
+          let solutions = Query.Exec.run boxed q.algebra in
+          let dict = Hexa.Hexastore.dict store in
+          if csv then print_string (Query.Results.to_csv dict ~columns:q.projection solutions)
+          else
+            Format.printf "@[<v>%a@]@."
+              (Query.Results.pp dict ~columns:q.projection)
+              solutions
+        end)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Load RDF data and run a SPARQL-subset query against a Hexastore.")
+    Term.(const run $ data_arg $ format_arg $ query_arg $ csv_arg)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N most frequent properties.")
+  in
+  let run data format top =
+    handle_errors (fun () ->
+        let store = load_store ~format data in
+        Format.printf "%a@." Hexa.Stats.pp_summary (Hexa.Stats.summary store);
+        Format.printf "entries per resource occurrence: %.2f (worst case 5.0)@."
+          (Hexa.Stats.entries_per_triple store);
+        let dict = Hexa.Hexastore.dict store in
+        Format.printf "@.top properties:@.";
+        List.iteri
+          (fun i (p, n) ->
+            if i < top then
+              Format.printf "  %6d  %s@." n
+                (Rdf.Term.to_string (Dict.Term_dict.decode_term dict p)))
+          (Hexa.Stats.property_histogram store))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Load RDF data and print Hexastore statistics.")
+    Term.(const run $ data_arg $ format_arg $ top_arg)
+
+(* --- convert ------------------------------------------------------------ *)
+
+let convert_cmd =
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output file (.nt or .ttl).")
+  in
+  let run data format out =
+    handle_errors (fun () ->
+        let triples = load_data ~format data in
+        if Filename.check_suffix out ".ttl" then (
+          let oc = open_out out in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc (Rdf.Turtle.to_string ~namespaces:(Rdf.Namespace.default ()) triples)))
+        else Rdf.Ntriples.save_file out triples;
+        Format.printf "wrote %d triples to %s@." (List.length triples) out)
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Translate RDF data between N-Triples and Turtle.")
+    Term.(const run $ data_arg $ format_arg $ out_arg)
+
+(* --- snapshot ----------------------------------------------------------- *)
+
+let snapshot_cmd =
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Snapshot file (.snap).")
+  in
+  let run data format out =
+    handle_errors (fun () ->
+        let store = load_store ~format data in
+        Hexa.Snapshot.save store out;
+        Format.printf "wrote snapshot of %d triples to %s@." (Hexa.Hexastore.size store) out)
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc:"Compile RDF data into a binary Hexastore snapshot.")
+    Term.(const run $ data_arg $ format_arg $ out_arg)
+
+(* --- advise ------------------------------------------------------------- *)
+
+let shape_of_string = function
+  | "spo" | "all" -> Some Hexa.Pattern.All
+  | "sp" -> Some Hexa.Pattern.Sp
+  | "so" -> Some Hexa.Pattern.So
+  | "po" -> Some Hexa.Pattern.Po
+  | "s" -> Some Hexa.Pattern.S
+  | "p" -> Some Hexa.Pattern.P
+  | "o" -> Some Hexa.Pattern.O
+  | "none" | "scan" -> Some Hexa.Pattern.None_bound
+  | _ -> None
+
+let advise_cmd =
+  let shapes_arg =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "shape" ] ~docv:"SHAPE=N"
+          ~doc:
+            "A workload entry: pattern shape (s, p, o, sp, so, po, spo, none — the bound \
+             positions) and its frequency, e.g. --shape o=400 --shape sp=25.")
+  in
+  let run data format shapes =
+    handle_errors (fun () ->
+        let workload =
+          List.map
+            (fun entry ->
+              match String.split_on_char '=' (String.lowercase_ascii entry) with
+              | [ shape; n ] -> (
+                  match (shape_of_string shape, int_of_string_opt n) with
+                  | Some shape, Some n when n > 0 -> (shape, n)
+                  | _ -> failwith (Printf.sprintf "bad --shape %S" entry))
+              | _ -> failwith (Printf.sprintf "bad --shape %S (expected SHAPE=N)" entry))
+            shapes
+        in
+        let store = load_store ~format data in
+        let r = Hexa.Advisor.recommend workload in
+        Format.printf "%a@." Hexa.Advisor.pp_recommendation r;
+        let full = Hexa.Hexastore.memory_words store in
+        let est = Hexa.Advisor.estimate_memory_words store r.keep in
+        Format.printf
+          "memory: full sextuple %.2f MB, recommended subset ~ %.2f MB (%.0f%% saved)@."
+          (float_of_int (full * 8) /. 1048576.)
+          (float_of_int (est * 8) /. 1048576.)
+          (100. *. Hexa.Advisor.savings_fraction store r.keep))
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Recommend which of the six indices a pattern workload needs (the section-6 advisor).")
+    Term.(const run $ data_arg $ format_arg $ shapes_arg)
+
+let () =
+  let info =
+    Cmd.info "hexastore" ~version:"1.0.0"
+      ~doc:"Sextuple-indexed RDF storage and querying (Weiss, Karras, Bernstein; VLDB 2008)."
+  in
+  exit (Cmd.eval (Cmd.group info [ query_cmd; stats_cmd; convert_cmd; snapshot_cmd; advise_cmd ]))

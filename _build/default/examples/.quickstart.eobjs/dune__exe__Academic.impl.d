@@ -1,0 +1,1 @@
+examples/academic.ml: Float Format Harness Hexa List Lubm Printf Queries_lubm Query Rdf Stores Workloads

@@ -1,0 +1,1 @@
+examples/index_advisor.ml: Array Dict Format Harness Hexa List Lubm Option Rdf Seq Workloads

@@ -1,0 +1,1 @@
+examples/library_catalog.ml: Array Barton Dict Format Harness List Option Queries_barton Rdf Stores Workloads

@@ -1,0 +1,1 @@
+examples/path_queries.ml: Dict Format Harness Hexa List Option Printf Prng Query Rdf String Vectors Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hexa Query Rdf Seq String

@@ -1,0 +1,89 @@
+(* Library-catalog scenario: a Longwell-style browsing session over the
+   Barton-like data set (the workload behind the paper's BQ1–BQ7).
+
+   A faceted RDF browser starts from the type histogram, narrows to one
+   type, inspects which properties its records use, then drills into a
+   facet — exactly the BQ1→BQ2→BQ4 progression — and each step here runs
+   on all three competing stores for comparison.
+
+   Run with:  dune exec examples/library_catalog.exe *)
+
+open Workloads
+
+let () =
+  let cfg = Barton.config ~subjects:20_000 ~seed:7 () in
+  let triples = Barton.generate cfg in
+  let dict = Dict.Term_dict.create () in
+  let encoded = Array.of_list (List.map (Dict.Term_dict.encode_triple dict) triples) in
+  let stores =
+    List.map
+      (fun kind ->
+        let s = Stores.create ~dict kind in
+        ignore (Stores.load s encoded);
+        s)
+      Stores.all_kinds
+  in
+  Format.printf "Catalog: %d triples, %d distinct properties.@.@." (Array.length encoded)
+    Barton.total_properties;
+
+  let ids = Option.get (Queries_barton.resolve_ids dict) in
+  let term id = Rdf.Term.to_string (Dict.Term_dict.decode_term dict id) in
+  let timed_on_all title run pp_result =
+    Format.printf "--- %s@." title;
+    let result = ref None in
+    List.iter
+      (fun store ->
+        let seconds, r = Harness.time ~warmup:1 ~repeats:3 (fun () -> run store) in
+        if !result = None then result := Some r;
+        Format.printf "%-10s %8.3f ms@." (Stores.name store) (seconds *. 1000.))
+      stores;
+    (match !result with Some r -> pp_result r | None -> ());
+    Format.printf "@."
+  in
+
+  (* Step 1 — the landing page: counts of each record type (BQ1). *)
+  timed_on_all "Type histogram (BQ1)"
+    (fun store -> Queries_barton.bq1 store ids)
+    (fun counts ->
+      let top = List.sort (fun (_, a) (_, b) -> compare b a) counts in
+      List.iteri
+        (fun i (ty, n) -> if i < 5 then Format.printf "  %-60s %6d@." (term ty) n)
+        top);
+
+  (* Step 2 — narrow to Text records: which properties do they use? (BQ2) *)
+  timed_on_all "Properties of Type:Text records (BQ2)"
+    (fun store -> Queries_barton.bq2 store ids)
+    (fun freqs ->
+      Format.printf "  %d properties in the Text vocabulary (of %d total)@." (List.length freqs)
+        Barton.total_properties);
+
+  (* Step 3 — drill into French-language Text records (BQ4). *)
+  timed_on_all "Popular facet values among French Text records (BQ4)"
+    (fun store -> Queries_barton.bq4 store ids)
+    (fun popular ->
+      Format.printf "  %d properties with repeated values@." (List.length popular));
+
+  (* Step 4 — the inference view (BQ5): what do DLC records record? *)
+  timed_on_all "Inferred types of recorded resources (BQ5)"
+    (fun store -> Queries_barton.bq5 store ids)
+    (fun inferred -> Format.printf "  %d (subject, inferred type) pairs@." (List.length inferred));
+
+  (* Step 5 — what does a Point value of "end" mean? (BQ7) *)
+  timed_on_all "Resources with Point \"end\" (BQ7)"
+    (fun store -> Queries_barton.bq7 store ids)
+    (fun rows ->
+      Format.printf "  %d resources; all of type Date — so \"end\" marks end dates@."
+        (List.length rows));
+
+  (* The 28-property assumption of [5]: same browsing step, pre-selected
+     properties only. *)
+  let restrict = Queries_barton.restriction_28 dict in
+  Format.printf "--- BQ2 under the 28-property assumption@.";
+  List.iter
+    (fun store ->
+      let seconds, r =
+        Harness.time ~warmup:1 ~repeats:3 (fun () -> Queries_barton.bq2 ~restrict store ids)
+      in
+      Format.printf "%-10s %8.3f ms (%d properties reported)@." (Stores.name store)
+        (seconds *. 1000.) (List.length r))
+    stores

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Format Hashtbl Hexastore Index List Option Ordering Pair_vector Pattern String Vectors

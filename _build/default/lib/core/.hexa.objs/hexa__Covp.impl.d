@@ -1,0 +1,1 @@
+lib/core/covp.ml: Array Dict Hashtbl Hexastore Index Int List Option Pair_key Pair_vector Pattern Seq Sorted_ivec Vectors

@@ -1,0 +1,1 @@
+lib/core/covp.mli: Dict Hexastore Pair_vector Pattern Rdf Seq Vectors

@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Dict Hashtbl Hexastore List Pattern Rdf Seq

@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Dict Hexastore Pattern Rdf Seq

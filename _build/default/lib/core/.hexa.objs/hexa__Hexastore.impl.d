@@ -1,0 +1,1 @@
+lib/core/hexastore.ml: Array Dict Hashtbl Index Int List Option Pair_key Pair_vector Pattern Seq Sorted_ivec Vectors

@@ -1,0 +1,1 @@
+lib/core/hexastore.mli: Dict Index Pattern Rdf Seq Vectors

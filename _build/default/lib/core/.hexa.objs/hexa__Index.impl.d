@@ -1,0 +1,1 @@
+lib/core/index.ml: Hashtbl List Pair_vector Vectors

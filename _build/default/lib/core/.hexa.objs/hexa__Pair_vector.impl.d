@@ -1,0 +1,1 @@
+lib/core/pair_vector.ml: Array Dynarray_int Seq Sorted_ivec Vectors

@@ -1,0 +1,1 @@
+lib/core/partial.ml: Array Dict Hashtbl Index List Option Ordering Pair_key Pair_vector Pattern Seq Sorted_ivec Vectors

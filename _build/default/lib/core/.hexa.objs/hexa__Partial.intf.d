@@ -1,0 +1,1 @@
+lib/core/partial.mli: Dict Ordering Pattern Seq

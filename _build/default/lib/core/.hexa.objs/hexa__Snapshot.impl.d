@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Bytes Char Dict Fun Hexastore Int64 Pattern Printf Rdf Seq String Sys

@@ -1,0 +1,1 @@
+lib/core/stats.ml: Format Hexastore Index List Pair_vector Sorted_ivec Vectors

@@ -1,0 +1,1 @@
+lib/core/store_sig.ml: Array Covp Dict Hexastore List Partial Pattern Seq

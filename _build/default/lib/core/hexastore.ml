@@ -1,0 +1,382 @@
+open Vectors
+
+type id_triple = Dict.Term_dict.id_triple = {
+  s : int;
+  p : int;
+  o : int;
+}
+
+type t = {
+  dict : Dict.Term_dict.t;
+  spo : Index.t;
+  sop : Index.t;
+  pso : Index.t;
+  pos : Index.t;
+  osp : Index.t;
+  ops : Index.t;
+  (* Shared terminal-list families, keyed by packed id pairs. *)
+  o_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (s,p) -> objects;    spo & pso *)
+  p_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (s,o) -> properties; sop & osp *)
+  s_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (p,o) -> subjects;   pos & ops *)
+  mutable size : int;
+}
+
+let create ?dict () =
+  let dict = match dict with Some d -> d | None -> Dict.Term_dict.create () in
+  {
+    dict;
+    spo = Index.create ();
+    sop = Index.create ();
+    pso = Index.create ();
+    pos = Index.create ();
+    osp = Index.create ();
+    ops = Index.create ();
+    o_lists = Hashtbl.create 1024;
+    p_lists = Hashtbl.create 1024;
+    s_lists = Hashtbl.create 1024;
+    size = 0;
+  }
+
+let dict t = t.dict
+let size t = t.size
+let spo t = t.spo
+let sop t = t.sop
+let pso t = t.pso
+let pos t = t.pos
+let osp t = t.osp
+let ops t = t.ops
+
+let get_or_create_list table key =
+  match Hashtbl.find_opt table key with
+  | Some l -> l
+  | None ->
+      let l = Sorted_ivec.create ~capacity:2 () in
+      Hashtbl.add table key l;
+      l
+
+(* Register the shared list [l] under (first, second) in an index, and
+   account one more triple under that header's vector. *)
+let link index ~first ~second l =
+  let v = Index.get_or_create_vector index first in
+  ignore (Pair_vector.get_or_insert v second (fun () -> l));
+  Pair_vector.bump_total v 1
+
+let add_ids t { s; p; o } =
+  let o_list = get_or_create_list t.o_lists (Pair_key.make s p) in
+  if not (Sorted_ivec.add o_list o) then false
+  else begin
+    link t.spo ~first:s ~second:p o_list;
+    link t.pso ~first:p ~second:s o_list;
+    let p_list = get_or_create_list t.p_lists (Pair_key.make s o) in
+    ignore (Sorted_ivec.add p_list p);
+    link t.sop ~first:s ~second:o p_list;
+    link t.osp ~first:o ~second:s p_list;
+    let s_list = get_or_create_list t.s_lists (Pair_key.make p o) in
+    ignore (Sorted_ivec.add s_list s);
+    link t.pos ~first:p ~second:o s_list;
+    link t.ops ~first:o ~second:p s_list;
+    t.size <- t.size + 1;
+    true
+  end
+
+let mem_ids t { s; p; o } =
+  match Hashtbl.find_opt t.o_lists (Pair_key.make s p) with
+  | None -> false
+  | Some l -> Sorted_ivec.mem l o
+
+(* Undo one triple's contribution to an index: decrement the header
+   vector's total and, when the shared list has gone empty, unlink the
+   vector entry (and the header when the vector empties). *)
+let unlink index ~first ~second ~list_empty =
+  match Index.find_vector index first with
+  | None -> assert false
+  | Some v ->
+      Pair_vector.bump_total v (-1);
+      if list_empty then begin
+        ignore (Pair_vector.remove v second);
+        if Pair_vector.length v = 0 then ignore (Index.remove_header index first)
+      end
+
+let remove_ids t { s; p; o } =
+  let key_sp = Pair_key.make s p in
+  match Hashtbl.find_opt t.o_lists key_sp with
+  | None -> false
+  | Some o_list ->
+      if not (Sorted_ivec.remove o_list o) then false
+      else begin
+        let o_empty = Sorted_ivec.is_empty o_list in
+        if o_empty then Hashtbl.remove t.o_lists key_sp;
+        unlink t.spo ~first:s ~second:p ~list_empty:o_empty;
+        unlink t.pso ~first:p ~second:s ~list_empty:o_empty;
+        let key_so = Pair_key.make s o in
+        (match Hashtbl.find_opt t.p_lists key_so with
+        | None -> assert false
+        | Some p_list ->
+            ignore (Sorted_ivec.remove p_list p);
+            let p_empty = Sorted_ivec.is_empty p_list in
+            if p_empty then Hashtbl.remove t.p_lists key_so;
+            unlink t.sop ~first:s ~second:o ~list_empty:p_empty;
+            unlink t.osp ~first:o ~second:s ~list_empty:p_empty);
+        let key_po = Pair_key.make p o in
+        (match Hashtbl.find_opt t.s_lists key_po with
+        | None -> assert false
+        | Some s_list ->
+            ignore (Sorted_ivec.remove s_list s);
+            let s_empty = Sorted_ivec.is_empty s_list in
+            if s_empty then Hashtbl.remove t.s_lists key_po;
+            unlink t.pos ~first:p ~second:o ~list_empty:s_empty;
+            unlink t.ops ~first:o ~second:p ~list_empty:s_empty);
+        t.size <- t.size - 1;
+        true
+      end
+
+(* --- bulk loading --------------------------------------------------- *)
+
+let cmp_spo (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.p b.p in
+    if c <> 0 then c else Int.compare a.o b.o
+
+let cmp_sop (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.o b.o in
+    if c <> 0 then c else Int.compare a.p b.p
+
+let cmp_pos (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.p b.p in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.o b.o in
+    if c <> 0 then c else Int.compare a.s b.s
+
+let add_bulk_ids t triples =
+  (* Pass A — sorted by (s, p, o): o-lists, spo, pso all receive keys in
+     monotone order, so every insertion hits the O(1) append path on an
+     initially-empty store.  Duplicates (within the batch or against the
+     store) are detected here and excluded from the later passes. *)
+  let arr = Array.copy triples in
+  Array.sort cmp_spo arr;
+  let fresh = ref [] in
+  let fresh_count = ref 0 in
+  Array.iter
+    (fun tr ->
+      let o_list = get_or_create_list t.o_lists (Pair_key.make tr.s tr.p) in
+      if Sorted_ivec.add o_list tr.o then begin
+        link t.spo ~first:tr.s ~second:tr.p o_list;
+        link t.pso ~first:tr.p ~second:tr.s o_list;
+        fresh := tr :: !fresh;
+        incr fresh_count
+      end)
+    arr;
+  let fresh = Array.of_list !fresh in
+  (* Pass B — sorted by (s, o, p): p-lists, sop, osp. *)
+  Array.sort cmp_sop fresh;
+  Array.iter
+    (fun tr ->
+      let p_list = get_or_create_list t.p_lists (Pair_key.make tr.s tr.o) in
+      ignore (Sorted_ivec.add p_list tr.p);
+      link t.sop ~first:tr.s ~second:tr.o p_list;
+      link t.osp ~first:tr.o ~second:tr.s p_list)
+    fresh;
+  (* Pass C — sorted by (p, o, s): s-lists, pos, ops. *)
+  Array.sort cmp_pos fresh;
+  Array.iter
+    (fun tr ->
+      let s_list = get_or_create_list t.s_lists (Pair_key.make tr.p tr.o) in
+      ignore (Sorted_ivec.add s_list tr.s);
+      link t.pos ~first:tr.p ~second:tr.o s_list;
+      link t.ops ~first:tr.o ~second:tr.p s_list)
+    fresh;
+  t.size <- t.size + !fresh_count;
+  !fresh_count
+
+(* --- lookup ---------------------------------------------------------- *)
+
+let seq_of_list_opt = function None -> Seq.empty | Some l -> Sorted_ivec.to_seq l
+
+(* Expand one header's pair vector into triples, [build second third]. *)
+let seq_of_vector build v =
+  Seq.concat_map
+    (fun (second, l) -> Seq.map (fun third -> build second third) (Sorted_ivec.to_seq l))
+    (Pair_vector.to_seq v)
+
+let seq_of_header index build h =
+  match Index.find_vector index h with
+  | None -> Seq.empty
+  | Some v -> seq_of_vector build v
+
+let full_scan t =
+  Seq.concat_map
+    (fun s -> seq_of_header t.spo (fun p o -> { s; p; o }) s)
+    (Sorted_ivec.to_seq (Index.headers t.spo))
+
+let lookup t (pat : Pattern.t) =
+  match Pattern.shape pat with
+  | Pattern.All ->
+      let tr = { s = Option.get pat.s; p = Option.get pat.p; o = Option.get pat.o } in
+      if mem_ids t tr then Seq.return tr else Seq.empty
+  | Pattern.Sp ->
+      let s = Option.get pat.s and p = Option.get pat.p in
+      Seq.map (fun o -> { s; p; o }) (seq_of_list_opt (Index.find_list t.spo s p))
+  | Pattern.So ->
+      let s = Option.get pat.s and o = Option.get pat.o in
+      Seq.map (fun p -> { s; p; o }) (seq_of_list_opt (Index.find_list t.sop s o))
+  | Pattern.Po ->
+      let p = Option.get pat.p and o = Option.get pat.o in
+      Seq.map (fun s -> { s; p; o }) (seq_of_list_opt (Index.find_list t.pos p o))
+  | Pattern.S ->
+      let s = Option.get pat.s in
+      seq_of_header t.spo (fun p o -> { s; p; o }) s
+  | Pattern.P ->
+      let p = Option.get pat.p in
+      seq_of_header t.pso (fun s o -> { s; p; o }) p
+  | Pattern.O ->
+      let o = Option.get pat.o in
+      seq_of_header t.osp (fun s p -> { s; p; o }) o
+  | Pattern.None_bound -> full_scan t
+
+let count t (pat : Pattern.t) =
+  match Pattern.shape pat with
+  | Pattern.All ->
+      if mem_ids t { s = Option.get pat.s; p = Option.get pat.p; o = Option.get pat.o } then 1
+      else 0
+  | Pattern.Sp -> (
+      match Index.find_list t.spo (Option.get pat.s) (Option.get pat.p) with
+      | None -> 0
+      | Some l -> Sorted_ivec.length l)
+  | Pattern.So -> (
+      match Index.find_list t.sop (Option.get pat.s) (Option.get pat.o) with
+      | None -> 0
+      | Some l -> Sorted_ivec.length l)
+  | Pattern.Po -> (
+      match Index.find_list t.pos (Option.get pat.p) (Option.get pat.o) with
+      | None -> 0
+      | Some l -> Sorted_ivec.length l)
+  | Pattern.S -> (
+      match Index.find_vector t.spo (Option.get pat.s) with
+      | None -> 0
+      | Some v -> Pair_vector.total v)
+  | Pattern.P -> (
+      match Index.find_vector t.pso (Option.get pat.p) with
+      | None -> 0
+      | Some v -> Pair_vector.total v)
+  | Pattern.O -> (
+      match Index.find_vector t.osp (Option.get pat.o) with
+      | None -> 0
+      | Some v -> Pair_vector.total v)
+  | Pattern.None_bound -> t.size
+
+let fold f t acc = Seq.fold_left (fun acc tr -> f tr acc) acc (full_scan t)
+
+(* --- direct accessors ------------------------------------------------ *)
+
+let objects_of_sp t ~s ~p = Hashtbl.find_opt t.o_lists (Pair_key.make s p)
+let properties_of_so t ~s ~o = Hashtbl.find_opt t.p_lists (Pair_key.make s o)
+let subjects_of_po t ~p ~o = Hashtbl.find_opt t.s_lists (Pair_key.make p o)
+
+let subjects t = Index.headers t.spo
+let properties t = Index.headers t.pso
+let objects t = Index.headers t.osp
+
+(* --- term-level API --------------------------------------------------- *)
+
+let add t triple = add_ids t (Dict.Term_dict.encode_triple t.dict triple)
+
+let add_list t triples =
+  List.fold_left (fun n triple -> if add t triple then n + 1 else n) 0 triples
+
+let of_triples triples =
+  let t = create () in
+  let ids = Array.of_list (List.map (Dict.Term_dict.encode_triple t.dict) triples) in
+  ignore (add_bulk_ids t ids);
+  t
+
+let remove t triple =
+  match Dict.Term_dict.find_triple t.dict triple with
+  | None -> false
+  | Some ids -> remove_ids t ids
+
+let mem t triple =
+  match Dict.Term_dict.find_triple t.dict triple with
+  | None -> false
+  | Some ids -> mem_ids t ids
+
+let pattern_of_terms t ?s ?p ?o () =
+  let find = Dict.Term_dict.find_term t.dict in
+  let resolve = function
+    | None -> Some None  (* wildcard *)
+    | Some term -> ( match find term with None -> None | Some id -> Some (Some id))
+  in
+  match (resolve s, resolve p, resolve o) with
+  | Some s, Some p, Some o -> Some { Pattern.s; p; o }
+  | _ -> None  (* some term is unknown: nothing can match *)
+
+let find t ?s ?p ?o () =
+  match pattern_of_terms t ?s ?p ?o () with
+  | None -> Seq.empty
+  | Some pat -> Seq.map (Dict.Term_dict.decode_triple t.dict) (lookup t pat)
+
+let count_terms t ?s ?p ?o () =
+  match pattern_of_terms t ?s ?p ?o () with None -> 0 | Some pat -> count t pat
+
+let to_triples t =
+  List.of_seq (Seq.map (Dict.Term_dict.decode_triple t.dict) (full_scan t))
+
+(* --- accounting and invariants ---------------------------------------- *)
+
+let lists_memory table =
+  Hashtbl.fold (fun _ l acc -> acc + 2 + Sorted_ivec.memory_words l) table 16
+
+let memory_words t =
+  Index.memory_words t.spo + Index.memory_words t.sop + Index.memory_words t.pso
+  + Index.memory_words t.pos + Index.memory_words t.osp + Index.memory_words t.ops
+  + lists_memory t.o_lists + lists_memory t.p_lists + lists_memory t.s_lists
+
+let memory_words_with_dict t = memory_words t + Dict.Term_dict.memory_words t.dict
+
+let check_invariant t =
+  Index.check_invariant t.spo;
+  Index.check_invariant t.sop;
+  Index.check_invariant t.pso;
+  Index.check_invariant t.pos;
+  Index.check_invariant t.osp;
+  Index.check_invariant t.ops;
+  (* The six indices must agree on the triple set and on its size. *)
+  assert (Index.total t.spo = t.size);
+  assert (Index.total t.sop = t.size);
+  assert (Index.total t.pso = t.size);
+  assert (Index.total t.pos = t.size);
+  assert (Index.total t.osp = t.size);
+  assert (Index.total t.ops = t.size);
+  (* Terminal lists must be physically shared between twin orderings. *)
+  Index.iter
+    (fun s v ->
+      Pair_vector.iter
+        (fun p l ->
+          (match Index.find_list t.pso p s with
+          | Some l' -> assert (l == l')
+          | None -> assert false);
+          Sorted_ivec.iter
+            (fun o ->
+              (* Every spo triple is visible through sop/osp and pos/ops. *)
+              (match Index.find_list t.sop s o with
+              | Some pl ->
+                  assert (Sorted_ivec.mem pl p);
+                  (match Index.find_list t.osp o s with
+                  | Some pl' -> assert (pl == pl')
+                  | None -> assert false)
+              | None -> assert false);
+              match Index.find_list t.pos p o with
+              | Some sl ->
+                  assert (Sorted_ivec.mem sl s);
+                  (match Index.find_list t.ops o p with
+                  | Some sl' -> assert (sl == sl')
+                  | None -> assert false)
+              | None -> assert false)
+            l)
+        v)
+    t.spo

@@ -1,0 +1,120 @@
+(** The Hexastore: sextuple indexing for RDF data (§4 of the paper).
+
+    Every triple 〈s, p, o〉 is represented in all 3! = 6 orderings —
+    [spo], [sop], [pso], [pos], [osp], [ops].  Each ordering maps a header
+    resource to a sorted vector of second elements, each entry of which
+    carries a sorted terminal list of third elements (Figure 2).  The
+    three pairs of orderings that end in the same element physically share
+    their terminal lists — [spo]/[pso] share o-lists, [sop]/[osp] share
+    p-lists, [pos]/[ops] share s-lists — which is what bounds the space
+    overhead at five times a raw triples table (§4.1).
+
+    All vectors and lists are sorted, so every first-step pairwise join a
+    query needs is a linear merge-join (§4.2).
+
+    The store owns a {!Dict.Term_dict.t} mapping table; both an id-level
+    API (used by the query engine and benchmarks) and a term-level API
+    (used by applications) are provided. *)
+
+type t
+
+type id_triple = Dict.Term_dict.id_triple = {
+  s : int;
+  p : int;
+  o : int;
+}
+
+val create : ?dict:Dict.Term_dict.t -> unit -> t
+(** A fresh empty store.  Pass [dict] to share a mapping table with
+    another store (the benchmarks do this so Hexastore and the COVP
+    baselines agree on ids). *)
+
+val dict : t -> Dict.Term_dict.t
+
+val size : t -> int
+(** Number of distinct triples. *)
+
+(** {1 Id-level API} *)
+
+val add_ids : t -> id_triple -> bool
+(** Insert; [false] if already present.  Touches all six indices — §4.2's
+    noted update cost. *)
+
+val remove_ids : t -> id_triple -> bool
+(** Delete; [false] if absent.  Empty vectors and headers are pruned. *)
+
+val mem_ids : t -> id_triple -> bool
+(** O(log) membership via the shared o-list of (s, p). *)
+
+val add_bulk_ids : t -> id_triple array -> int
+(** Bulk load: sorts the batch once per list family so every index is
+    filled by monotone appends; near-linear on an empty store.  Returns
+    the number of triples actually new. *)
+
+val lookup : t -> Pattern.t -> id_triple Seq.t
+(** All matching triples, lazily, in the natural order of the index
+    serving the pattern's shape.  Each of the 8 shapes is answered by the
+    ordering that makes the access a header/vector/list traversal. *)
+
+val count : t -> Pattern.t -> int
+(** Exact cardinality of [lookup], in O(log) time for any shape (vector
+    totals are maintained incrementally). *)
+
+val fold : (id_triple -> 'a -> 'a) -> t -> 'a -> 'a
+(** Over all triples in (s, p, o) order. *)
+
+(** {1 Direct vector/list accessors (the paper's notation)} *)
+
+val objects_of_sp : t -> s:int -> p:int -> Vectors.Sorted_ivec.t option
+(** The shared list o{_s}(p) = o{_p}(s). *)
+
+val properties_of_so : t -> s:int -> o:int -> Vectors.Sorted_ivec.t option
+(** The shared list p{_s}(o) = p{_o}(s). *)
+
+val subjects_of_po : t -> p:int -> o:int -> Vectors.Sorted_ivec.t option
+(** The shared list s{_p}(o) = s{_o}(p). *)
+
+val spo : t -> Index.t
+val sop : t -> Index.t
+val pso : t -> Index.t
+val pos : t -> Index.t
+val osp : t -> Index.t
+val ops : t -> Index.t
+
+val subjects : t -> Vectors.Sorted_ivec.t
+(** Sorted ids of all subjects (headers of [spo]); fresh vector. *)
+
+val properties : t -> Vectors.Sorted_ivec.t
+val objects : t -> Vectors.Sorted_ivec.t
+
+(** {1 Term-level API} *)
+
+val add : t -> Rdf.Triple.t -> bool
+val add_list : t -> Rdf.Triple.t list -> int
+(** Returns the number of new triples. *)
+
+val of_triples : Rdf.Triple.t list -> t
+val remove : t -> Rdf.Triple.t -> bool
+val mem : t -> Rdf.Triple.t -> bool
+
+val find : t -> ?s:Rdf.Term.t -> ?p:Rdf.Term.t -> ?o:Rdf.Term.t -> unit -> Rdf.Triple.t Seq.t
+(** Term-level pattern lookup.  A term unknown to the dictionary yields
+    the empty sequence (and does not allocate an id). *)
+
+val count_terms : t -> ?s:Rdf.Term.t -> ?p:Rdf.Term.t -> ?o:Rdf.Term.t -> unit -> int
+
+val to_triples : t -> Rdf.Triple.t list
+(** All triples, decoded, in (s-id, p-id, o-id) order. *)
+
+(** {1 Accounting and invariants} *)
+
+val memory_words : t -> int
+(** Structural footprint of the six indices plus the shared terminal
+    lists (counted once), excluding the dictionary. *)
+
+val memory_words_with_dict : t -> int
+
+val check_invariant : t -> unit
+(** Asserts: all vectors/lists sorted; the six indices describe the same
+    triple set; totals consistent; terminal lists physically shared
+    ([==]) between twin orderings.  Test/debug helper — O(size). *)

@@ -1,0 +1,46 @@
+type t = {
+  headers : (int, Pair_vector.t) Hashtbl.t;
+}
+
+let create ?(initial_headers = 64) () = { headers = Hashtbl.create initial_headers }
+
+let header_count t = Hashtbl.length t.headers
+
+let find_vector t h = Hashtbl.find_opt t.headers h
+
+let get_or_create_vector t h =
+  match Hashtbl.find_opt t.headers h with
+  | Some v -> v
+  | None ->
+      let v = Pair_vector.create () in
+      Hashtbl.add t.headers h v;
+      v
+
+let find_list t first second =
+  match find_vector t first with None -> None | Some v -> Pair_vector.find v second
+
+let remove_header t h =
+  if Hashtbl.mem t.headers h then begin
+    Hashtbl.remove t.headers h;
+    true
+  end
+  else false
+
+let iter f t = Hashtbl.iter f t.headers
+
+let iter_sorted f t =
+  let hs = Hashtbl.fold (fun h _ acc -> h :: acc) t.headers [] in
+  List.iter (fun h -> f h (Hashtbl.find t.headers h)) (List.sort compare hs)
+
+let headers t =
+  let v = Vectors.Dynarray_int.create ~capacity:(max 1 (header_count t)) () in
+  Hashtbl.iter (fun h _ -> Vectors.Dynarray_int.push v h) t.headers;
+  Vectors.Dynarray_int.sort_uniq v;
+  Vectors.Sorted_ivec.of_sorted_array (Vectors.Dynarray_int.to_array v)
+
+let total t = Hashtbl.fold (fun _ v acc -> acc + Pair_vector.total v) t.headers 0
+
+let memory_words t =
+  Hashtbl.fold (fun _ v acc -> acc + 3 + Pair_vector.memory_words v) t.headers 16
+
+let check_invariant t = iter (fun _ v -> Pair_vector.check_invariant v) t

@@ -1,0 +1,43 @@
+(** One of the six Hexastore orderings.
+
+    An index maps a header resource (the first element of the ordering) to
+    a {!Pair_vector.t} of second elements whose payloads are the shared
+    terminal lists of third elements.  The module is ordering-agnostic:
+    [Hexastore] instantiates six of these and decides which roles the
+    three levels play. *)
+
+type t
+
+val create : ?initial_headers:int -> unit -> t
+
+val header_count : t -> int
+
+val find_vector : t -> int -> Pair_vector.t option
+(** Pair vector under a header. *)
+
+val get_or_create_vector : t -> int -> Pair_vector.t
+
+val find_list : t -> int -> int -> Vectors.Sorted_ivec.t option
+(** [find_list idx first second] is the terminal list under
+    (first, second), if both levels exist. *)
+
+val remove_header : t -> int -> bool
+
+val iter : (int -> Pair_vector.t -> unit) -> t -> unit
+(** Over headers in unspecified order (hash order). *)
+
+val iter_sorted : (int -> Pair_vector.t -> unit) -> t -> unit
+(** Over headers in ascending id order (sorts; O(h log h)). *)
+
+val headers : t -> Vectors.Sorted_ivec.t
+(** Fresh sorted vector of header ids. *)
+
+val total : t -> int
+(** Number of triples reachable through this index (sum of vector
+    totals); equals the store size when the index is consistent. *)
+
+val memory_words : t -> int
+(** Headers and vectors only — terminal list contents are accounted once
+    by the store. *)
+
+val check_invariant : t -> unit

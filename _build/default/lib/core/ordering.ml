@@ -1,0 +1,56 @@
+type t =
+  | Spo
+  | Sop
+  | Pso
+  | Pos
+  | Osp
+  | Ops
+
+let all = [ Spo; Sop; Pso; Pos; Osp; Ops ]
+
+let name = function
+  | Spo -> "spo"
+  | Sop -> "sop"
+  | Pso -> "pso"
+  | Pos -> "pos"
+  | Osp -> "osp"
+  | Ops -> "ops"
+
+let of_name = function
+  | "spo" -> Some Spo
+  | "sop" -> Some Sop
+  | "pso" -> Some Pso
+  | "pos" -> Some Pos
+  | "osp" -> Some Osp
+  | "ops" -> Some Ops
+  | _ -> None
+
+let for_shape = function
+  | Pattern.All -> Spo       (* membership goes through the shared (s,p) o-list *)
+  | Pattern.Sp -> Spo
+  | Pattern.So -> Sop
+  | Pattern.Po -> Pos
+  | Pattern.S -> Spo
+  | Pattern.P -> Pso
+  | Pattern.O -> Osp
+  | Pattern.None_bound -> Spo
+
+let twin = function
+  | Spo -> Pso
+  | Pso -> Spo
+  | Sop -> Osp
+  | Osp -> Sop
+  | Pos -> Ops
+  | Ops -> Pos
+
+let compare = Stdlib.compare
+
+let equal a b = a = b
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

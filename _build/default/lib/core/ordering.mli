@@ -1,0 +1,38 @@
+(** The six index orderings, as first-class values.
+
+    §4.1 names the orderings by the initials of the three RDF elements in
+    priority order; this module gives the rest of the library a common
+    vocabulary for talking about them (the advisor, the partial store,
+    the usage reports). *)
+
+type t =
+  | Spo
+  | Sop
+  | Pso
+  | Pos
+  | Osp
+  | Ops
+
+val all : t list
+(** In the paper's order: spo, sop, pso, pos, osp, ops. *)
+
+val name : t -> string
+(** Lowercase three-letter name. *)
+
+val of_name : string -> t option
+
+(** Which ordering serves each access shape natively (the one
+    {!Hexastore.lookup} uses). *)
+val for_shape : Pattern.shape -> t
+
+val twin : t -> t
+(** The ordering sharing this one's terminal lists (§4.1):
+    spo↔pso, sop↔osp, pos↔ops. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

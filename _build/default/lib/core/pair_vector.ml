@@ -1,0 +1,102 @@
+open Vectors
+
+type t = {
+  keys : Dynarray_int.t;
+  mutable payloads : Sorted_ivec.t array;  (* parallel to keys; slack beyond length *)
+  mutable total_count : int;
+}
+
+let dummy = Sorted_ivec.create ~capacity:1 ()
+
+let create ?(capacity = 4) () =
+  {
+    keys = Dynarray_int.create ~capacity ();
+    payloads = Array.make (max capacity 1) dummy;
+    total_count = 0;
+  }
+
+let length v = Dynarray_int.length v.keys
+let total v = v.total_count
+let bump_total v d = v.total_count <- v.total_count + d
+
+let index_geq v x =
+  let lo = ref 0 and hi = ref (length v) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Dynarray_int.unsafe_get v.keys mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find v key =
+  let i = index_geq v key in
+  if i < length v && Dynarray_int.unsafe_get v.keys i = key then Some v.payloads.(i) else None
+
+let ensure_payload_capacity v n =
+  if n > Array.length v.payloads then begin
+    let bigger = Array.make (max n (2 * Array.length v.payloads)) dummy in
+    Array.blit v.payloads 0 bigger 0 (Array.length v.payloads);
+    v.payloads <- bigger
+  end
+
+let get_or_insert v key mk =
+  let n = length v in
+  if n = 0 || key > Dynarray_int.last v.keys then begin
+    (* Fast path: ascending arrival, plain append. *)
+    let payload = mk () in
+    Dynarray_int.push v.keys key;
+    ensure_payload_capacity v (n + 1);
+    v.payloads.(n) <- payload;
+    payload
+  end
+  else
+    let i = index_geq v key in
+    if i < n && Dynarray_int.unsafe_get v.keys i = key then v.payloads.(i)
+    else begin
+      let payload = mk () in
+      Dynarray_int.insert v.keys i key;
+      ensure_payload_capacity v (n + 1);
+      Array.blit v.payloads i v.payloads (i + 1) (n - i);
+      v.payloads.(i) <- payload;
+      payload
+    end
+
+let remove v key =
+  let i = index_geq v key in
+  if i < length v && Dynarray_int.unsafe_get v.keys i = key then begin
+    let n = length v in
+    Dynarray_int.remove v.keys i;
+    Array.blit v.payloads (i + 1) v.payloads i (n - i - 1);
+    v.payloads.(n - 1) <- dummy;
+    true
+  end
+  else false
+
+let key_at v i = Dynarray_int.get v.keys i
+
+let payload_at v i =
+  if i < 0 || i >= length v then invalid_arg "Pair_vector.payload_at";
+  v.payloads.(i)
+
+let keys v = Sorted_ivec.of_sorted_array (Dynarray_int.to_array v.keys)
+
+let iter f v =
+  for i = 0 to length v - 1 do
+    f (Dynarray_int.unsafe_get v.keys i) v.payloads.(i)
+  done
+
+let to_seq v =
+  let rec aux i () =
+    if i >= length v then Seq.Nil
+    else Seq.Cons ((Dynarray_int.unsafe_get v.keys i, v.payloads.(i)), aux (i + 1))
+  in
+  aux 0
+
+let memory_words v = Dynarray_int.memory_words v.keys + Array.length v.payloads + 3
+
+let check_invariant v =
+  for i = 1 to length v - 1 do
+    assert (Dynarray_int.unsafe_get v.keys (i - 1) < Dynarray_int.unsafe_get v.keys i)
+  done;
+  let sum = ref 0 in
+  iter (fun _ l -> sum := !sum + Sorted_ivec.length l) v;
+  assert (!sum = v.total_count)

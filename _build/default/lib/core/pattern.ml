@@ -1,0 +1,48 @@
+type t = {
+  s : int option;
+  p : int option;
+  o : int option;
+}
+
+type shape =
+  | All
+  | Sp
+  | So
+  | Po
+  | S
+  | P
+  | O
+  | None_bound
+
+let make ?s ?p ?o () = { s; p; o }
+
+let wildcard = { s = None; p = None; o = None }
+
+let of_triple (t : Dict.Term_dict.id_triple) = { s = Some t.s; p = Some t.p; o = Some t.o }
+
+let shape = function
+  | { s = Some _; p = Some _; o = Some _ } -> All
+  | { s = Some _; p = Some _; o = None } -> Sp
+  | { s = Some _; p = None; o = Some _ } -> So
+  | { s = None; p = Some _; o = Some _ } -> Po
+  | { s = Some _; p = None; o = None } -> S
+  | { s = None; p = Some _; o = None } -> P
+  | { s = None; p = None; o = Some _ } -> O
+  | { s = None; p = None; o = None } -> None_bound
+
+let bound_count pat =
+  let b = function Some _ -> 1 | None -> 0 in
+  b pat.s + b pat.p + b pat.o
+
+let matches pat (t : Dict.Term_dict.id_triple) =
+  let ok v = function None -> true | Some x -> x = v in
+  ok t.s pat.s && ok t.p pat.p && ok t.o pat.o
+
+let equal a b = a = b
+
+let pp ppf pat =
+  let pp_pos ppf = function
+    | None -> Format.pp_print_char ppf '?'
+    | Some id -> Format.pp_print_int ppf id
+  in
+  Format.fprintf ppf "(%a, %a, %a)" pp_pos pat.s pp_pos pat.p pp_pos pat.o

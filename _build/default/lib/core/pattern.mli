@@ -1,0 +1,41 @@
+(** Triple access patterns over dictionary ids.
+
+    A pattern fixes some of the three triple positions and leaves the rest
+    as wildcards.  The 2{^3} = 8 shapes are exactly the "accessing schemes
+    an RDF query may require" that §3 argues the six indices cover. *)
+
+type t = {
+  s : int option;
+  p : int option;
+  o : int option;
+}
+
+(** Which positions are bound.  Constructor names list the bound
+    positions; [All] binds all three, [None_bound] none. *)
+type shape =
+  | All          (** (s, p, o) — membership test *)
+  | Sp           (** (s, p, ?) *)
+  | So           (** (s, ?, o) *)
+  | Po           (** (?, p, o) *)
+  | S            (** (s, ?, ?) *)
+  | P            (** (?, p, ?) *)
+  | O            (** (?, ?, o) *)
+  | None_bound   (** (?, ?, ?) — full scan *)
+
+val make : ?s:int -> ?p:int -> ?o:int -> unit -> t
+
+val wildcard : t
+
+val of_triple : Dict.Term_dict.id_triple -> t
+(** Fully bound pattern. *)
+
+val shape : t -> shape
+
+val bound_count : t -> int
+(** Number of bound positions (0–3). *)
+
+val matches : t -> Dict.Term_dict.id_triple -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Binary snapshots of a Hexastore.
+
+    The paper's future work (§7) plans "a fully operational disk-based
+    Hexastore"; this module is the persistence half of that: a compact
+    binary image of the store — the dictionary plus the triple set,
+    delta-varint encoded in (s, p, o) order — from which loading rebuilds
+    all six indices through the bulk path (the sorted stream makes every
+    insertion a monotone append).
+
+    Format (version 1):
+    {v
+magic   "HEXSNAP1"
+dict    varint count, then per id: varint length + N-Triples spelling
+triples varint count, then per triple (sorted s,p,o):
+        varint Δs, varint Δp (absolute when Δs>0), varint Δo
+        (absolute when Δs>0 or Δp>0)
+crc     FNV-1a 64-bit of everything after the magic
+    v}
+
+    Ids are positional: the dictionary section re-encodes terms in id
+    order, so a loaded store assigns identical ids. *)
+
+exception Corrupt of string
+(** Bad magic, truncation, checksum mismatch, or undecodable content. *)
+
+val save : Hexastore.t -> string -> unit
+(** Write the store to a file (atomically: a temp file is renamed into
+    place). *)
+
+val load : string -> Hexastore.t
+(** Rebuild a store from a snapshot.
+    @raise Corrupt on any malformed input.
+    @raise Sys_error when the file cannot be read. *)
+
+val save_channel : Hexastore.t -> out_channel -> unit
+
+val load_channel : in_channel -> Hexastore.t

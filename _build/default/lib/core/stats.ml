@@ -1,0 +1,71 @@
+open Vectors
+
+type summary = {
+  triples : int;
+  distinct_subjects : int;
+  distinct_properties : int;
+  distinct_objects : int;
+  memory_words : int;
+  memory_mb : float;
+}
+
+let words_to_mb w = float_of_int (w * 8) /. (1024. *. 1024.)
+
+let summary h =
+  let memory_words = Hexastore.memory_words h in
+  {
+    triples = Hexastore.size h;
+    distinct_subjects = Sorted_ivec.length (Hexastore.subjects h);
+    distinct_properties = Sorted_ivec.length (Hexastore.properties h);
+    distinct_objects = Sorted_ivec.length (Hexastore.objects h);
+    memory_words;
+    memory_mb = words_to_mb memory_words;
+  }
+
+let property_histogram h =
+  let acc = ref [] in
+  Index.iter
+    (fun p v -> acc := (p, Pair_vector.total v) :: !acc)
+    (Hexastore.pso h);
+  List.sort (fun (_, a) (_, b) -> compare b a) !acc
+
+type entry_counts = {
+  header_entries : int;
+  vector_entries : int;
+  list_entries : int;
+}
+
+let entry_counts h =
+  let headers = ref 0 and vectors = ref 0 in
+  List.iter
+    (fun idx ->
+      Index.iter
+        (fun _ v ->
+          incr headers;
+          vectors := !vectors + Pair_vector.length v)
+        idx)
+    [ Hexastore.spo h; Hexastore.sop h; Hexastore.pso h; Hexastore.pos h;
+      Hexastore.osp h; Hexastore.ops h ];
+  (* Each shared terminal list is referenced by two orderings but its
+     entries exist once; count them via one ordering per family. *)
+  let lists = ref 0 in
+  List.iter
+    (fun idx -> Index.iter (fun _ v -> Pair_vector.iter (fun _ l -> lists := !lists + Sorted_ivec.length l) v) idx)
+    [ Hexastore.spo h; Hexastore.sop h; Hexastore.pos h ];
+  { header_entries = !headers; vector_entries = !vectors; list_entries = !lists }
+
+let entries_per_triple h =
+  let n = Hexastore.size h in
+  if n = 0 then 0.
+  else
+    let c = entry_counts h in
+    float_of_int (c.header_entries + c.vector_entries + c.list_entries) /. float_of_int (3 * n)
+
+let selectivity h pat =
+  let n = Hexastore.size h in
+  if n = 0 then 0. else float_of_int (Hexastore.count h pat) /. float_of_int n
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>triples: %d@,subjects: %d@,properties: %d@,objects: %d@,memory: %.2f MB@]"
+    s.triples s.distinct_subjects s.distinct_properties s.distinct_objects s.memory_mb

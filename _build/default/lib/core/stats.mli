@@ -1,0 +1,45 @@
+(** Store statistics and space accounting.
+
+    Serves three purposes: the selectivity numbers the query planner
+    orders joins by, the per-property profile the workload generators are
+    validated against, and the space report behind the Fig. 15
+    reproduction (including the §4.1 worst-case 5× entry bound). *)
+
+type summary = {
+  triples : int;
+  distinct_subjects : int;
+  distinct_properties : int;
+  distinct_objects : int;
+  memory_words : int;
+  memory_mb : float;
+}
+
+val summary : Hexastore.t -> summary
+
+val property_histogram : Hexastore.t -> (int * int) list
+(** (property id, triple count) pairs, descending by count.  The Barton
+    generator's heavy-tail shape is checked against this. *)
+
+(** Breakdown of index entries, for the 5× space-bound check: how many
+    header, vector and terminal-list slots each resource key occupies. *)
+type entry_counts = {
+  header_entries : int;   (** keys appearing as index headers (≤ 6/triple-key naively, 2 per role) *)
+  vector_entries : int;   (** keys stored in second-level vectors *)
+  list_entries : int;     (** keys stored in terminal lists *)
+}
+
+val entry_counts : Hexastore.t -> entry_counts
+
+val entries_per_triple : Hexastore.t -> float
+(** Total key entries divided by (3 × triples) — i.e. entries per
+    resource occurrence.  §4.1's worst case is 5: "the key of each of the
+    three resources in a triple appears in two headers and two vectors,
+    but only in one list".  The invariant test asserts it never
+    exceeds 5.0. *)
+
+val selectivity : Hexastore.t -> Pattern.t -> float
+(** Estimated fraction of the store matched by a pattern, in [0, 1];
+    exact counts divided by size.  The planner sorts BGP patterns by
+    this. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,114 @@
+(** The common store interface.
+
+    The query engine, the harness and parts of the test suite are generic
+    over "something that can answer triple patterns".  The Hexastore and
+    both COVP baselines implement this signature; first-class modules
+    ({!boxed}) let callers hold a heterogeneous store without functorising
+    the world. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Display name ("Hexastore", "COVP1", "COVP2"). *)
+
+  val dict : t -> Dict.Term_dict.t
+
+  val size : t -> int
+
+  val add_ids : t -> Dict.Term_dict.id_triple -> bool
+
+  val add_bulk_ids : t -> Dict.Term_dict.id_triple array -> int
+
+  val lookup : t -> Pattern.t -> Dict.Term_dict.id_triple Seq.t
+
+  val count : t -> Pattern.t -> int
+  (** Exact cardinality of [lookup t pat]; may cost a scan on shapes the
+      store has no index for. *)
+
+  val memory_words : t -> int
+end
+
+module Hexastore_store : S with type t = Hexastore.t = struct
+  type t = Hexastore.t
+
+  let name = "Hexastore"
+  let dict = Hexastore.dict
+  let size = Hexastore.size
+  let add_ids = Hexastore.add_ids
+  let add_bulk_ids = Hexastore.add_bulk_ids
+  let lookup = Hexastore.lookup
+  let count = Hexastore.count
+  let memory_words = Hexastore.memory_words
+end
+
+module Covp1_store : S with type t = Covp.t = struct
+  type t = Covp.t
+
+  let name = "COVP1"
+  let dict = Covp.dict
+  let size = Covp.size
+  let add_ids = Covp.add_ids
+  let add_bulk_ids = Covp.add_bulk_ids
+  let lookup = Covp.lookup
+  let count = Covp.count
+  let memory_words = Covp.memory_words
+end
+
+module Covp2_store : S with type t = Covp.t = struct
+  include Covp1_store
+
+  let name = "COVP2"
+end
+
+module Partial_store : S with type t = Partial.t = struct
+  type t = Partial.t
+
+  let name = "Partial"
+  let dict = Partial.dict
+  let size = Partial.size
+  let add_ids = Partial.add_ids
+  let add_bulk_ids = Partial.add_bulk_ids
+  let lookup = Partial.lookup
+  let count = Partial.count
+  let memory_words = Partial.memory_words
+end
+
+type boxed = Boxed : (module S with type t = 'a) * 'a -> boxed
+
+let box_hexastore h = Boxed ((module Hexastore_store), h)
+
+let box_partial p = Boxed ((module Partial_store), p)
+
+let box_covp c =
+  match Covp.kind c with
+  | Covp.Covp1 -> Boxed ((module Covp1_store), c)
+  | Covp.Covp2 -> Boxed ((module Covp2_store), c)
+
+let name (Boxed ((module M), _)) = M.name
+let dict (Boxed ((module M), store)) = M.dict store
+let size (Boxed ((module M), store)) = M.size store
+let add_ids (Boxed ((module M), store)) tr = M.add_ids store tr
+let add_bulk_ids (Boxed ((module M), store)) trs = M.add_bulk_ids store trs
+let lookup (Boxed ((module M), store)) pat = M.lookup store pat
+let count (Boxed ((module M), store)) pat = M.count store pat
+let memory_words (Boxed ((module M), store)) = M.memory_words store
+
+let add_triple b triple =
+  add_ids b (Dict.Term_dict.encode_triple (dict b) triple)
+
+let load_triples b triples =
+  let ids = Array.of_list (List.map (Dict.Term_dict.encode_triple (dict b)) triples) in
+  add_bulk_ids b ids
+
+let find b ?s ?p ?o () =
+  let d = dict b in
+  let resolve = function
+    | None -> Some None
+    | Some term -> (
+        match Dict.Term_dict.find_term d term with None -> None | Some id -> Some (Some id))
+  in
+  match (resolve s, resolve p, resolve o) with
+  | Some s, Some p, Some o ->
+      Seq.map (Dict.Term_dict.decode_triple d) (lookup b { Pattern.s; p; o })
+  | _ -> Seq.empty

@@ -1,0 +1,1 @@
+lib/dictionary/dictionary.ml: Array Hashtbl Printf String Vectors

@@ -1,0 +1,1 @@
+lib/dictionary/dictionary.mli:

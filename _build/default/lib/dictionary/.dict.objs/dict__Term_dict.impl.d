@@ -1,0 +1,1 @@
+lib/dictionary/term_dict.ml: Array Dictionary Format Printf Rdf

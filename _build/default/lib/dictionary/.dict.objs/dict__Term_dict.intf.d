@@ -1,0 +1,1 @@
+lib/dictionary/term_dict.mli: Format Rdf

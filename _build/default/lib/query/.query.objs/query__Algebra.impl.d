@@ -1,0 +1,1 @@
+lib/query/algebra.ml: Format List Rdf String

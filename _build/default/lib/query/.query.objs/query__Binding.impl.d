@@ -1,0 +1,1 @@
+lib/query/binding.ml: Dict Format List Map Printf Rdf Stdlib String

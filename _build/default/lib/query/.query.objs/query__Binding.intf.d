@@ -1,0 +1,1 @@
+lib/query/binding.mli: Dict Format Rdf

@@ -1,0 +1,1 @@
+lib/query/exec.ml: Algebra Binding Dict Float Hashtbl Hexa List Map Planner Rdf Seq

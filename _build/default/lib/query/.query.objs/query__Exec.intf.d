@@ -1,0 +1,1 @@
+lib/query/exec.mli: Algebra Binding Dict Hexa Rdf Seq

@@ -1,0 +1,1 @@
+lib/query/path.ml: Hexa List Sorted_ivec Vectors

@@ -1,0 +1,1 @@
+lib/query/planner.ml: Algebra Dict Hexa List

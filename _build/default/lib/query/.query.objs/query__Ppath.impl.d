@@ -1,0 +1,1 @@
+lib/query/ppath.ml: Dict Format Hexa List Merge Printf Rdf Sorted_ivec String Vectors

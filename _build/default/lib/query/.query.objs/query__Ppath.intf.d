@@ -1,0 +1,1 @@
+lib/query/ppath.mli: Format Hexa Rdf Vectors

@@ -1,0 +1,1 @@
+lib/query/results.ml: Binding Buffer Format List String

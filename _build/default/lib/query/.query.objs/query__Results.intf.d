@@ -1,0 +1,1 @@
+lib/query/results.mli: Binding Dict Format

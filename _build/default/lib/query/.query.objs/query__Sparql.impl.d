@@ -1,0 +1,1 @@
+lib/query/sparql.ml: Algebra Buffer List Printf Rdf String

@@ -1,0 +1,1 @@
+lib/query/star.ml: Algebra Array Dict Hexa List Option Sorted_ivec Vectors

@@ -1,0 +1,1 @@
+lib/query/star.mli: Algebra Hexa Vectors

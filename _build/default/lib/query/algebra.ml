@@ -1,0 +1,133 @@
+type atom =
+  | Var of string
+  | Term of Rdf.Term.t
+
+type tp = {
+  s : atom;
+  p : atom;
+  o : atom;
+}
+
+type expr =
+  | E_atom of atom
+  | E_eq of expr * expr
+  | E_neq of expr * expr
+  | E_lt of expr * expr
+  | E_le of expr * expr
+  | E_gt of expr * expr
+  | E_ge of expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_bound of string
+
+type aggregate =
+  | Count_all
+  | Count_var of string
+  | Count_distinct of string
+
+type order = {
+  key : string;
+  descending : bool;
+}
+
+type t =
+  | Bgp of tp list
+  | Join of t * t
+  | Left_join of t * t
+  | Union of t * t
+  | Values of string list * Rdf.Term.t option list list
+  | Filter of expr * t
+  | Distinct of t
+  | Project of string list * t
+  | Extend_group of string list * (string * aggregate) list * t
+  | Order_by of order list * t
+  | Slice of int option * int option * t
+
+let tp s p o = { s; p; o }
+
+let vars_of_atom = function Var v -> [ v ] | Term _ -> []
+
+let vars_of_tp { s; p; o } =
+  List.sort_uniq compare (vars_of_atom s @ vars_of_atom p @ vars_of_atom o)
+
+let rec vars_of_expr = function
+  | E_atom a -> vars_of_atom a
+  | E_eq (a, b) | E_neq (a, b) | E_lt (a, b) | E_le (a, b) | E_gt (a, b) | E_ge (a, b)
+  | E_and (a, b) | E_or (a, b) ->
+      vars_of_expr a @ vars_of_expr b
+  | E_not e -> vars_of_expr e
+  | E_bound v -> [ v ]
+
+let rec vars_of = function
+  | Bgp tps -> List.sort_uniq compare (List.concat_map vars_of_tp tps)
+  | Join (a, b) | Left_join (a, b) | Union (a, b) ->
+      List.sort_uniq compare (vars_of a @ vars_of b)
+  | Values (vs, _) -> List.sort_uniq compare vs
+  | Filter (e, q) -> List.sort_uniq compare (vars_of_expr e @ vars_of q)
+  | Distinct q | Order_by (_, q) | Slice (_, _, q) -> vars_of q
+  | Project (vs, q) -> List.sort_uniq compare (vs @ vars_of q)
+  | Extend_group (keys, aggs, q) ->
+      List.sort_uniq compare (keys @ List.map fst aggs @ vars_of q)
+
+let pp_atom ppf = function
+  | Var v -> Format.fprintf ppf "?%s" v
+  | Term t -> Rdf.Term.pp ppf t
+
+let pp_tp ppf { s; p; o } = Format.fprintf ppf "%a %a %a ." pp_atom s pp_atom p pp_atom o
+
+let rec pp_expr ppf = function
+  | E_atom a -> pp_atom ppf a
+  | E_eq (a, b) -> Format.fprintf ppf "(%a = %a)" pp_expr a pp_expr b
+  | E_neq (a, b) -> Format.fprintf ppf "(%a != %a)" pp_expr a pp_expr b
+  | E_lt (a, b) -> Format.fprintf ppf "(%a < %a)" pp_expr a pp_expr b
+  | E_le (a, b) -> Format.fprintf ppf "(%a <= %a)" pp_expr a pp_expr b
+  | E_gt (a, b) -> Format.fprintf ppf "(%a > %a)" pp_expr a pp_expr b
+  | E_ge (a, b) -> Format.fprintf ppf "(%a >= %a)" pp_expr a pp_expr b
+  | E_and (a, b) -> Format.fprintf ppf "(%a && %a)" pp_expr a pp_expr b
+  | E_or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_expr a pp_expr b
+  | E_not e -> Format.fprintf ppf "!%a" pp_expr e
+  | E_bound v -> Format.fprintf ppf "bound(?%s)" v
+
+let pp_aggregate ppf = function
+  | Count_all -> Format.pp_print_string ppf "COUNT(*)"
+  | Count_var v -> Format.fprintf ppf "COUNT(?%s)" v
+  | Count_distinct v -> Format.fprintf ppf "COUNT(DISTINCT ?%s)" v
+
+let rec pp ppf = function
+  | Bgp tps ->
+      Format.fprintf ppf "@[<v 2>BGP {@,%a@]@,}"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_tp)
+        tps
+  | Join (a, b) -> Format.fprintf ppf "@[<v 2>JOIN(@,%a,@,%a)@]" pp a pp b
+  | Left_join (a, b) -> Format.fprintf ppf "@[<v 2>OPTIONAL(@,%a,@,%a)@]" pp a pp b
+  | Union (a, b) -> Format.fprintf ppf "@[<v 2>UNION(@,%a,@,%a)@]" pp a pp b
+  | Values (vs, rows) ->
+      Format.fprintf ppf "VALUES [%s] (%d rows)" (String.concat " " vs) (List.length rows)
+  | Filter (e, q) -> Format.fprintf ppf "@[<v 2>FILTER %a(@,%a)@]" pp_expr e pp q
+  | Distinct q -> Format.fprintf ppf "@[<v 2>DISTINCT(@,%a)@]" pp q
+  | Project (vs, q) ->
+      Format.fprintf ppf "@[<v 2>PROJECT [%a](@,%a)@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf v -> Format.fprintf ppf "?%s" v))
+        vs pp q
+  | Extend_group (keys, aggs, q) ->
+      Format.fprintf ppf "@[<v 2>GROUP [%a] [%a](@,%a)@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf v -> Format.fprintf ppf "?%s" v))
+        keys
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf (v, a) -> Format.fprintf ppf "?%s=%a" v pp_aggregate a))
+        aggs pp q
+  | Order_by (orders, q) ->
+      Format.fprintf ppf "@[<v 2>ORDER [%a](@,%a)@]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf { key; descending } ->
+             Format.fprintf ppf "%s?%s" (if descending then "-" else "") key))
+        orders pp q
+  | Slice (off, lim, q) ->
+      Format.fprintf ppf "@[<v 2>SLICE off=%a lim=%a(@,%a)@]"
+        (Format.pp_print_option Format.pp_print_int)
+        off
+        (Format.pp_print_option Format.pp_print_int)
+        lim pp q

@@ -1,0 +1,70 @@
+(** Query algebra: the SPARQL-subset core evaluated by {!Exec}.
+
+    Surface syntax (from {!Sparql}) lowers to this; tests and examples may
+    also build it directly. *)
+
+(** A position in a triple pattern: a variable or a constant RDF term. *)
+type atom =
+  | Var of string       (** without the [?] sigil *)
+  | Term of Rdf.Term.t
+
+(** A triple pattern. *)
+type tp = {
+  s : atom;
+  p : atom;
+  o : atom;
+}
+
+(** Filter expressions. *)
+type expr =
+  | E_atom of atom
+  | E_eq of expr * expr
+  | E_neq of expr * expr
+  | E_lt of expr * expr
+  | E_le of expr * expr
+  | E_gt of expr * expr
+  | E_ge of expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_bound of string
+
+(** Aggregate functions (grouped queries). *)
+type aggregate =
+  | Count_all              (** count of all rows, the SPARQL COUNT-star *)
+  | Count_var of string    (** COUNT(?v) — counts bound occurrences *)
+  | Count_distinct of string
+
+(** Sort key. *)
+type order = {
+  key : string;          (** variable name *)
+  descending : bool;
+}
+
+type t =
+  | Bgp of tp list
+  | Join of t * t
+  | Left_join of t * t
+      (** SPARQL OPTIONAL: keep every left solution, extended by
+          compatible right solutions when any exist. *)
+  | Union of t * t
+  | Values of string list * Rdf.Term.t option list list
+      (** Inline data: variables and rows ([None] = UNDEF cell). *)
+  | Filter of expr * t
+  | Distinct of t
+  | Project of string list * t
+  | Extend_group of string list * (string * aggregate) list * t
+      (** [Extend_group keys aggs q]: group solutions of [q] by [keys] and
+          bind each aggregate to its output variable. *)
+  | Order_by of order list * t
+  | Slice of int option * int option * t  (** offset, limit *)
+
+val tp : atom -> atom -> atom -> tp
+
+val vars_of_tp : tp -> string list
+(** Variables mentioned, without duplicates. *)
+
+val vars_of : t -> string list
+(** All variables mentioned anywhere in the query, sorted. *)
+
+val pp : Format.formatter -> t -> unit

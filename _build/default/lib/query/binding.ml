@@ -1,0 +1,48 @@
+type value =
+  | Id of int
+  | Int of int
+
+module Smap = Map.Make (String)
+
+type t = value Smap.t
+
+let empty = Smap.empty
+
+let get b v = Smap.find_opt v b
+
+let mem b v = Smap.mem v b
+
+let bind b v x =
+  match Smap.find_opt v b with
+  | Some existing when existing <> x ->
+      invalid_arg (Printf.sprintf "Binding.bind: %s already bound" v)
+  | _ -> Smap.add v x b
+
+let vars b = List.map fst (Smap.bindings b)
+
+let to_list b = Smap.bindings b
+
+let compatible b v x = match Smap.find_opt v b with None -> true | Some y -> y = x
+
+let equal = Smap.equal ( = )
+
+let compare = Smap.compare Stdlib.compare
+
+let term dict = function
+  | Id id -> ( try Some (Dict.Term_dict.decode_term dict id) with Invalid_argument _ -> None)
+  | Int n -> Some (Rdf.Term.int_literal n)
+
+let value_to_string dict v =
+  match v with
+  | Int n -> string_of_int n
+  | Id id -> (
+      match term dict v with
+      | Some t -> Rdf.Term.to_string t
+      | None -> Printf.sprintf "?id:%d" id)
+
+let pp dict ppf b =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (v, x) -> Format.fprintf ppf "%s=%s" v (value_to_string dict x)))
+    (to_list b)

@@ -1,0 +1,43 @@
+(** Solution mappings: variable → value bindings produced by query
+    evaluation. *)
+
+(** A bound value: a dictionary id (RDF term) or a plain integer produced
+    by an aggregate. *)
+type value =
+  | Id of int
+  | Int of int
+
+type t
+(** An immutable solution mapping. *)
+
+val empty : t
+
+val bind : t -> string -> value -> t
+(** [bind b v x] extends the mapping.  Rebinding an already-bound variable
+    to a different value raises [Invalid_argument]; query evaluation is
+    expected to check compatibility with {!get} first. *)
+
+val get : t -> string -> value option
+
+val mem : t -> string -> bool
+
+val vars : t -> string list
+(** Bound variables, sorted. *)
+
+val to_list : t -> (string * value) list
+(** Sorted by variable; canonical form used for DISTINCT and equality. *)
+
+val compatible : t -> string -> value -> bool
+(** [compatible b v x] is true when [v] is unbound or bound to [x]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val term : Dict.Term_dict.t -> value -> Rdf.Term.t option
+(** Decode a value: [Id] decodes through the dictionary, [Int] becomes an
+    [xsd:integer] literal. *)
+
+val value_to_string : Dict.Term_dict.t -> value -> string
+
+val pp : Dict.Term_dict.t -> Format.formatter -> t -> unit

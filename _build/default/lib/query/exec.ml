@@ -1,0 +1,290 @@
+open Algebra
+
+(* --- value comparison ------------------------------------------------- *)
+
+let numeric_of_term = function
+  | Rdf.Term.Literal { value; datatype = Some dt; _ }
+    when dt = Rdf.Namespace.xsd "integer" || dt = Rdf.Namespace.xsd "decimal"
+         || dt = Rdf.Namespace.xsd "double" || dt = Rdf.Namespace.xsd "int"
+         || dt = Rdf.Namespace.xsd "long" ->
+      float_of_string_opt value
+  | _ -> None
+
+let numeric_of_value dict = function
+  | Binding.Int n -> Some (float_of_int n)
+  | Binding.Id _ as v -> (
+      match Binding.term dict v with None -> None | Some t -> numeric_of_term t)
+
+let compare_values dict a b =
+  match (numeric_of_value dict a, numeric_of_value dict b) with
+  | Some x, Some y -> compare x y
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None ->
+      compare (Binding.value_to_string dict a) (Binding.value_to_string dict b)
+
+(* --- filter evaluation ------------------------------------------------ *)
+
+exception Filter_error
+(* SPARQL's "error" outcome: the solution is dropped. *)
+
+let value_of_atom dict binding = function
+  | Var v -> ( match Binding.get binding v with Some x -> x | None -> raise Filter_error)
+  | Term t -> (
+      match Dict.Term_dict.find_term dict t with
+      | Some id -> Binding.Id id
+      | None ->
+          (* A constant not in the dictionary can still be compared by
+             value; encode it transiently as its numeric/string form. *)
+          (match numeric_of_term t with
+          | Some f when Float.is_integer f -> Binding.Int (int_of_float f)
+          | _ -> raise Filter_error))
+
+let rec eval_value dict binding = function
+  | E_atom a -> value_of_atom dict binding a
+  | _ -> raise Filter_error
+
+and eval_bool dict binding expr =
+  match expr with
+  | E_atom _ -> raise Filter_error
+  | E_bound v -> Binding.mem binding v
+  | E_not e -> not (eval_bool dict binding e)
+  | E_and (a, b) -> eval_bool dict binding a && eval_bool dict binding b
+  | E_or (a, b) -> eval_bool dict binding a || eval_bool dict binding b
+  | E_eq (a, b) -> cmp dict binding a b = 0
+  | E_neq (a, b) -> cmp dict binding a b <> 0
+  | E_lt (a, b) -> cmp dict binding a b < 0
+  | E_le (a, b) -> cmp dict binding a b <= 0
+  | E_gt (a, b) -> cmp dict binding a b > 0
+  | E_ge (a, b) -> cmp dict binding a b >= 0
+
+and cmp dict binding a b =
+  compare_values dict (eval_value dict binding a) (eval_value dict binding b)
+
+let filter_pass dict binding expr =
+  match eval_bool dict binding expr with
+  | ok -> ok
+  | exception Filter_error -> false
+
+(* --- BGP evaluation --------------------------------------------------- *)
+
+(* Resolve a pattern position under the current solution.  [None] means
+   the whole pattern can match nothing (unknown constant). *)
+let resolve dict binding = function
+  | Term t -> (
+      match Dict.Term_dict.find_term dict t with None -> None | Some id -> Some (Some id))
+  | Var v -> (
+      match Binding.get binding v with
+      | Some (Binding.Id id) -> Some (Some id)
+      | Some (Binding.Int _) -> None  (* an aggregate value is not a term *)
+      | None -> Some None)
+
+let extend_with binding (tp : tp) (tr : Dict.Term_dict.id_triple) =
+  (* Bind this pattern's variables to the matched triple, rejecting
+     solutions where a repeated variable would take two values. *)
+  let step pos_atom value binding =
+    match binding with
+    | None -> None
+    | Some b -> (
+        match pos_atom with
+        | Term _ -> Some b
+        | Var v ->
+            if Binding.compatible b v (Binding.Id value) then
+              Some (Binding.bind b v (Binding.Id value))
+            else None)
+  in
+  Some binding |> step tp.s tr.s |> step tp.p tr.p |> step tp.o tr.o
+
+let eval_tp store (tp : tp) binding =
+  let dict = Hexa.Store_sig.dict store in
+  match (resolve dict binding tp.s, resolve dict binding tp.p, resolve dict binding tp.o) with
+  | Some s, Some p, Some o ->
+      Hexa.Store_sig.lookup store { Hexa.Pattern.s; p; o }
+      |> Seq.filter_map (extend_with binding tp)
+  | _ -> Seq.empty
+
+let eval_bgp store tps =
+  let ordered = Planner.order_bgp store tps in
+  List.fold_left
+    (fun sols tp -> Seq.concat_map (eval_tp store tp) sols)
+    (Seq.return Binding.empty) ordered
+
+(* --- joins ------------------------------------------------------------ *)
+
+let merge_bindings a b =
+  let rec loop acc = function
+    | [] -> Some acc
+    | (v, x) :: rest ->
+        if Binding.compatible acc v x then loop (Binding.bind acc v x) rest else None
+  in
+  loop a (Binding.to_list b)
+
+(* --- grouping --------------------------------------------------------- *)
+
+module Key = struct
+  type t = Binding.value option list
+
+  let compare = compare
+end
+
+module Kmap = Map.Make (Key)
+
+let eval_group keys aggs solutions =
+  let groups =
+    List.fold_left
+      (fun m sol ->
+        let key = List.map (Binding.get sol) keys in
+        let bucket = match Kmap.find_opt key m with Some b -> b | None -> [] in
+        Kmap.add key (sol :: bucket) m)
+      Kmap.empty solutions
+  in
+  (* SPARQL: an empty solution multiset with aggregates yields one group. *)
+  let groups =
+    if Kmap.is_empty groups && keys = [] then Kmap.singleton [] [] else groups
+  in
+  Kmap.fold
+    (fun key bucket acc ->
+      let base =
+        List.fold_left2
+          (fun b v value ->
+            match value with None -> b | Some x -> Binding.bind b v x)
+          Binding.empty keys key
+      in
+      let with_aggs =
+        List.fold_left
+          (fun b (out, agg) ->
+            let n =
+              match agg with
+              | Count_all -> List.length bucket
+              | Count_var v ->
+                  List.length (List.filter (fun sol -> Binding.mem sol v) bucket)
+              | Count_distinct v ->
+                  List.sort_uniq compare
+                    (List.filter_map (fun sol -> Binding.get sol v) bucket)
+                  |> List.length
+            in
+            Binding.bind b out (Binding.Int n))
+          base aggs
+      in
+      with_aggs :: acc)
+    groups []
+  |> List.rev
+
+(* --- top-level evaluation --------------------------------------------- *)
+
+let rec eval store (q : Algebra.t) : Binding.t Seq.t =
+  let dict = Hexa.Store_sig.dict store in
+  match q with
+  | Bgp tps -> eval_bgp store tps
+  | Join (a, b) ->
+      let right = List.of_seq (eval store b) in
+      Seq.concat_map
+        (fun sa -> List.to_seq (List.filter_map (merge_bindings sa) right))
+        (eval store a)
+  | Left_join (a, b) ->
+      let right = List.of_seq (eval store b) in
+      Seq.concat_map
+        (fun sa ->
+          match List.filter_map (merge_bindings sa) right with
+          | [] -> Seq.return sa
+          | merged -> List.to_seq merged)
+        (eval store a)
+  | Union (a, b) -> Seq.append (eval store a) (eval store b)
+  | Values (vs, rows) ->
+      (* Rows with a term unknown to the dictionary cannot join with any
+         data; they are dropped (documented subset behaviour). *)
+      List.to_seq rows
+      |> Seq.filter_map (fun row ->
+             let rec build b vars cells =
+               match (vars, cells) with
+               | [], [] -> Some b
+               | v :: vars, cell :: cells -> (
+                   match cell with
+                   | None -> build b vars cells
+                   | Some term -> (
+                       match Dict.Term_dict.find_term dict term with
+                       | Some id -> build (Binding.bind b v (Binding.Id id)) vars cells
+                       | None -> None))
+               | _ -> None
+             in
+             build Binding.empty vs row)
+  | Filter (expr, q) -> Seq.filter (fun sol -> filter_pass dict sol expr) (eval store q)
+  | Distinct q ->
+      let seen = Hashtbl.create 64 in
+      Seq.filter
+        (fun sol ->
+          let key = Binding.to_list sol in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        (eval store q)
+  | Project (vs, q) ->
+      Seq.map
+        (fun sol ->
+          List.fold_left
+            (fun b v ->
+              match Binding.get sol v with None -> b | Some x -> Binding.bind b v x)
+            Binding.empty vs)
+        (eval store q)
+  | Extend_group (keys, aggs, q) ->
+      List.to_seq (eval_group keys aggs (List.of_seq (eval store q)))
+  | Order_by (orders, q) ->
+      let sols = List.of_seq (eval store q) in
+      let cmp a b =
+        let rec loop = function
+          | [] -> 0
+          | { key; descending } :: rest ->
+              let c =
+                match (Binding.get a key, Binding.get b key) with
+                | None, None -> 0
+                | None, Some _ -> -1
+                | Some _, None -> 1
+                | Some x, Some y -> compare_values dict x y
+              in
+              if c <> 0 then if descending then -c else c else loop rest
+        in
+        loop orders
+      in
+      List.to_seq (List.stable_sort cmp sols)
+  | Slice (offset, limit, q) ->
+      let s = eval store q in
+      let s = match offset with None -> s | Some n -> Seq.drop n s in
+      (match limit with None -> s | Some n -> Seq.take n s)
+
+let run_seq store q = eval store q
+
+let run store q = List.of_seq (eval store q)
+
+let ask store q = not (Seq.is_empty (eval store q))
+
+let count store q = Seq.length (eval store q)
+
+let construct store ~template q =
+  let dict = Hexa.Store_sig.dict store in
+  let term_of_atom sol = function
+    | Term t -> Some t
+    | Var v -> (
+        match Binding.get sol v with None -> None | Some value -> Binding.term dict value)
+  in
+  let instantiate sol (tp : tp) =
+    match (term_of_atom sol tp.s, term_of_atom sol tp.p, term_of_atom sol tp.o) with
+    | Some s, Some p, Some o -> (
+        match Rdf.Triple.make s p o with
+        | triple -> Some triple
+        | exception Invalid_argument _ -> None)
+    | _ -> None
+  in
+  let out =
+    Seq.fold_left
+      (fun acc sol ->
+        List.fold_left
+          (fun acc tp ->
+            match instantiate sol tp with
+            | Some triple -> Rdf.Triple.Set.add triple acc
+            | None -> acc)
+          acc template)
+      Rdf.Triple.Set.empty (eval store q)
+  in
+  Rdf.Triple.Set.elements out

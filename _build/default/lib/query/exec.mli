@@ -1,0 +1,29 @@
+(** Query evaluation over any {!Hexa.Store_sig.boxed} store.
+
+    BGPs run as index nested-loop joins: patterns are ordered by
+    {!Planner.order_bgp}, then each solution drives a pattern lookup in
+    the store's best index for that shape — on the Hexastore every such
+    step streams from a sorted vector or list. *)
+
+val run_seq : Hexa.Store_sig.boxed -> Algebra.t -> Binding.t Seq.t
+(** Lazy evaluation; blocking operators (group, order) materialise
+    internally. *)
+
+val run : Hexa.Store_sig.boxed -> Algebra.t -> Binding.t list
+
+val ask : Hexa.Store_sig.boxed -> Algebra.t -> bool
+(** True iff the query has at least one solution. *)
+
+val count : Hexa.Store_sig.boxed -> Algebra.t -> int
+
+val construct :
+  Hexa.Store_sig.boxed -> template:Algebra.tp list -> Algebra.t -> Rdf.Triple.t list
+(** Instantiate a CONSTRUCT template once per solution.  Instantiations
+    with an unbound variable, a literal subject or a non-IRI predicate
+    are skipped (standard CONSTRUCT semantics); the result is sorted and
+    de-duplicated. *)
+
+val compare_values : Dict.Term_dict.t -> Binding.value -> Binding.value -> int
+(** Value order used by filters and ORDER BY: numbers (aggregate ints and
+    numeric literals) compare numerically and sort before other terms,
+    which compare by their N-Triples spelling. *)

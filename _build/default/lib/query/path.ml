@@ -1,0 +1,67 @@
+open Vectors
+
+(* One step: given (start, node) pairs sorted by node, join node against
+   the subjects of property [p] (the pso index) and fan out to that
+   subject's objects.  Sorting the frontier by node is the single sort
+   §4.3's sort-merge joins pay per step. *)
+let step h p pairs =
+  match Hexa.Index.find_vector (Hexa.Hexastore.pso h) p with
+  | None -> []
+  | Some v ->
+      let sorted = List.sort (fun (_, a) (_, b) -> compare a b) pairs in
+      let out = ref [] in
+      let nv = Hexa.Pair_vector.length v in
+      (* Merge walk: both the frontier and the subject vector are sorted. *)
+      let rec walk pairs i =
+        match pairs with
+        | [] -> ()
+        | (start, node) :: rest ->
+            let i = ref i in
+            while !i < nv && Hexa.Pair_vector.key_at v !i < node do
+              incr i
+            done;
+            if !i < nv && Hexa.Pair_vector.key_at v !i = node then
+              Sorted_ivec.iter
+                (fun o -> out := (start, o) :: !out)
+                (Hexa.Pair_vector.payload_at v !i);
+            walk rest !i
+      in
+      walk sorted 0;
+      List.sort_uniq compare !out
+
+let follow h path =
+  match path with
+  | [] -> []
+  | p0 :: rest ->
+      (* First hop needs no join at all: stream the pso index of p0. *)
+      let init =
+        match Hexa.Index.find_vector (Hexa.Hexastore.pso h) p0 with
+        | None -> []
+        | Some v ->
+            let out = ref [] in
+            Hexa.Pair_vector.iter
+              (fun s ol -> Sorted_ivec.iter (fun o -> out := (s, o) :: !out) ol)
+              v;
+            List.rev !out
+      in
+      let pairs = List.fold_left (fun pairs p -> step h p pairs) init rest in
+      List.sort_uniq compare pairs
+
+let follow_from h ~start path =
+  let frontier = ref (Sorted_ivec.singleton start) in
+  List.iter
+    (fun p ->
+      let next = Sorted_ivec.create () in
+      Sorted_ivec.iter
+        (fun node ->
+          match Hexa.Hexastore.objects_of_sp h ~s:node ~p with
+          | None -> ()
+          | Some ol -> Sorted_ivec.iter (fun o -> ignore (Sorted_ivec.add next o)) ol)
+        !frontier;
+      frontier := next)
+    path;
+  !frontier
+
+let count_pairs h path = List.length (follow h path)
+
+let join_steps path = max 0 (List.length path - 1)

@@ -1,0 +1,24 @@
+(** Path-expression evaluation (§4.3 of the paper).
+
+    A path expression follows a chain of properties p{_1}/p{_2}/…/p{_n}
+    through subject→object edges.  §4.3's point is that the Hexastore's
+    inclusion of both [pso] and [pos] makes the first of the n−1
+    subject-object joins a linear merge-join and each later one a single
+    sort-merge join — no pre-materialised path tables needed.
+
+    Paths are evaluated over dictionary ids. *)
+
+val follow : Hexa.Hexastore.t -> int list -> (int * int) list
+(** [follow h [p1; …; pn]] is the list of (start, end) id pairs connected
+    by the property chain, sorted and de-duplicated.  The empty chain
+    yields the identity over no nodes, i.e. [[]]. *)
+
+val follow_from : Hexa.Hexastore.t -> start:int -> int list -> Vectors.Sorted_ivec.t
+(** Nodes reachable from [start] along the chain. *)
+
+val count_pairs : Hexa.Hexastore.t -> int list -> int
+(** [List.length (follow h path)] without building the list twice. *)
+
+val join_steps : int list -> int
+(** Number of pairwise joins a chain of this length needs (n − 1, per
+    §4.3); exposed for the path-query example's narration. *)

@@ -1,0 +1,43 @@
+let id_of_atom dict = function
+  | Algebra.Var _ -> Some None  (* wildcard *)
+  | Algebra.Term t -> (
+      match Dict.Term_dict.find_term dict t with
+      | None -> None  (* unknown constant: the pattern can match nothing *)
+      | Some id -> Some (Some id))
+
+let estimate store (tp : Algebra.tp) =
+  let dict = Hexa.Store_sig.dict store in
+  match (id_of_atom dict tp.s, id_of_atom dict tp.p, id_of_atom dict tp.o) with
+  | Some s, Some p, Some o -> Hexa.Store_sig.count store { Hexa.Pattern.s; p; o }
+  | _ -> 0
+
+let order_bgp store tps =
+  let numbered = List.mapi (fun i tp -> (i, tp, estimate store tp)) tps in
+  let shares_var bound tp =
+    List.exists (fun v -> List.mem v bound) (Algebra.vars_of_tp tp)
+  in
+  let rec pick bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        (* Prefer patterns connected to what is already bound; among those
+           (or among all, when none connects), the smallest estimate. *)
+        let connected = List.filter (fun (_, tp, _) -> shares_var bound tp) remaining in
+        let pool = if connected = [] then remaining else connected in
+        let best =
+          List.fold_left
+            (fun best ((i, _, est) as cand) ->
+              match best with
+              | None -> Some cand
+              | Some (bi, _, best_est) ->
+                  if est < best_est || (est = best_est && i < bi) then Some cand else best)
+            None pool
+        in
+        (match best with
+        | None -> List.rev acc
+        | Some (i, tp, _) ->
+            let remaining = List.filter (fun (j, _, _) -> j <> i) remaining in
+            let bound = List.sort_uniq compare (bound @ Algebra.vars_of_tp tp) in
+            pick bound remaining (tp :: acc))
+  in
+  pick [] numbered []

@@ -1,0 +1,16 @@
+(** Greedy selectivity-based join ordering for basic graph patterns.
+
+    The Hexastore answers any pattern shape with exact cardinalities in
+    O(log) time ({!Hexa.Hexastore.count}), which makes the textbook greedy
+    strategy effective: repeatedly pick the remaining triple pattern with
+    the smallest estimated result, preferring patterns that share an
+    already-bound variable (so every step is a join, not a product). *)
+
+val estimate : Hexa.Store_sig.boxed -> Algebra.tp -> int
+(** Upper-bound cardinality of a pattern evaluated with no bindings:
+    constants resolve through the dictionary (an unknown constant gives
+    0), variables are wildcards. *)
+
+val order_bgp : Hexa.Store_sig.boxed -> Algebra.tp list -> Algebra.tp list
+(** Execution order for the patterns of a BGP.  Deterministic: ties break
+    on the original position. *)

@@ -1,0 +1,53 @@
+(** Property-path expressions (SPARQL 1.1 style) over a Hexastore.
+
+    Generalises {!Path}'s fixed chains to the full path algebra —
+    sequence, alternative, inverse, optional, and the transitive
+    closures [+] and [*] that §4.3 frames as the RDF instance of the
+    transitive-closure problem.  Closures are evaluated on demand by
+    frontier search over the store's sorted indices ([pso] forward,
+    [pos] backward), never by materialising path tables.
+
+    Surface syntax accepted by {!parse} (binding tightest to loosest:
+    grouping, [^], postfix [+ * ?], [/], [|]):
+    {v
+path := path '|' path          alternative
+      | path '/' path          sequence
+      | '^' path               inverse
+      | path '+'               one or more
+      | path '*'               zero or more
+      | path '?'               zero or one
+      | '(' path ')'
+      | <iri> | prefix:local   a property
+    v} *)
+
+type t =
+  | Pred of string          (** property IRI *)
+  | Inv of t
+  | Seq of t * t
+  | Alt of t * t
+  | Plus of t
+  | Star of t
+  | Opt of t
+
+exception Parse_error of string
+
+val parse : ?namespaces:Rdf.Namespace.table -> string -> t
+(** @raise Parse_error on malformed syntax or unbound prefixes. *)
+
+val eval_from : Hexa.Hexastore.t -> start:int -> t -> Vectors.Sorted_ivec.t
+(** Nodes reachable from [start] along the path.  [Star] includes
+    [start] itself. *)
+
+val eval_into : Hexa.Hexastore.t -> t -> target:int -> Vectors.Sorted_ivec.t
+(** Nodes from which [target] is reachable — [eval_from] over the
+    inverted path, using the object-sorted indices. *)
+
+val holds : Hexa.Hexastore.t -> t -> s:int -> o:int -> bool
+
+val pairs : Hexa.Hexastore.t -> t -> (int * int) list
+(** All (start, end) pairs, sorted and de-duplicated.  For closure paths
+    this enumerates sources and runs a frontier search from each —
+    O(nodes × reachable); fine at in-memory scale, and exactly the
+    computation §4.3 says should not be pre-materialised. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+let cell dict sol col =
+  match Binding.get sol col with
+  | None -> ""
+  | Some v -> Binding.value_to_string dict v
+
+let to_table dict ~columns solutions =
+  List.map (fun sol -> List.map (cell dict sol) columns) solutions
+
+let pp dict ~columns ppf solutions =
+  let rows = to_table dict ~columns solutions in
+  let headers = List.map (fun c -> "?" ^ c) columns in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length headers)
+      rows
+  in
+  let pp_row ppf row =
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i in
+        Format.fprintf ppf "%s%s  " c (String.make (w - String.length c) ' '))
+      row
+  in
+  let rule = String.concat "" (List.map (fun w -> String.make (w + 2) '-') widths) in
+  Format.fprintf ppf "%a@,%s@," pp_row headers rule;
+  List.iter (fun row -> Format.fprintf ppf "%a@," pp_row row) rows;
+  Format.fprintf ppf "(%d row%s)" (List.length rows) (if List.length rows = 1 then "" else "s")
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv dict ~columns solutions =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," (List.map csv_escape columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map csv_escape row));
+      Buffer.add_char buf '\n')
+    (to_table dict ~columns solutions);
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Result-set formatting for the CLI and examples. *)
+
+val to_table :
+  Dict.Term_dict.t -> columns:string list -> Binding.t list -> string list list
+(** Rows of decoded cell strings, one per solution, in [columns] order;
+    unbound cells render as [""]. *)
+
+val pp :
+  Dict.Term_dict.t -> columns:string list -> Format.formatter -> Binding.t list -> unit
+(** An aligned ASCII table with a header row and a row count footer. *)
+
+val to_csv : Dict.Term_dict.t -> columns:string list -> Binding.t list -> string
+(** RFC-4180-ish CSV (cells quoted when they contain a comma, quote or
+    newline). *)

@@ -1,0 +1,141 @@
+open Vectors
+
+type constraint_ = {
+  p : int;
+  o : int option;
+}
+
+(* A sorted source of subject ids: either a terminal s-list or the key
+   column of a pso pair-vector — accessed in place, never copied. *)
+type source =
+  | Ivec of Sorted_ivec.t
+  | Keys of Hexa.Pair_vector.t
+  | Empty
+
+let source_length = function
+  | Ivec v -> Sorted_ivec.length v
+  | Keys v -> Hexa.Pair_vector.length v
+  | Empty -> 0
+
+let source_get src i =
+  match src with
+  | Ivec v -> Sorted_ivec.get v i
+  | Keys v -> Hexa.Pair_vector.key_at v i
+  | Empty -> invalid_arg "Star.source_get"
+
+(* First index with value >= x, galloping forward from [from]. *)
+let seek src ~from x =
+  let n = source_length src in
+  let step = ref 1 in
+  let lo = ref from in
+  while !lo + !step < n && source_get src (!lo + !step) < x do
+    lo := !lo + !step;
+    step := !step * 2
+  done;
+  let hi = ref (min n (!lo + !step + 1)) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if source_get src mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let source_of h { p; o } =
+  if p < 0 then Empty
+  else
+    match o with
+    | Some o -> (
+        match Hexa.Hexastore.subjects_of_po h ~p ~o with Some l -> Ivec l | None -> Empty)
+    | None -> (
+        match Hexa.Index.find_vector (Hexa.Hexastore.pso h) p with
+        | Some v -> Keys v
+        | None -> Empty)
+
+(* Leapfrog-style k-way intersection: drive from the smallest source and
+   seek the others forward; every cursor is monotone. *)
+let intersect_sources sources =
+  match List.sort (fun a b -> compare (source_length a) (source_length b)) sources with
+  | [] -> None
+  | smallest :: rest ->
+      let out = Sorted_ivec.create ~capacity:(max 1 (source_length smallest)) () in
+      let cursors = Array.of_list rest in
+      let positions = Array.make (Array.length cursors) 0 in
+      let n0 = source_length smallest in
+      (try
+         for i = 0 to n0 - 1 do
+           let x = source_get smallest i in
+           let ok = ref true in
+           Array.iteri
+             (fun k src ->
+               if !ok then begin
+                 let j = seek src ~from:positions.(k) x in
+                 positions.(k) <- j;
+                 if j >= source_length src then raise Exit;
+                 if source_get src j <> x then ok := false
+               end)
+             cursors;
+           if !ok then ignore (Sorted_ivec.add out x)
+         done
+       with Exit -> ());
+      Some out
+
+let subjects h constraints =
+  match constraints with
+  | [] -> Hexa.Hexastore.subjects h
+  | _ -> (
+      let sources = List.map (source_of h) constraints in
+      if List.exists (fun s -> source_length s = 0) sources then Sorted_ivec.create ()
+      else
+        match intersect_sources sources with
+        | Some out -> out
+        | None -> Sorted_ivec.create ())
+
+let count h constraints = Sorted_ivec.length (subjects h constraints)
+
+let of_bgp h (tps : Algebra.tp list) =
+  let dict = Hexa.Hexastore.dict h in
+  let subject_var = function
+    | { Algebra.s = Algebra.Var v; _ } -> Some v
+    | _ -> None
+  in
+  match tps with
+  | [] -> None
+  | first :: _ -> (
+      match subject_var first with
+      | None -> None
+      | Some v ->
+          let vars_ok =
+            List.for_all (fun tp -> subject_var tp = Some v) tps
+          in
+          if not vars_ok then None
+          else
+            let constraint_of (tp : Algebra.tp) =
+              match (tp.p, tp.o) with
+              | Algebra.Var _, _ -> None  (* property must be constant *)
+              | Algebra.Term pt, o -> (
+                  let pid =
+                    match Dict.Term_dict.find_term dict pt with Some id -> id | None -> -1
+                  in
+                  match o with
+                  | Algebra.Term ot -> (
+                      match Dict.Term_dict.find_term dict ot with
+                      | Some oid -> Some { p = pid; o = Some oid }
+                      | None -> Some { p = -1; o = None })
+                  | Algebra.Var ov ->
+                      (* Free object: only usable if the variable is not
+                         the subject variable itself. *)
+                      if ov = v then None else Some { p = pid; o = None })
+            in
+            (* Free-object variables must be pairwise distinct, or the BGP
+               is an object join, not a star. *)
+            let obj_vars =
+              List.filter_map
+                (fun (tp : Algebra.tp) ->
+                  match tp.o with Algebra.Var ov -> Some ov | Algebra.Term _ -> None)
+                tps
+            in
+            let distinct = List.length (List.sort_uniq compare obj_vars) = List.length obj_vars in
+            if not distinct then None
+            else
+              let constraints = List.map constraint_of tps in
+              if List.exists Option.is_none constraints then None
+              else Some (v, List.map Option.get constraints))

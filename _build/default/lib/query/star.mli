@@ -1,0 +1,37 @@
+(** Merge-join evaluation of star-shaped basic graph patterns.
+
+    A star pattern asks for the subjects satisfying several
+    (property, object) constraints at once — the paper's recurring shape
+    ("people involved in both of two particular university courses",
+    BQ4's Type:Text ∧ Language:French, …).  §4.2's argument is that the
+    Hexastore answers these with {e linear merge-joins} over sorted
+    vectors, never hash joins over unsorted extractions: each constraint
+    with a bound object contributes the shared s-list of (p, o); a
+    constraint with a free object contributes the subject vector of the
+    [pso] index.  This module intersects those sorted sources k-ways,
+    smallest first, galloping when operand sizes are skewed.
+
+    The generic {!Exec} engine evaluates the same queries by index
+    nested-loop joins; [abl-star] in the bench harness compares the
+    two. *)
+
+(** One arm of the star: property id, optionally a required object id. *)
+type constraint_ = {
+  p : int;
+  o : int option;
+}
+
+val subjects : Hexa.Hexastore.t -> constraint_ list -> Vectors.Sorted_ivec.t
+(** Subjects satisfying every constraint, as a fresh sorted vector.  An
+    empty constraint list yields all subjects of the store.  A property
+    absent from the store yields the empty result. *)
+
+val count : Hexa.Hexastore.t -> constraint_ list -> int
+
+val of_bgp : Hexa.Hexastore.t -> Algebra.tp list -> (string * constraint_ list) option
+(** Recognise a star BGP: every pattern must share one subject variable,
+    have a constant property known to the dictionary, and a constant or
+    ignored (distinct-variable) object.  Returns the subject variable and
+    the constraints, or [None] when the BGP is not a star.  Unknown
+    constant terms produce an unsatisfiable constraint (property id -1),
+    which {!subjects} answers with the empty vector. *)

@@ -1,0 +1,1 @@
+lib/rdf/graph.ml: Format List Term Triple

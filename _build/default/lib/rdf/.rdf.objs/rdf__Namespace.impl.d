@@ -1,0 +1,1 @@
+lib/rdf/namespace.ml: Hashtbl List Printf String

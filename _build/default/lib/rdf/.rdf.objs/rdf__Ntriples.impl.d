@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Buffer Char Fun List Printf Seq String Term Triple Uchar

@@ -1,0 +1,1 @@
+lib/rdf/rdfs.ml: List Namespace Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/rdfs.mli: Triple

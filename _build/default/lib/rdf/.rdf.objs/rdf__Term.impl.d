@@ -1,0 +1,1 @@
+lib/rdf/term.ml: Buffer Format Hashtbl Map Printf Set String

@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Array Buffer Fun List Namespace Ntriples Printf String Term Triple

@@ -1,0 +1,65 @@
+type t = { mutable set : Triple.Set.t }
+
+type pattern = {
+  s : Term.t option;
+  p : Term.t option;
+  o : Term.t option;
+}
+
+let wildcard = { s = None; p = None; o = None }
+
+let pattern ?s ?p ?o () = { s; p; o }
+
+let create () = { set = Triple.Set.empty }
+
+let add g t =
+  if Triple.Set.mem t g.set then false
+  else begin
+    g.set <- Triple.Set.add t g.set;
+    true
+  end
+
+let add_list g ts = List.iter (fun t -> ignore (add g t)) ts
+
+let of_triples ts =
+  let g = create () in
+  add_list g ts;
+  g
+
+let remove g t =
+  if Triple.Set.mem t g.set then begin
+    g.set <- Triple.Set.remove t g.set;
+    true
+  end
+  else false
+
+let mem g t = Triple.Set.mem t g.set
+
+let size g = Triple.Set.cardinal g.set
+
+let matches pat (t : Triple.t) =
+  let ok part = function None -> true | Some term -> Term.equal part term in
+  ok t.s pat.s && ok t.p pat.p && ok t.o pat.o
+
+let find g pat = Triple.Set.elements (Triple.Set.filter (matches pat) g.set)
+
+let count g pat = Triple.Set.fold (fun t n -> if matches pat t then n + 1 else n) g.set 0
+
+let fold f g acc = Triple.Set.fold f g.set acc
+
+let iter f g = Triple.Set.iter f g.set
+
+let to_list g = Triple.Set.elements g.set
+
+let collect f g = fold (fun t acc -> Term.Set.add (f t) acc) g Term.Set.empty
+
+let subjects g = collect Triple.subject g
+let predicates g = collect Triple.predicate g
+let objects g = collect Triple.object_ g
+
+let union a b = { set = Triple.Set.union a.set b.set }
+
+let equal a b = Triple.Set.equal a.set b.set
+
+let pp ppf g =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline Triple.pp ppf (to_list g)

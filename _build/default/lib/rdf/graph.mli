@@ -1,0 +1,61 @@
+(** A naive in-memory RDF graph.
+
+    A mutable set of triples with pattern scanning.  It is deliberately
+    simple — O(n) pattern matching over a [Triple.Set] — because its role
+    is to be the *reference model* that the Hexastore and the COVP
+    baselines are property-tested against, and a convenience container for
+    parsers and examples.  It is not an index. *)
+
+type t
+
+(** A triple pattern: [None] positions are wildcards. *)
+type pattern = {
+  s : Term.t option;
+  p : Term.t option;
+  o : Term.t option;
+}
+
+val wildcard : pattern
+(** Matches every triple. *)
+
+val pattern : ?s:Term.t -> ?p:Term.t -> ?o:Term.t -> unit -> pattern
+
+val create : unit -> t
+
+val of_triples : Triple.t list -> t
+
+val add : t -> Triple.t -> bool
+(** [false] when the triple was already present. *)
+
+val add_list : t -> Triple.t list -> unit
+
+val remove : t -> Triple.t -> bool
+
+val mem : t -> Triple.t -> bool
+
+val size : t -> int
+
+val matches : pattern -> Triple.t -> bool
+
+val find : t -> pattern -> Triple.t list
+(** All matching triples in (s, p, o) order. *)
+
+val count : t -> pattern -> int
+
+val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (Triple.t -> unit) -> t -> unit
+
+val to_list : t -> Triple.t list
+(** Sorted (s, p, o). *)
+
+val subjects : t -> Term.Set.t
+val predicates : t -> Term.Set.t
+val objects : t -> Term.Set.t
+
+val union : t -> t -> t
+(** Fresh graph with the triples of both. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

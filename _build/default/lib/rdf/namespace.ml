@@ -1,0 +1,57 @@
+type table = (string, string) Hashtbl.t
+
+let rdf_ns = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+let rdfs_ns = "http://www.w3.org/2000/01/rdf-schema#"
+let xsd_ns = "http://www.w3.org/2001/XMLSchema#"
+let ub_ns = "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#"
+let bt_ns = "http://simile.mit.edu/2006/01/ontologies/mods3#"
+let rdf_type = rdf_ns ^ "type"
+
+let ub local = ub_ns ^ local
+let bt local = bt_ns ^ local
+let xsd local = xsd_ns ^ local
+
+let create () : table = Hashtbl.create 16
+
+let add t ~prefix ~iri = Hashtbl.replace t prefix iri
+
+let default () =
+  let t = create () in
+  add t ~prefix:"rdf" ~iri:rdf_ns;
+  add t ~prefix:"rdfs" ~iri:rdfs_ns;
+  add t ~prefix:"xsd" ~iri:xsd_ns;
+  add t ~prefix:"ub" ~iri:ub_ns;
+  add t ~prefix:"bt" ~iri:bt_ns;
+  t
+
+let lookup t prefix = Hashtbl.find_opt t prefix
+
+let expand t curie =
+  match String.index_opt curie ':' with
+  | None -> invalid_arg (Printf.sprintf "Namespace.expand: no colon in %S" curie)
+  | Some i ->
+      let prefix = String.sub curie 0 i in
+      let local = String.sub curie (i + 1) (String.length curie - i - 1) in
+      (match lookup t prefix with
+      | Some ns -> ns ^ local
+      | None -> raise Not_found)
+
+let shorten t iri =
+  let best = ref None in
+  Hashtbl.iter
+    (fun prefix ns ->
+      let n = String.length ns in
+      if n <= String.length iri && String.sub iri 0 n = ns then
+        match !best with
+        | Some (_, best_ns) when String.length best_ns >= n -> ()
+        | _ -> best := Some (prefix, ns))
+    t;
+  match !best with
+  | None -> None
+  | Some (prefix, ns) ->
+      let local = String.sub iri (String.length ns) (String.length iri - String.length ns) in
+      Some (prefix ^ ":" ^ local)
+
+let prefixes t =
+  Hashtbl.fold (fun prefix ns acc -> (prefix, ns) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,55 @@
+(** IRI namespaces and CURIE (prefix:local) handling.
+
+    The dictionary-encoded stores never see prefixes — this module serves
+    the parsers, serializers, generators and the CLI, where spelling out
+    full IRIs would be unreadable. *)
+
+type table
+(** A mutable prefix → namespace-IRI table. *)
+
+val create : unit -> table
+(** An empty table. *)
+
+val default : unit -> table
+(** A table preloaded with the vocabularies this repository uses:
+    [rdf], [rdfs], [xsd], [ub] (LUBM benchmark ontology) and [bt]
+    (the Barton-like catalog vocabulary). *)
+
+val add : table -> prefix:string -> iri:string -> unit
+(** [add t ~prefix ~iri] binds [prefix]; rebinding replaces silently
+    (Turtle semantics). *)
+
+val lookup : table -> string -> string option
+(** Namespace IRI bound to a prefix, if any. *)
+
+val expand : table -> string -> string
+(** [expand t "ub:Course"] is the full IRI.
+    @raise Not_found when the prefix is unbound.
+    @raise Invalid_argument when the string has no colon. *)
+
+val shorten : table -> string -> string option
+(** [shorten t iri] is [Some "prefix:local"] for the longest matching
+    namespace, or [None]. *)
+
+val prefixes : table -> (string * string) list
+(** All bindings, sorted by prefix. *)
+
+(** Frequently used full IRIs. *)
+
+val rdf_type : string
+val rdf_ns : string
+val rdfs_ns : string
+val xsd_ns : string
+val ub_ns : string
+(** LUBM ontology namespace ("univ-bench"). *)
+
+val bt_ns : string
+(** Barton-like catalog namespace used by the synthetic generator. *)
+
+val ub : string -> string
+(** [ub "Course"] is the full LUBM-ontology IRI. *)
+
+val bt : string -> string
+(** [bt "records"] is the full Barton-vocabulary IRI. *)
+
+val xsd : string -> string

@@ -1,0 +1,50 @@
+(** N-Triples parsing and serialization.
+
+    The paper's pipeline converts the Barton RDF/XML dump "to triples"; the
+    interchange format this repository standardises on is W3C N-Triples
+    (one triple per line).  Since OCaml RDF parsing libraries are sparse,
+    this is a from-scratch implementation: full string escape handling
+    (tab, backspace, newline, carriage return, form feed, quote, backslash,
+    [\uXXXX], [\UXXXXXXXX]), language tags, datatype IRIs,
+    blank nodes and comment/blank-line skipping. *)
+
+exception Parse_error of int * string
+(** [Parse_error (line, message)]; [line] is 1-based.  Lines are counted
+    across [parse_string]/channel input; [parse_line] reports line 0. *)
+
+val parse_line : ?line:int -> string -> Triple.t option
+(** Parse one line.  [None] for blank lines and [#] comments.
+    @raise Parse_error on malformed input. *)
+
+val parse_string : string -> Triple.t list
+(** Parse a whole document (newline-separated statements). *)
+
+val parse_seq : string Seq.t -> Triple.t Seq.t
+(** Lazily parse a sequence of lines; errors surface when forced. *)
+
+val of_channel : in_channel -> Triple.t list
+
+val load_file : string -> Triple.t list
+
+val to_string : Triple.t -> string
+(** One N-Triples statement without trailing newline. *)
+
+val print_string : Triple.t list -> string
+(** Document text, one statement per line, trailing newline. *)
+
+val to_channel : out_channel -> Triple.t Seq.t -> int
+(** Writes statements; returns the number written. *)
+
+val save_file : string -> Triple.t list -> unit
+
+val parse_term : string -> Term.t
+(** Parse a single term in N-Triples spelling ([<iri>], [_:label],
+    ["literal"@lang], ["literal"^^<dt>]) — the inverse of
+    {!Term.to_string}.  @raise Parse_error on malformed input. *)
+
+val unescape : string -> string
+(** Resolve N-Triples string escapes.
+    @raise Parse_error (line 0) on malformed escapes. *)
+
+val escape : string -> string
+(** Inverse of {!unescape} for the characters N-Triples requires. *)

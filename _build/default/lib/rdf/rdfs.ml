@@ -1,0 +1,91 @@
+let subclass_of = Namespace.rdfs_ns ^ "subClassOf"
+let subproperty_of = Namespace.rdfs_ns ^ "subPropertyOf"
+let domain = Namespace.rdfs_ns ^ "domain"
+let range = Namespace.rdfs_ns ^ "range"
+
+module Tmap = Term.Map
+
+(* Transitive closure of a Term -> Term.Set.t successor map, by repeated
+   propagation until fixpoint (schemas are small; simplicity over
+   asymptotics, as in §4.3's observation that scalable general transitive
+   closure is its own research problem). *)
+let transitive_closure successors =
+  let get m k = match Tmap.find_opt k m with Some s -> s | None -> Term.Set.empty in
+  let rec fix m =
+    let changed = ref false in
+    let m' =
+      Tmap.mapi
+        (fun _ succ ->
+          let bigger =
+            Term.Set.fold (fun next acc -> Term.Set.union acc (get m next)) succ succ
+          in
+          if Term.Set.cardinal bigger > Term.Set.cardinal succ then changed := true;
+          bigger)
+        m
+    in
+    if !changed then fix m' else m'
+  in
+  fix successors
+
+let edge_map pred triples =
+  List.fold_left
+    (fun m (t : Triple.t) ->
+      if Term.equal t.p pred then
+        let existing = match Tmap.find_opt t.s m with Some s -> s | None -> Term.Set.empty in
+        Tmap.add t.s (Term.Set.add t.o existing) m
+      else m)
+    Tmap.empty triples
+
+let closure triples =
+  let rdf_type = Term.iri Namespace.rdf_type in
+  let t_subclass = Term.iri subclass_of in
+  let t_subprop = Term.iri subproperty_of in
+  let subclasses = transitive_closure (edge_map t_subclass triples) in
+  let subprops = transitive_closure (edge_map t_subprop triples) in
+  let domains = edge_map (Term.iri domain) triples in
+  let ranges = edge_map (Term.iri range) triples in
+  let get m k = match Tmap.find_opt k m with Some s -> s | None -> Term.Set.empty in
+  let out = ref Triple.Set.empty in
+  let emit s p o =
+    (* Skip structurally invalid conclusions (literal subjects). *)
+    if not (Term.is_literal s) then out := Triple.Set.add (Triple.make s p o) !out
+  in
+  List.iter (fun t -> out := Triple.Set.add t !out) triples;
+  (* Schema closures (rdfs5, rdfs11). *)
+  Tmap.iter (fun c supers -> Term.Set.iter (fun d -> emit c t_subclass d) supers) subclasses;
+  Tmap.iter (fun p supers -> Term.Set.iter (fun q -> emit p t_subprop q) supers) subprops;
+  (* Instance rules: one pass over the asserted triples is sufficient
+     because the schema maps are already transitively closed and the
+     derived statements only use closed properties (type / super
+     properties), whose own domains/ranges we fold in below. *)
+  let apply_property_rules (t : Triple.t) =
+    (* rdfs7 with closed subPropertyOf. *)
+    let supers = get subprops t.p in
+    Term.Set.iter (fun q -> emit t.s q t.o) supers;
+    (* rdfs2/rdfs3 for the property and all its super properties. *)
+    let all_props = Term.Set.add t.p supers in
+    Term.Set.iter
+      (fun p ->
+        Term.Set.iter (fun c -> emit t.s rdf_type c) (get domains p);
+        if not (Term.is_literal t.o) then
+          Term.Set.iter (fun c -> emit t.o rdf_type c) (get ranges p))
+      all_props
+  in
+  List.iter apply_property_rules triples;
+  (* rdfs9 with closed subClassOf, applied to asserted and just-derived
+     type statements alike: collect all type statements first. *)
+  let typed =
+    Triple.Set.fold
+      (fun (t : Triple.t) acc -> if Term.equal t.p rdf_type then (t.s, t.o) :: acc else acc)
+      !out []
+  in
+  List.iter
+    (fun (x, klass) -> Term.Set.iter (fun super -> emit x rdf_type super) (get subclasses klass))
+    typed;
+  Triple.Set.elements !out
+
+let entail triples =
+  let asserted = Triple.Set.of_list triples in
+  List.filter (fun t -> not (Triple.Set.mem t asserted)) (closure triples)
+
+let entailment_count triples = List.length (entail triples)

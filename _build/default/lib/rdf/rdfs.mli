@@ -1,0 +1,36 @@
+(** RDFS-lite forward-chaining inference.
+
+    The paper's BQ5/BQ6 perform application-level inference, and §4.3
+    frames path-following as a transitive-closure problem.  This module
+    provides the standard schema-level counterpart: materialising the
+    RDFS entailments of a triple set so they can be loaded into a store
+    and queried like asserted data.
+
+    Implemented rules (the RDFS core):
+
+    - [rdfs5]  subPropertyOf is transitive;
+    - [rdfs7]  [x p y], [p subPropertyOf q] ⊢ [x q y];
+    - [rdfs11] subClassOf is transitive;
+    - [rdfs9]  [x type A], [A subClassOf B] ⊢ [x type B];
+    - [rdfs2]  [x p y], [p domain C] ⊢ [x type C];
+    - [rdfs3]  [x p y], [p range C] ⊢ [y type C] (when [y] can be a
+      subject, i.e. is not a literal).
+
+    Computation is a fixpoint; cyclic schemas (A ⊑ B ⊑ A) terminate and
+    simply make the classes mutually subsuming. *)
+
+val subclass_of : string
+val subproperty_of : string
+val domain : string
+val range : string
+(** The rdfs: vocabulary IRIs used by the rules. *)
+
+val entail : Triple.t list -> Triple.t list
+(** All triples entailed but not asserted, sorted and de-duplicated.
+    Schema triples (subClassOf/subPropertyOf closures) are included. *)
+
+val closure : Triple.t list -> Triple.t list
+(** Asserted ∪ entailed, sorted. *)
+
+val entailment_count : Triple.t list -> int
+(** [List.length (entail triples)]. *)

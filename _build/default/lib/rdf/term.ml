@@ -1,0 +1,109 @@
+type literal = {
+  value : string;
+  lang : string option;
+  datatype : string option;
+}
+
+type t =
+  | Iri of string
+  | Blank of string
+  | Literal of literal
+
+let xsd_integer = "http://www.w3.org/2001/XMLSchema#integer"
+
+let iri s =
+  if s = "" then invalid_arg "Term.iri: empty";
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' | '<' | '>' ->
+          invalid_arg (Printf.sprintf "Term.iri: illegal character %C in %S" c s)
+      | _ -> ())
+    s;
+  Iri s
+
+let is_label_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let blank s =
+  if s = "" then invalid_arg "Term.blank: empty label";
+  String.iter
+    (fun c -> if not (is_label_char c) then invalid_arg "Term.blank: illegal label character")
+    s;
+  Blank s
+
+let literal ?lang ?datatype value =
+  match (lang, datatype) with
+  | Some _, Some _ -> invalid_arg "Term.literal: both lang and datatype given"
+  | _ -> Literal { value; lang; datatype }
+
+let string_literal value = Literal { value; lang = None; datatype = None }
+let typed_literal value ~datatype = Literal { value; lang = None; datatype = Some datatype }
+let int_literal n = typed_literal (string_of_int n) ~datatype:xsd_integer
+
+let is_iri = function Iri _ -> true | Blank _ | Literal _ -> false
+let is_blank = function Blank _ -> true | Iri _ | Literal _ -> false
+let is_literal = function Literal _ -> true | Iri _ | Blank _ -> false
+
+let as_iri = function Iri s -> Some s | Blank _ | Literal _ -> None
+let literal_value = function Literal l -> Some l.value | Iri _ | Blank _ -> None
+
+let compare_option cmp a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> cmp x y
+
+let compare a b =
+  match (a, b) with
+  | Iri x, Iri y -> String.compare x y
+  | Iri _, (Blank _ | Literal _) -> -1
+  | Blank _, Iri _ -> 1
+  | Blank x, Blank y -> String.compare x y
+  | Blank _, Literal _ -> -1
+  | Literal _, (Iri _ | Blank _) -> 1
+  | Literal x, Literal y ->
+      let c = String.compare x.value y.value in
+      if c <> 0 then c
+      else
+        let c = compare_option String.compare x.lang y.lang in
+        if c <> 0 then c else compare_option String.compare x.datatype y.datatype
+
+let equal a b = compare a b = 0
+
+let hash = Hashtbl.hash
+
+(* N-Triples string escaping for literal values. *)
+let escape_literal s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string = function
+  | Iri s -> "<" ^ s ^ ">"
+  | Blank l -> "_:" ^ l
+  | Literal { value; lang = Some lang; _ } -> "\"" ^ escape_literal value ^ "\"@" ^ lang
+  | Literal { value; datatype = Some dt; _ } -> "\"" ^ escape_literal value ^ "\"^^<" ^ dt ^ ">"
+  | Literal { value; _ } -> "\"" ^ escape_literal value ^ "\""
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

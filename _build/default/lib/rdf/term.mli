@@ -1,0 +1,64 @@
+(** RDF terms: IRIs, blank nodes and literals.
+
+    The RDF data model (Manola & Miller, "RDF Primer") underlying the
+    paper's triples 〈s, p, o〉.  Subjects are IRIs or blank nodes,
+    predicates are IRIs, objects are any term.  Literals carry an optional
+    language tag or an optional datatype IRI (mutually exclusive, per the
+    RDF 1.0 abstract syntax the paper's data uses). *)
+
+type literal = private {
+  value : string;
+  lang : string option;      (** language tag, lowercase, e.g. ["en"] *)
+  datatype : string option;  (** datatype IRI *)
+}
+
+type t =
+  | Iri of string
+  | Blank of string  (** blank node label, without the [_:] prefix *)
+  | Literal of literal
+
+val iri : string -> t
+(** @raise Invalid_argument on the empty string or embedded whitespace/[<>]. *)
+
+val blank : string -> t
+(** @raise Invalid_argument on an empty or non [A-Za-z0-9_.-] label. *)
+
+val literal : ?lang:string -> ?datatype:string -> string -> t
+(** @raise Invalid_argument when both [lang] and [datatype] are given. *)
+
+val string_literal : string -> t
+(** Plain literal with neither language nor datatype. *)
+
+val typed_literal : string -> datatype:string -> t
+
+val int_literal : int -> t
+(** Literal typed [xsd:integer]. *)
+
+val is_iri : t -> bool
+val is_blank : t -> bool
+val is_literal : t -> bool
+
+val as_iri : t -> string option
+(** The IRI string if the term is an IRI. *)
+
+val literal_value : t -> string option
+
+val compare : t -> t -> int
+(** Total order: IRIs < blanks < literals, then lexicographic. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val to_string : t -> string
+(** N-Triples surface syntax: [<iri>], [_:label], ["value"@lang],
+    ["value"^^<dt>]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val escape_literal : string -> string
+(** N-Triples/Turtle escaping of a literal value's characters
+    (backslash, double quote, newline, carriage return, tab). *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,38 @@
+type t = {
+  s : Term.t;
+  p : Term.t;
+  o : Term.t;
+}
+
+let make s p o =
+  (match s with
+  | Term.Literal _ -> invalid_arg "Triple.make: literal subject"
+  | Term.Iri _ | Term.Blank _ -> ());
+  (match p with
+  | Term.Iri _ -> ()
+  | Term.Blank _ | Term.Literal _ -> invalid_arg "Triple.make: predicate must be an IRI");
+  { s; p; o }
+
+let subject t = t.s
+let predicate t = t.p
+let object_ t = t.o
+
+let compare a b =
+  let c = Term.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Term.compare a.p b.p in
+    if c <> 0 then c else Term.compare a.o b.o
+
+let equal a b = compare a b = 0
+
+let to_string t =
+  Printf.sprintf "%s %s %s ." (Term.to_string t.s) (Term.to_string t.p) (Term.to_string t.o)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

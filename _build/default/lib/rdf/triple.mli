@@ -1,0 +1,27 @@
+(** RDF triples 〈s, p, o〉 — the statements of the paper's data model. *)
+
+type t = {
+  s : Term.t;  (** subject: IRI or blank node *)
+  p : Term.t;  (** predicate: IRI *)
+  o : Term.t;  (** object: any term *)
+}
+
+val make : Term.t -> Term.t -> Term.t -> t
+(** [make s p o] builds a triple.
+    @raise Invalid_argument when [s] is a literal or [p] is not an IRI. *)
+
+val subject : t -> Term.t
+val predicate : t -> Term.t
+val object_ : t -> Term.t
+
+val compare : t -> t -> int
+(** Lexicographic (s, p, o) order under {!Term.compare}. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** N-Triples statement, terminated by [" ."]. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

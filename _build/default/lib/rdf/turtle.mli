@@ -1,0 +1,30 @@
+(** A Turtle-subset parser.
+
+    Covers the Turtle features the examples, tests and CLI need:
+
+    - [@prefix] / [@base] directives (and SPARQL-style [PREFIX]/[BASE]);
+    - IRIs in angle brackets and prefixed names ([ub:Course]);
+    - [a] as [rdf:type];
+    - predicate lists ([;]) and object lists ([,]);
+    - blank node labels ([_:b0]);
+    - string literals (["…"] with [@lang] or [^^datatype]), integers,
+      decimals and booleans (typed with the matching XSD datatype);
+    - [#] comments.
+
+    Not covered (documented limitation; the workloads never produce them):
+    collections [( … )], anonymous blank nodes [[ … ]], triple-quoted
+    strings. *)
+
+exception Parse_error of int * string
+(** Line-numbered syntax error (1-based). *)
+
+val parse_string : ?namespaces:Namespace.table -> string -> Triple.t list
+(** Parse a Turtle document.  When [namespaces] is given, directives are
+    recorded into it (and its pre-existing bindings are usable in the
+    document); otherwise a fresh empty table is used. *)
+
+val load_file : ?namespaces:Namespace.table -> string -> Triple.t list
+
+val to_string : ?namespaces:Namespace.table -> Triple.t list -> string
+(** Serialize with prefix shortening and subject/predicate grouping
+    ([;] / [,]).  Defaults to {!Namespace.default} prefixes. *)

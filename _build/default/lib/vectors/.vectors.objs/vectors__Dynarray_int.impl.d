@@ -1,0 +1,1 @@
+lib/vectors/dynarray_int.ml: Array Format Printf Seq

@@ -1,0 +1,1 @@
+lib/vectors/merge.ml: Array Dynarray_int Seq Sorted_ivec

@@ -1,0 +1,1 @@
+lib/vectors/merge.mli: Seq Sorted_ivec

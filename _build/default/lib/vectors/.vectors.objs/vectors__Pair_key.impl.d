@@ -1,0 +1,1 @@
+lib/vectors/pair_key.ml: Printf

@@ -1,0 +1,1 @@
+lib/vectors/sorted_ivec.ml: Array Dynarray_int Seq

@@ -1,0 +1,1 @@
+lib/vectors/sorted_ivec.mli: Format Seq

@@ -1,0 +1,160 @@
+type t = {
+  mutable data : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity 0; len = 0 }
+
+let length v = v.len
+let is_empty v = v.len = 0
+let capacity v = Array.length v.data
+
+let of_array a =
+  let n = Array.length a in
+  { data = (if n = 0 then Array.make 1 0 else Array.copy a); len = n }
+
+let of_list l = of_array (Array.of_list l)
+
+let check_index v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Dynarray_int: index %d out of bounds [0,%d)" i v.len)
+
+let get v i =
+  check_index v i;
+  Array.unsafe_get v.data i
+
+let unsafe_get v i = Array.unsafe_get v.data i
+
+let set v i x =
+  check_index v i;
+  Array.unsafe_set v.data i x
+
+let ensure_capacity v n =
+  let cap = Array.length v.data in
+  if n > cap then begin
+    let new_cap = max n (max 8 (2 * cap)) in
+    let data = Array.make new_cap 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure_capacity v (v.len + 1);
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Dynarray_int.pop: empty";
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let last v =
+  if v.len = 0 then invalid_arg "Dynarray_int.last: empty";
+  Array.unsafe_get v.data (v.len - 1)
+
+let clear v = v.len <- 0
+
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Dynarray_int.truncate";
+  v.len <- n
+
+let insert v i x =
+  if i < 0 || i > v.len then invalid_arg "Dynarray_int.insert";
+  ensure_capacity v (v.len + 1);
+  Array.blit v.data i v.data (i + 1) (v.len - i);
+  Array.unsafe_set v.data i x;
+  v.len <- v.len + 1
+
+let remove v i =
+  check_index v i;
+  Array.blit v.data (i + 1) v.data i (v.len - i - 1);
+  v.len <- v.len - 1
+
+let append dst src =
+  ensure_capacity dst (dst.len + src.len);
+  Array.blit src.data 0 dst.data dst.len src.len;
+  dst.len <- dst.len + src.len
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Array.unsafe_get v.data i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p (Array.unsafe_get v.data i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let map_inplace f v =
+  for i = 0 to v.len - 1 do
+    Array.unsafe_set v.data i (f (Array.unsafe_get v.data i))
+  done
+
+let to_array v = Array.sub v.data 0 v.len
+
+let to_list v = Array.to_list (to_array v)
+
+let to_seq v =
+  let rec aux i () =
+    if i >= v.len then Seq.Nil else Seq.Cons (Array.unsafe_get v.data i, aux (i + 1))
+  in
+  aux 0
+
+let sub v pos len =
+  if pos < 0 || len < 0 || pos + len > v.len then invalid_arg "Dynarray_int.sub";
+  Array.sub v.data pos len
+
+let copy v = { data = Array.copy v.data; len = v.len }
+
+let blit_into v dst pos = Array.blit v.data 0 dst pos v.len
+
+(* Sorting is done on a trimmed copy: [Array.sort] over the full backing
+   store would mix live elements with stale slack. *)
+let sort v =
+  let a = to_array v in
+  Array.sort compare a;
+  Array.blit a 0 v.data 0 v.len
+
+let sort_uniq v =
+  sort v;
+  if v.len > 1 then begin
+    let w = ref 1 in
+    for r = 1 to v.len - 1 do
+      let x = Array.unsafe_get v.data r in
+      if x <> Array.unsafe_get v.data (!w - 1) then begin
+        Array.unsafe_set v.data !w x;
+        incr w
+      end
+    done;
+    v.len <- !w
+  end
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec loop i =
+    i >= a.len || (Array.unsafe_get a.data i = Array.unsafe_get b.data i && loop (i + 1))
+  in
+  loop 0
+
+let memory_words v = Array.length v.data + 1 + 3
+
+let pp ppf v =
+  Format.fprintf ppf "[|%a|]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Format.pp_print_int)
+    (to_list v)

@@ -1,0 +1,108 @@
+(** Growable arrays of unboxed integers.
+
+    OCaml 5.1's standard library has no [Dynarray] (it appears in 5.2), and
+    the Hexastore index structures need millions of append-heavy int
+    sequences, so this module provides a minimal, allocation-friendly
+    dynamic array specialised to [int].  Elements are stored unboxed in a
+    flat [int array]; doubling growth gives amortised O(1) [push]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] is an empty dynamic array.  [capacity] is the
+    initial size of the backing store (default 8; clamped to at least 1). *)
+
+val of_array : int array -> t
+(** [of_array a] copies [a] into a fresh dynamic array. *)
+
+val of_list : int list -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val capacity : t -> int
+(** Current size of the backing store; [capacity v >= length v]. *)
+
+val get : t -> int -> int
+(** [get v i] is the [i]-th element.  @raise Invalid_argument if
+    [i < 0 || i >= length v]. *)
+
+val unsafe_get : t -> int -> int
+(** [unsafe_get v i] is [get v i] without the bounds check.  Only for
+    inner loops that have already established the bound. *)
+
+val set : t -> int -> int -> unit
+(** [set v i x] replaces the [i]-th element.  @raise Invalid_argument if
+    out of bounds. *)
+
+val push : t -> int -> unit
+(** [push v x] appends [x], growing the backing store if needed. *)
+
+val pop : t -> int
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty array. *)
+
+val last : t -> int
+(** @raise Invalid_argument on an empty array. *)
+
+val clear : t -> unit
+(** [clear v] sets the length to 0 without shrinking the backing store. *)
+
+val truncate : t -> int -> unit
+(** [truncate v n] shortens [v] to [n] elements.
+    @raise Invalid_argument if [n < 0 || n > length v]. *)
+
+val insert : t -> int -> int -> unit
+(** [insert v i x] inserts [x] at position [i], shifting the suffix right.
+    O(length - i).  @raise Invalid_argument if [i < 0 || i > length v]. *)
+
+val remove : t -> int -> unit
+(** [remove v i] deletes position [i], shifting the suffix left.
+    @raise Invalid_argument if out of bounds. *)
+
+val append : t -> t -> unit
+(** [append dst src] pushes all of [src] onto [dst]. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val iteri : (int -> int -> unit) -> t -> unit
+
+val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val exists : (int -> bool) -> t -> bool
+
+val for_all : (int -> bool) -> t -> bool
+
+val map_inplace : (int -> int) -> t -> unit
+
+val to_array : t -> int array
+
+val to_list : t -> int list
+
+val to_seq : t -> int Seq.t
+(** Sequence of elements at the time each element is forced; concurrent
+    mutation while consuming the sequence is unspecified. *)
+
+val sub : t -> int -> int -> int array
+(** [sub v pos len] copies the slice as a fresh array. *)
+
+val copy : t -> t
+
+val blit_into : t -> int array -> int -> unit
+(** [blit_into v dst pos] copies all elements into [dst] at [pos]. *)
+
+val sort : t -> unit
+(** In-place ascending sort of the live elements. *)
+
+val sort_uniq : t -> unit
+(** [sort_uniq v] sorts ascending and removes duplicates in place. *)
+
+val equal : t -> t -> bool
+(** Structural equality on the live elements. *)
+
+val memory_words : t -> int
+(** Approximate heap footprint in machine words (backing store + header),
+    used by the benchmark memory accounting. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+let bits = 31
+let max_id = (1 lsl bits) - 1
+
+let make a b =
+  if a < 0 || a > max_id || b < 0 || b > max_id then
+    invalid_arg (Printf.sprintf "Pair_key.make: id out of range (%d, %d)" a b);
+  (a lsl bits) lor b
+
+let fst k = k lsr bits
+let snd k = k land max_id
+let unpack k = (fst k, snd k)

@@ -1,0 +1,20 @@
+(** Packing a pair of dictionary ids into one OCaml [int].
+
+    The shared terminal-list tables of the Hexastore are keyed by pairs of
+    resource ids — (s,p) for o-lists, (s,o) for p-lists, (p,o) for s-lists.
+    Dictionary ids are dense and far below 2{^31}, and a native OCaml [int]
+    has 63 bits, so a pair packs losslessly into one unboxed key and the
+    tables can be plain [(int, _) Hashtbl.t] with no allocation per probe. *)
+
+val max_id : int
+(** Largest id that can participate in a packed pair (2{^31} - 1). *)
+
+val make : int -> int -> int
+(** [make a b] packs [(a, b)].
+    @raise Invalid_argument if either component is negative or exceeds
+    {!max_id}. *)
+
+val fst : int -> int
+val snd : int -> int
+
+val unpack : int -> int * int

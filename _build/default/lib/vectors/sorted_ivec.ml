@@ -1,0 +1,114 @@
+type t = Dynarray_int.t
+
+let create ?capacity () = Dynarray_int.create ?capacity ()
+
+let singleton x =
+  let v = Dynarray_int.create ~capacity:1 () in
+  Dynarray_int.push v x;
+  v
+
+let length = Dynarray_int.length
+let is_empty = Dynarray_int.is_empty
+let get = Dynarray_int.get
+
+let min_elt v = if is_empty v then raise Not_found else Dynarray_int.get v 0
+
+let max_elt v = if is_empty v then raise Not_found else Dynarray_int.last v
+
+(* Index of the first element >= x, i.e. the classic lower bound. *)
+let index_geq v x =
+  let lo = ref 0 and hi = ref (length v) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Dynarray_int.unsafe_get v mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rank = index_geq
+
+let mem v x =
+  let i = index_geq v x in
+  i < length v && Dynarray_int.unsafe_get v i = x
+
+let find_geq v x =
+  let i = index_geq v x in
+  if i < length v then Some (Dynarray_int.unsafe_get v i) else None
+
+let add v x =
+  let n = length v in
+  if n = 0 || x > Dynarray_int.last v then begin
+    Dynarray_int.push v x;
+    true
+  end
+  else begin
+    let i = index_geq v x in
+    if i < n && Dynarray_int.unsafe_get v i = x then false
+    else begin
+      Dynarray_int.insert v i x;
+      true
+    end
+  end
+
+let remove v x =
+  let i = index_geq v x in
+  if i < length v && Dynarray_int.unsafe_get v i = x then begin
+    Dynarray_int.remove v i;
+    true
+  end
+  else false
+
+let of_sorted_array a =
+  let n = Array.length a in
+  for i = 1 to n - 1 do
+    if a.(i - 1) >= a.(i) then invalid_arg "Sorted_ivec.of_sorted_array: not strictly increasing"
+  done;
+  Dynarray_int.of_array a
+
+let of_list l =
+  let v = Dynarray_int.of_list l in
+  Dynarray_int.sort_uniq v;
+  v
+
+let iter = Dynarray_int.iter
+
+let iter_from f v x =
+  let n = length v in
+  for i = index_geq v x to n - 1 do
+    f (Dynarray_int.unsafe_get v i)
+  done
+
+let fold = Dynarray_int.fold_left
+let to_list = Dynarray_int.to_list
+let to_array = Dynarray_int.to_array
+let to_seq = Dynarray_int.to_seq
+
+let to_seq_from v x =
+  let rec aux i () =
+    if i >= length v then Seq.Nil else Seq.Cons (Dynarray_int.unsafe_get v i, aux (i + 1))
+  in
+  aux (index_geq v x)
+
+let choose_arbitrary v = if is_empty v then None else Some (Dynarray_int.get v 0)
+
+let subset a b =
+  (* Two-pointer scan: both vectors are sorted, so a single pass decides. *)
+  let na = length a and nb = length b in
+  let rec loop i j =
+    if i >= na then true
+    else if j >= nb then false
+    else
+      let x = Dynarray_int.unsafe_get a i and y = Dynarray_int.unsafe_get b j in
+      if x = y then loop (i + 1) (j + 1) else if x > y then loop i (j + 1) else false
+  in
+  na <= nb && loop 0 0
+
+let equal = Dynarray_int.equal
+let copy = Dynarray_int.copy
+let clear = Dynarray_int.clear
+let memory_words = Dynarray_int.memory_words
+let pp = Dynarray_int.pp
+
+let check_invariant v =
+  for i = 1 to length v - 1 do
+    assert (Dynarray_int.unsafe_get v (i - 1) < Dynarray_int.unsafe_get v i)
+  done

@@ -1,0 +1,96 @@
+(** Sorted vectors of distinct integers.
+
+    The backbone of every Hexastore vector and terminal list (§4.1 of the
+    paper: "The keys of resources in all vectors and lists used in a
+    Hexastore are sorted").  Elements are kept strictly increasing, so a
+    [Sorted_ivec.t] is simultaneously an ordered set and a merge-join
+    operand.
+
+    Mutation is by binary insertion — O(n) worst case, which mirrors the
+    paper's observation that updates are the Hexastore's weak spot — with an
+    O(1) amortised fast path when keys arrive in ascending order (the bulk
+    loading case). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val singleton : int -> t
+
+val of_sorted_array : int array -> t
+(** [of_sorted_array a] adopts a copy of [a].
+    @raise Invalid_argument if [a] is not strictly increasing. *)
+
+val of_list : int list -> t
+(** Builds from an arbitrary list (sorts and de-duplicates). *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val get : t -> int -> int
+(** [get v i] is the [i]-th smallest element. *)
+
+val min_elt : t -> int
+(** @raise Not_found on empty. *)
+
+val max_elt : t -> int
+(** @raise Not_found on empty. *)
+
+val mem : t -> int -> bool
+(** Binary search; O(log n). *)
+
+val rank : t -> int -> int
+(** [rank v x] is the number of elements strictly smaller than [x];
+    equivalently the index at which [x] is or would be inserted. *)
+
+val find_geq : t -> int -> int option
+(** [find_geq v x] is the smallest element [>= x], if any.  This is the
+    "seek" operation merge-joins use to leapfrog. *)
+
+val index_geq : t -> int -> int
+(** [index_geq v x] is the index of the smallest element [>= x], or
+    [length v] when every element is smaller. *)
+
+val add : t -> int -> bool
+(** [add v x] inserts [x] keeping order; returns [false] if already
+    present.  O(1) amortised when [x > max_elt v]. *)
+
+val remove : t -> int -> bool
+(** [remove v x] deletes [x]; returns [false] if absent. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val iter_from : (int -> unit) -> t -> int -> unit
+(** [iter_from f v x] applies [f] to every element [>= x] in order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val to_list : t -> int list
+
+val to_array : t -> int array
+
+val to_seq : t -> int Seq.t
+
+val to_seq_from : t -> int -> int Seq.t
+(** Elements [>= x] in ascending order. *)
+
+val choose_arbitrary : t -> int option
+(** Some element, or [None] on empty (the smallest, in fact). *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+
+val copy : t -> t
+
+val clear : t -> unit
+
+val memory_words : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val check_invariant : t -> unit
+(** Asserts strict ascending order; test helper.
+    @raise Assert_failure when the invariant is broken. *)

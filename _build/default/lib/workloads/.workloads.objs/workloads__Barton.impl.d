@@ -1,0 +1,1 @@
+lib/workloads/barton.ml: Fun List Namespace Printf Prng Rdf Seq Term Triple Vectors

@@ -1,0 +1,1 @@
+lib/workloads/barton.mli: Rdf Seq

@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Array Dict Float Format List Seq Stores Unix

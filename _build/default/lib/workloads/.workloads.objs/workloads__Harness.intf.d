@@ -1,0 +1,1 @@
+lib/workloads/harness.mli: Dict Format Rdf Seq Stores

@@ -1,0 +1,1 @@
+lib/workloads/lubm.ml: Array Fun List Namespace Printf Prng Rdf Seq Term Triple

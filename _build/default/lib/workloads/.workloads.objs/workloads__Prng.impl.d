@@ -1,0 +1,1 @@
+lib/workloads/prng.ml: Array Float Int64 List

@@ -1,0 +1,1 @@
+lib/workloads/queries_barton.ml: Barton Covp Dict Hashtbl Hexa Hexastore Index List Option Pair_vector Rdf Stores Vectors

@@ -1,0 +1,1 @@
+lib/workloads/queries_lubm.ml: Covp Dict Hexa Hexastore Index List Lubm Pair_vector Rdf Stores Vectors

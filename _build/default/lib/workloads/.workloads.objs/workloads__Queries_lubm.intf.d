@@ -1,0 +1,1 @@
+lib/workloads/queries_lubm.mli: Dict Stores

@@ -1,0 +1,150 @@
+open Rdf
+
+type config = {
+  subjects : int;
+  seed : int;
+}
+
+let default_config = { subjects = 50_000; seed = 7 }
+
+let config ?(subjects = 50_000) ?(seed = 7) () = { subjects; seed }
+
+let bt = Namespace.bt
+
+let type_p = Namespace.rdf_type
+let language_p = bt "language"
+let origin_p = bt "origin"
+let records_p = bt "records"
+let point_p = bt "point"
+let encoding_p = bt "encoding"
+
+let text_type = bt "Text"
+let date_type = bt "Date"
+let notated_music_type = bt "NotatedMusic"
+let manuscript_type = bt "Manuscript"
+let cartographic_type = bt "Cartographic"
+let sound_type = bt "SoundRecording"
+
+let french = "French"
+let dlc = bt "DLC"
+
+let n_tail = 279  (* 279 tail + 6 query properties = 285 *)
+
+let total_properties = n_tail + 6
+
+let tail_property k = bt (Printf.sprintf "tailProperty%03d" k)
+
+let properties_28 =
+  [ type_p; language_p; origin_p; records_p; point_p; encoding_p ]
+  @ List.init 22 tail_property
+
+let subject_iri i = Printf.sprintf "http://library.example.edu/record/%07d" i
+
+let type_distribution =
+  [
+    (text_type, 0.35);
+    (notated_music_type, 0.08);
+    (manuscript_type, 0.10);
+    (cartographic_type, 0.07);
+    (sound_type, 0.10);
+    (date_type, 0.12);
+    (bt "Periodical", 0.08);
+    (bt "Globe", 0.04);
+    (bt "Kit", 0.03);
+    (bt "MixedMaterial", 0.13);
+  ]
+
+let language_distribution =
+  [ ("English", 0.55); (french, 0.15); ("German", 0.12); ("Spanish", 0.10); ("Latin", 0.08) ]
+
+(* Index of a type in the distribution: catalog records of different
+   types use different (overlapping) bands of the tail-property
+   vocabulary, reproducing the real catalog's trait that no one record
+   type touches anywhere near all 285 properties. *)
+let type_index ty =
+  let rec find i = function
+    | [] -> 0
+    | (t, _) :: rest -> if t = ty then i else find (i + 1) rest
+  in
+  find 0 type_distribution
+
+let band_width = 100
+let band_stride = 28
+
+let generate_seq cfg =
+  let rng = Prng.create cfg.seed in
+  let iri = Term.iri in
+  let lit = Term.string_literal in
+  let t_type = iri type_p and t_lang = iri language_p and t_origin = iri origin_p in
+  let t_records = iri records_p and t_point = iri point_p and t_enc = iri encoding_p in
+  let origins = [ (dlc, 0.45); (bt "OCoLC", 0.30); (bt "MH", 0.15); (bt "NNC", 0.10) ] in
+  let encodings = [| "marc8"; "utf8"; "latin1" |] in
+  (* Earlier Text-typed records, tracked so Records edges can point at
+     them preferentially: in the catalog, records overwhelmingly
+     'record' Text documents, which is what keeps BQ5's non-Text
+     inference table small and BQ6's inferred-Text set large. *)
+  let text_ids = Vectors.Dynarray_int.create () in
+  let subject_triples i =
+    let s = iri (subject_iri i) in
+    let out = ref [] in
+    let emit p o = out := Triple.make s p o :: !out in
+    (* Every record has a type. *)
+    let ty = Prng.weighted rng type_distribution in
+    emit t_type (iri ty);
+    (* Dates carry Point and Encoding — the BQ7 path. *)
+    if ty = date_type then begin
+      emit t_point (lit (if Prng.chance rng 0.5 then "end" else "start"));
+      emit t_enc (lit (Prng.choice rng encodings))
+    end;
+    (* Language on ~60% of records. *)
+    if Prng.chance rng 0.6 then
+      emit t_lang (lit (Prng.weighted rng language_distribution));
+    (* Origin on ~35%. *)
+    if Prng.chance rng 0.35 then emit t_origin (iri (Prng.weighted rng origins));
+    (* Records: ~15% of records point at an earlier record (BQ5's
+       inference edge), preferentially a Text one.  Earlier targets keep
+       the reference resolvable in every prefix of the stream. *)
+    if i > 0 && Prng.chance rng 0.15 then begin
+      (* Targets concentrate on an early pool of Text records: popular
+         catalog items are recorded many times over, so the distinct
+         object count of the Records property stays far below its triple
+         count (as in the real catalog). *)
+      let n_text = min (Vectors.Dynarray_int.length text_ids) 2000 in
+      let target =
+        if n_text > 0 && Prng.chance rng 0.85 then
+          Vectors.Dynarray_int.get text_ids (Prng.int rng n_text)
+        else Prng.int rng i
+      in
+      emit t_records (iri (subject_iri target))
+    end;
+    if ty = text_type then Vectors.Dynarray_int.push text_ids i;
+    (* Tail properties: 1–4 Zipf draws from the type's band of the 279
+       rare properties; objects repeat within a small pool so BQ3's
+       "popular object" counts are non-trivial. *)
+    let band_start = type_index ty * band_stride in
+    let draws = Prng.int_in rng 1 4 in
+    for _ = 1 to draws do
+      let k = (band_start + Prng.zipf rng ~n:band_width ~s:1.1) mod n_tail in
+      let o =
+        if Prng.chance rng 0.5 then lit (Printf.sprintf "value%d" (Prng.int rng 40))
+        else iri (bt (Printf.sprintf "entity%d" (Prng.int rng 200)))
+      in
+      emit (iri (tail_property k)) o
+    done;
+    List.rev !out
+  in
+  (* Seed records: one dedicated, typeless subject per tail property, so
+     all 285 properties exist at every reasonable prefix without
+     polluting any type's property vocabulary. *)
+  let seed_triples k =
+    [
+      Triple.make
+        (iri (Printf.sprintf "http://library.example.edu/record/seed%03d" k))
+        (iri (tail_property k)) (lit "seed");
+    ]
+  in
+  Seq.append
+    (Seq.concat_map (fun k -> List.to_seq (seed_triples k)) (Seq.init n_tail Fun.id))
+    (Seq.concat_map (fun i -> List.to_seq (subject_triples i)) (Seq.init cfg.subjects Fun.id))
+
+let generate cfg = List.of_seq (generate_seq cfg)

@@ -1,0 +1,64 @@
+(** Barton-like synthetic catalog data.
+
+    The paper's first data set is the MIT Libraries Barton catalog
+    (61M triples, 285 unique properties, "quite irregular" structure,
+    §5.1.1).  The real dump is not redistributable here, so this module
+    generates a *shape-faithful* substitute (documented in DESIGN.md):
+
+    - exactly 285 distinct properties, the "vast majority" of which
+      "appear infrequently" (Zipf-tailed assignment);
+    - a dominant [Type] property whose object distribution includes a
+      frequent [Text] type and a [Date] type;
+    - [Language] (including [French]), [Origin] (including [DLC]),
+      [Records] (resource → resource), [Point] (["end"]/["start"], on
+      dates), and [Encoding] — the properties BQ1–BQ7 touch — wired so
+      every benchmark query has non-trivial, size-scaling answers.
+
+    Deterministic for a given (seed, size). *)
+
+type config = {
+  subjects : int;  (** number of catalog records; ≈ 5–6 triples each *)
+  seed : int;
+}
+
+val default_config : config
+(** 50,000 subjects ≈ 280k triples. *)
+
+val config : ?subjects:int -> ?seed:int -> unit -> config
+
+val total_properties : int
+(** 285, as in the paper. *)
+
+val generate : config -> Rdf.Triple.t list
+
+val generate_seq : config -> Rdf.Triple.t Seq.t
+(** Lazily generated; the returned sequence owns generator state and must
+    be consumed at most once (call again for a fresh stream). *)
+
+(** Vocabulary IRIs used by the queries. *)
+
+val type_p : string
+(** The catalog's [Type] property (rdf:type). *)
+
+val language_p : string
+val origin_p : string
+val records_p : string
+val point_p : string
+val encoding_p : string
+
+val text_type : string
+val date_type : string
+val french : string
+(** The [Language: French] object (a literal in the data; exposed here as
+    the literal's string value). *)
+
+val dlc : string
+(** The [Origin: DLC] object IRI. *)
+
+val tail_property : int -> string
+(** [tail_property k] is the k-th of the 278 rare "tail" properties. *)
+
+val properties_28 : string list
+(** A 28-property subset in the spirit of the pre-selected set of [5]:
+    the six query-relevant properties plus the 22 most frequent tail
+    properties. *)

@@ -1,0 +1,163 @@
+open Rdf
+
+type config = {
+  universities : int;
+  departments_per_university : int;
+  seed : int;
+}
+
+let default_config = { universities = 10; departments_per_university = 4; seed = 42 }
+
+let config ?(universities = 10) ?(departments_per_university = 4) ?(seed = 42) () =
+  { universities; departments_per_university; seed }
+
+let ub = Namespace.ub
+
+let predicates =
+  List.map ub
+    [
+      "name"; "emailAddress"; "telephone"; "worksFor"; "memberOf"; "subOrganizationOf";
+      "undergraduateDegreeFrom"; "mastersDegreeFrom"; "doctoralDegreeFrom"; "teacherOf";
+      "takesCourse"; "advisor"; "teachingAssistantOf"; "researchInterest";
+      "publicationAuthor"; "headOf"; "officeNumber";
+    ]
+  @ [ Namespace.rdf_type ]
+
+let university u = Printf.sprintf "http://www.University%d.edu" u
+
+let department ~u ~d = Printf.sprintf "http://www.Department%d.University%d.edu" d u
+
+let entity ~u ~d kind k = Printf.sprintf "%s/%s%d" (department ~u ~d) kind k
+
+let course10 = entity ~u:0 ~d:0 "Course" 10
+
+let associate_professor10 = entity ~u:0 ~d:0 "AssociateProfessor" 10
+
+(* Entity population per department; AssociateProfessor10 and Course10
+   must exist in Department0.University0, so the minima stay above 10. *)
+let full_professors = 7
+let assoc_professors = 12
+let assist_professors = 8
+let lecturers = 5
+let courses_per_faculty = 2
+
+let interests = [| "Agents"; "Databases"; "Graphics"; "AI"; "Systems"; "Theory"; "Networks" |]
+
+let generate_seq cfg =
+  let rng = Prng.create cfg.seed in
+  let iri = Term.iri in
+  let lit = Term.string_literal in
+  let typ = iri Namespace.rdf_type in
+  let p name = iri (ub name) in
+  let p_name = p "name" and p_email = p "emailAddress" and p_tel = p "telephone" in
+  let p_works = p "worksFor" and p_member = p "memberOf" and p_suborg = p "subOrganizationOf" in
+  let p_ug = p "undergraduateDegreeFrom" and p_ms = p "mastersDegreeFrom" in
+  let p_phd = p "doctoralDegreeFrom" in
+  let p_teaches = p "teacherOf" and p_takes = p "takesCourse" and p_advisor = p "advisor" in
+  let p_ta = p "teachingAssistantOf" and p_interest = p "researchInterest" in
+  let p_pub_author = p "publicationAuthor" and p_head = p "headOf" and p_office = p "officeNumber" in
+  let c name = iri (ub name) in
+  let some_university () = iri (university (Prng.int rng cfg.universities)) in
+
+  (* The data set is assembled department by department; each department
+     yields a burst of triples, streamed lazily so prefixes of any size
+     can be taken without building the whole list. *)
+  let department_triples u d =
+    let dept = iri (department ~u ~d) in
+    let univ = iri (university u) in
+    let out = ref [] in
+    let emit s pr o = out := Triple.make s pr o :: !out in
+    emit dept typ (c "Department");
+    emit dept p_suborg univ;
+    emit univ typ (c "University");
+    emit univ p_name (lit (Printf.sprintf "University%d" u));
+
+    let faculty = ref [] in
+    let courses = ref [] in
+    let next_course = ref 0 in
+    let mk_person kind class_name k =
+      let person = iri (entity ~u ~d kind k) in
+      emit person typ (c class_name);
+      emit person p_name (lit (Printf.sprintf "%s%d_%d_%d" kind k d u));
+      emit person p_email (lit (Printf.sprintf "%s%d@dept%d.univ%d.edu" kind k d u));
+      emit person p_tel (lit (Printf.sprintf "+41-%04d-%04d" (Prng.int rng 10000) (Prng.int rng 10000)));
+      person
+    in
+    let mk_faculty kind class_name k =
+      let person = mk_person kind class_name k in
+      emit person p_works dept;
+      emit person p_ug (some_university ());
+      emit person p_ms (some_university ());
+      emit person p_phd (some_university ());
+      emit person p_interest (lit (Prng.choice rng interests));
+      emit person p_office (lit (string_of_int (Prng.int_in rng 100 999)));
+      for _ = 1 to courses_per_faculty do
+        let course = iri (entity ~u ~d "Course" !next_course) in
+        incr next_course;
+        emit course typ (c "Course");
+        emit course p_name (lit (Printf.sprintf "Course%d_%d_%d" (!next_course - 1) d u));
+        emit person p_teaches course;
+        courses := course :: !courses
+      done;
+      faculty := person :: !faculty;
+      person
+    in
+    for k = 0 to full_professors - 1 do
+      let prof = mk_faculty "FullProfessor" "FullProfessor" k in
+      if k = 0 then emit prof p_head dept
+    done;
+    for k = 0 to assoc_professors - 1 do
+      ignore (mk_faculty "AssociateProfessor" "AssociateProfessor" k)
+    done;
+    for k = 0 to assist_professors - 1 do
+      ignore (mk_faculty "AssistantProfessor" "AssistantProfessor" k)
+    done;
+    for k = 0 to lecturers - 1 do
+      ignore (mk_faculty "Lecturer" "Lecturer" k)
+    done;
+
+    let faculty = Array.of_list !faculty in
+    let courses = Array.of_list !courses in
+    let n_faculty = Array.length faculty in
+
+    (* Undergraduates: ~9 per faculty member. *)
+    let undergrads = n_faculty * 9 in
+    for k = 0 to undergrads - 1 do
+      let s = mk_person "UndergraduateStudent" "UndergraduateStudent" k in
+      emit s p_member dept;
+      for _ = 1 to Prng.int_in rng 2 4 do
+        emit s p_takes (Prng.choice rng courses)
+      done
+    done;
+
+    (* Graduate students: ~3 per faculty member; advisor, prior degree,
+       some are teaching assistants, some co-author publications. *)
+    let grads = n_faculty * 3 in
+    for k = 0 to grads - 1 do
+      let s = mk_person "GraduateStudent" "GraduateStudent" k in
+      emit s p_member dept;
+      emit s p_advisor (Prng.choice rng faculty);
+      emit s p_ug (some_university ());
+      for _ = 1 to Prng.int_in rng 1 3 do
+        emit s p_takes (Prng.choice rng courses)
+      done;
+      if Prng.chance rng 0.25 then emit s p_ta (Prng.choice rng courses)
+    done;
+
+    (* Publications: authored by faculty and grad students. *)
+    let pubs = n_faculty * 2 in
+    for k = 0 to pubs - 1 do
+      let pub = iri (entity ~u ~d "Publication" k) in
+      emit pub typ (c "Publication");
+      emit pub p_pub_author (Prng.choice rng faculty)
+    done;
+    List.rev !out
+  in
+  Seq.concat_map
+    (fun u ->
+      Seq.concat_map
+        (fun d -> List.to_seq (department_triples u d))
+        (Seq.init cfg.departments_per_university Fun.id))
+    (Seq.init cfg.universities Fun.id)
+
+let generate cfg = List.of_seq (generate_seq cfg)

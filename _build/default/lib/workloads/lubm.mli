@@ -1,0 +1,48 @@
+(** LUBM-like synthetic data (Guo, Heflin, Pan [23]).
+
+    Models "information encountered in an academic setting" — the paper's
+    second data set (§5.1.2): universities with departments, professors of
+    three ranks, lecturers, under/graduate students, courses, advisors and
+    the three degree properties, over exactly 18 predicates.  IRIs follow
+    the LUBM naming convention
+    ([http://www.Department<d>.University<u>.edu/<Entity><k>]), so the
+    benchmark queries' anchor resources ([Course10], [University0],
+    [AssociateProfessor10]) exist by construction.
+
+    Generation is deterministic for a given (seed, shape). *)
+
+type config = {
+  universities : int;
+  departments_per_university : int;
+  seed : int;
+}
+
+val default_config : config
+(** 10 universities × 4 departments — a few hundred thousand triples. *)
+
+val config : ?universities:int -> ?departments_per_university:int -> ?seed:int -> unit -> config
+
+val predicates : string list
+(** The 18 predicate IRIs the generator emits. *)
+
+val generate : config -> Rdf.Triple.t list
+(** The full data set.  Triple order is generation order (stable), so a
+    prefix of the list is the "progressively larger prefix" the paper's
+    sweeps use. *)
+
+val generate_seq : config -> Rdf.Triple.t Seq.t
+(** Same triples, lazily; the returned sequence owns generator state and
+    must be consumed at most once (call again for a fresh stream). *)
+
+(** Anchor resources used by the benchmark queries (full IRIs). *)
+
+val university : int -> string
+val department : u:int -> d:int -> string
+val course10 : string
+(** [Course10] of Department0.University0. *)
+
+val associate_professor10 : string
+(** [AssociateProfessor10] of Department0.University0. *)
+
+val ub : string -> string
+(** Ontology-term IRI, e.g. [ub "takesCourse"]. *)

@@ -1,0 +1,70 @@
+type t = {
+  mutable state : int64;
+  mutable zipf_cache : (int * float * float array) option;
+      (* (n, s, cumulative weights) of the last zipf distribution used *)
+}
+
+let create seed = { state = Int64.of_int seed; zipf_cache = None }
+
+(* SplitMix64 (Steele, Lea, Flood 2014). *)
+let next_u64 g =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g = Int64.to_int (Int64.shift_right_logical (next_u64 g) 2)
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next g mod n
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g = Int64.to_float (Int64.shift_right_logical (next_u64 g) 11) /. 9007199254740992.0
+
+let bool g = Int64.logand (next_u64 g) 1L = 1L
+
+let chance g p = float g < p
+
+let choice g a =
+  if Array.length a = 0 then invalid_arg "Prng.choice: empty array";
+  a.(int g (Array.length a))
+
+let weighted g choices =
+  if choices = [] then invalid_arg "Prng.weighted: empty list";
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. choices in
+  if total <= 0. then invalid_arg "Prng.weighted: non-positive total weight";
+  let x = float g *. total in
+  let rec pick acc = function
+    | [] -> fst (List.hd (List.rev choices))
+    | (v, w) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+  in
+  pick 0. choices
+
+let zipf g ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  let cumulative =
+    match g.zipf_cache with
+    | Some (cn, cs, c) when cn = n && cs = s -> c
+    | _ ->
+        let c = Array.make n 0. in
+        let acc = ref 0. in
+        for k = 0 to n - 1 do
+          acc := !acc +. (1. /. Float.pow (float_of_int (k + 1)) s);
+          c.(k) <- !acc
+        done;
+        g.zipf_cache <- Some (n, s, c);
+        c
+  in
+  let x = float g *. cumulative.(n - 1) in
+  (* Binary search for the first cumulative weight >= x. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cumulative.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random numbers for the workload generators.
+
+    SplitMix64: tiny, fast, and — unlike [Stdlib.Random] — guaranteed
+    stable across OCaml versions, so a seed pins a data set byte-for-byte
+    and every benchmark run sees identical input. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next : t -> int
+(** Next 62-bit non-negative integer. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [0, n).  @raise Invalid_argument if [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance g p] is true with probability [p]. *)
+
+val choice : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val weighted : t -> ('a * float) list -> 'a
+(** Choice by relative weight.  @raise Invalid_argument on an empty list
+    or non-positive total weight. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [0, n): rank k drawn with probability
+    proportional to 1/(k+1){^s}.  Used for the Barton generator's
+    heavy-tailed property frequencies.  O(n) setup is cached per (n, s)
+    inside {!t}. *)

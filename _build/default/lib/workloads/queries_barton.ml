@@ -1,0 +1,390 @@
+open Hexa
+module SV = Vectors.Sorted_ivec
+module Merge = Vectors.Merge
+
+type ids = {
+  type_p : int;
+  text : int;
+  language : int;
+  french : int;
+  origin : int;
+  dlc : int;
+  records : int;
+  point : int;
+  end_point : int;
+  encoding : int;
+}
+
+let resolve_ids dict =
+  let find term = Dict.Term_dict.find_term dict term in
+  let iri s = find (Rdf.Term.iri s) in
+  match
+    ( iri Barton.type_p, iri Barton.text_type, iri Barton.language_p,
+      find (Rdf.Term.string_literal Barton.french), iri Barton.origin_p, iri Barton.dlc,
+      iri Barton.records_p, iri Barton.point_p, find (Rdf.Term.string_literal "end"),
+      iri Barton.encoding_p )
+  with
+  | ( Some type_p, Some text, Some language, Some french, Some origin, Some dlc,
+      Some records, Some point, Some end_point, Some encoding ) ->
+      Some { type_p; text; language; french; origin; dlc; records; point; end_point; encoding }
+  | _ -> None
+
+let restriction_28 dict =
+  List.filter_map
+    (fun iri -> Dict.Term_dict.find_term dict (Rdf.Term.iri iri))
+    Barton.properties_28
+
+let empty_sv = SV.create ~capacity:1 ()
+
+(* --- shared access helpers -------------------------------------------- *)
+
+(* Sorted subjects matching (p, o).  COVP1's implementation of
+   [subjects_of_po] scans the property table, which is exactly the cost
+   §5.2 prescribes for it. *)
+let subjects_po store ~p ~o =
+  match store with
+  | Stores.Hexa h -> (
+      match Hexastore.subjects_of_po h ~p ~o with Some l -> l | None -> empty_sv)
+  | Stores.Covp c -> (
+      match Covp.subjects_of_po c ~p ~o with Some l -> l | None -> empty_sv)
+
+(* The property set a COVP property-unbound step iterates: the full table
+   list, or the pre-selected restriction. *)
+let covp_scan_props c restrict =
+  match restrict with Some l -> l | None -> Covp.properties c
+
+(* Restrictions are normalised to sorted vectors once per query so the
+   membership probe in the aggregation loops is O(log 28), not O(28). *)
+let restrict_sv restrict = Option.map SV.of_list restrict
+
+let in_restriction restrict p =
+  match restrict with None -> true | Some l -> SV.mem l p
+
+(* Iterate a property's subject-sorted table restricted to subjects in
+   [t], merge-join style (both sides sorted).  When [t] is much smaller
+   than the table the join seeks instead of scanning — O(|t| log |v|) —
+   which is what keeps selective second phases (BQ7) selection-bound. *)
+let iter_table_join v t f =
+  let nv = Pair_vector.length v and nt = SV.length t in
+  if nt > 0 && nv / nt >= 16 then
+    SV.iter
+      (fun x ->
+        let i = Pair_vector.index_geq v x in
+        if i < nv && Pair_vector.key_at v i = x then f x (Pair_vector.payload_at v i))
+      t
+  else begin
+    let i = ref 0 and j = ref 0 in
+    while !i < nv && !j < nt do
+      let s = Pair_vector.key_at v !i and x = SV.get t !j in
+      if s = x then begin
+        f s (Pair_vector.payload_at v !i);
+        incr i;
+        incr j
+      end
+      else if s < x then incr i
+      else incr j
+    done
+  end
+
+(* --- BQ1: counts of each Type object ---------------------------------- *)
+
+let bq1 store ids =
+  match store with
+  | Stores.Hexa h -> (
+      (* pos index of Type: each object entry's s-list length is the count. *)
+      match Index.find_vector (Hexastore.pos h) ids.type_p with
+      | None -> []
+      | Some v ->
+          let out = ref [] in
+          Pair_vector.iter (fun o sl -> out := (o, SV.length sl) :: !out) v;
+          List.rev !out)
+  | Stores.Covp c -> (
+      match Covp.object_vector c ids.type_p with
+      | Some v ->
+          (* COVP2: same access as the Hexastore. *)
+          let out = ref [] in
+          Pair_vector.iter (fun o sl -> out := (o, SV.length sl) :: !out) v;
+          List.rev !out
+      | None -> (
+          (* COVP1: self-join aggregation on object value over pso. *)
+          match Covp.subject_vector c ids.type_p with
+          | None -> []
+          | Some v ->
+              let counts = Hashtbl.create 64 in
+              Pair_vector.iter
+                (fun _s ol ->
+                  SV.iter
+                    (fun o ->
+                      Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o)))
+                    ol)
+                v;
+              Hashtbl.fold (fun o n acc -> (o, n) :: acc) counts []
+              |> List.sort (fun (a, _) (b, _) -> compare a b)))
+
+(* --- the Type:Text pre-selection --------------------------------------- *)
+
+let text_subjects store ids = subjects_po store ~p:ids.type_p ~o:ids.text
+
+(* --- BQ2: property frequencies over Text subjects ---------------------- *)
+
+(* COVP phase 2 (both variants): join t against every property's subject
+   vector, summing matched o-list lengths. *)
+let covp_property_frequencies c restrict t =
+  let out = ref [] in
+  SV.iter
+    (fun p ->
+      match Covp.subject_vector c p with
+      | None -> ()
+      | Some v ->
+          let freq = ref 0 in
+          iter_table_join v t (fun _s ol -> freq := !freq + SV.length ol);
+          if !freq > 0 then out := (p, !freq) :: !out)
+    (covp_scan_props c restrict);
+  List.rev !out
+
+(* Hexastore phase 2: merge the subjects' property vectors in spo
+   indexing — no iteration over the property universe. *)
+let hexa_property_frequencies h restrict t =
+  let counts = Hashtbl.create 64 in
+  SV.iter
+    (fun s ->
+      match Index.find_vector (Hexastore.spo h) s with
+      | None -> ()
+      | Some v ->
+          Pair_vector.iter
+            (fun p ol ->
+              if in_restriction restrict p then
+                Hashtbl.replace counts p
+                  (SV.length ol + Option.value ~default:0 (Hashtbl.find_opt counts p)))
+            v)
+    t;
+  Hashtbl.fold (fun p n acc -> (p, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let bq2 ?restrict store ids =
+  let restrict = restrict_sv restrict in
+  let t = text_subjects store ids in
+  match store with
+  | Stores.Hexa h -> hexa_property_frequencies h restrict t
+  | Stores.Covp c -> covp_property_frequencies c restrict t
+
+(* --- BQ3: popular objects per property over Text subjects -------------- *)
+
+(* Hexastore: find the relevant property set from spo, then use pos for
+   the per-object counts (as §5.2 says it must for this aggregation). *)
+let hexa_relevant_properties h restrict t =
+  let props = ref [] in
+  let seen = Hashtbl.create 64 in
+  SV.iter
+    (fun s ->
+      match Index.find_vector (Hexastore.spo h) s with
+      | None -> ()
+      | Some v ->
+          Pair_vector.iter
+            (fun p _ ->
+              if in_restriction restrict p && not (Hashtbl.mem seen p) then begin
+                Hashtbl.add seen p ();
+                props := p :: !props
+              end)
+            v)
+    t;
+  List.sort compare !props
+
+let popular_via_pos find_object_vector props t =
+  List.filter_map
+    (fun p ->
+      match find_object_vector p with
+      | None -> None
+      | Some v ->
+          let objs = ref [] in
+          Pair_vector.iter
+            (fun o sl ->
+              let c = Merge.intersect_count_adaptive sl t in
+              if c > 1 then objs := (o, c) :: !objs)
+            v;
+          if !objs = [] then None else Some (p, List.rev !objs))
+    props
+
+let covp1_popular c restrict t =
+  let out = ref [] in
+  SV.iter
+    (fun p ->
+      match Covp.subject_vector c p with
+      | None -> ()
+      | Some v ->
+          let counts = Hashtbl.create 16 in
+          iter_table_join v t (fun _s ol ->
+              SV.iter
+                (fun o ->
+                  Hashtbl.replace counts o
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt counts o)))
+                ol);
+          let objs =
+            Hashtbl.fold (fun o c acc -> if c > 1 then (o, c) :: acc else acc) counts []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          if objs <> [] then out := (p, objs) :: !out)
+    (covp_scan_props c restrict);
+  List.rev !out
+
+let bq3_over restrict store t =
+  match store with
+  | Stores.Hexa h ->
+      let props = hexa_relevant_properties h restrict t in
+      popular_via_pos (fun p -> Index.find_vector (Hexastore.pos h) p) props t
+  | Stores.Covp c -> (
+      match Covp.kind c with
+      | Covp.Covp2 ->
+          let props = SV.to_list (covp_scan_props c restrict) in
+          popular_via_pos (fun p -> Covp.object_vector c p) props t
+      | Covp.Covp1 -> covp1_popular c restrict t)
+
+let bq3 ?restrict store ids =
+  bq3_over (restrict_sv restrict) store (text_subjects store ids)
+
+(* --- BQ4: BQ3 over Text ∧ French subjects ------------------------------ *)
+
+let bq4 ?restrict store ids =
+  (* Hexastore & COVP2: merge-join of two pos-derived subject lists;
+     COVP1 computes each side by a table scan first — both arrive here as
+     sorted vectors, so the intersection is a merge join for everyone,
+     with COVP1 having paid the scans. *)
+  let t =
+    Merge.intersect
+      (subjects_po store ~p:ids.type_p ~o:ids.text)
+      (subjects_po store ~p:ids.language ~o:ids.french)
+  in
+  bq3_over (restrict_sv restrict) store t
+
+(* --- BQ5: inference ----------------------------------------------------- *)
+
+(* §5.2's BQ5 plan for Hexastore/COVP2: merge-join the (sorted) object
+   vector of Records with the (sorted) subject vector of Type — walked
+   in place, since the Records entries carry the recorder s-lists and
+   the Type entries carry the type o-lists — keeping objects whose type
+   passes [keep]; fan out through the recording subjects into a small
+   table T of (subject, inferred type); then sort-merge T once against
+   the (small) list s_dlc. *)
+let infer_via_pos ~records_v ~type_v ~s_dlc ~keep =
+  let table = ref [] in
+  let nr = Pair_vector.length records_v and nt = Pair_vector.length type_v in
+  let i = ref 0 and j = ref 0 in
+  while !i < nr && !j < nt do
+    let o = Pair_vector.key_at records_v !i and s = Pair_vector.key_at type_v !j in
+    if o = s then begin
+      let tys = Pair_vector.payload_at type_v !j in
+      let recorders = Pair_vector.payload_at records_v !i in
+      SV.iter
+        (fun ty ->
+          if keep ty then SV.iter (fun subj -> table := (subj, ty) :: !table) recorders)
+        tys;
+      incr i;
+      incr j
+    end
+    else if o < s then incr i
+    else incr j
+  done;
+  (* Sort T by subject (the per-step sort of a sort-merge join), then a
+     single merge against s_dlc. *)
+  let table = List.sort_uniq compare !table in
+  let nd = SV.length s_dlc in
+  let out = ref [] in
+  let j = ref 0 in
+  List.iter
+    (fun ((subj, _) as row) ->
+      while !j < nd && SV.get s_dlc !j < subj do
+        incr j
+      done;
+      if !j < nd && SV.get s_dlc !j = subj then out := row :: !out)
+    table;
+  List.rev !out
+
+let covp1_infer c ids ~s_dlc ~keep =
+  (* Join s_dlc with the Records subject vector to get recorded objects
+     (unsorted by object), sort them, then sort-merge with Type. *)
+  match Covp.subject_vector c ids.records with
+  | None -> []
+  | Some v ->
+      let pairs = ref [] in
+      iter_table_join v s_dlc (fun s ol -> SV.iter (fun o -> pairs := (o, s) :: !pairs) ol);
+      let pairs = List.sort compare !pairs in
+      (match Covp.subject_vector c ids.type_p with
+      | None -> []
+      | Some tv ->
+          let out = ref [] in
+          let ntv = Pair_vector.length tv in
+          let j = ref 0 in
+          List.iter
+            (fun (o, s) ->
+              while !j < ntv && Pair_vector.key_at tv !j < o do
+                incr j
+              done;
+              if !j < ntv && Pair_vector.key_at tv !j = o then
+                SV.iter
+                  (fun ty -> if keep ty then out := (s, ty) :: !out)
+                  (Pair_vector.payload_at tv !j))
+            pairs;
+          List.sort_uniq compare !out)
+
+let dlc_subjects store ids = subjects_po store ~p:ids.origin ~o:ids.dlc
+
+let bq5_generic store ids ~keep =
+  let s_dlc = dlc_subjects store ids in
+  let via_pos records_v type_v =
+    match (records_v, type_v) with
+    | Some records_v, Some type_v -> infer_via_pos ~records_v ~type_v ~s_dlc ~keep
+    | _ -> []
+  in
+  match store with
+  | Stores.Hexa h ->
+      via_pos
+        (Index.find_vector (Hexastore.pos h) ids.records)
+        (Index.find_vector (Hexastore.pso h) ids.type_p)
+  | Stores.Covp c -> (
+      match Covp.kind c with
+      | Covp.Covp2 ->
+          via_pos (Covp.object_vector c ids.records) (Covp.subject_vector c ids.type_p)
+      | Covp.Covp1 -> covp1_infer c ids ~s_dlc ~keep)
+
+let bq5 store ids = bq5_generic store ids ~keep:(fun ty -> ty <> ids.text)
+
+(* --- BQ6: known-or-inferred Text, aggregated as BQ2 --------------------- *)
+
+let bq6 ?restrict store ids =
+  let restrict = restrict_sv restrict in
+  let known = text_subjects store ids in
+  let inferred = bq5_generic store ids ~keep:(fun ty -> ty = ids.text) in
+  let inferred_subjects = SV.of_list (List.map fst inferred) in
+  let t = Merge.union known inferred_subjects in
+  match store with
+  | Stores.Hexa h -> hexa_property_frequencies h restrict t
+  | Stores.Covp c -> covp_property_frequencies c restrict t
+
+(* --- BQ7: Point "end" → Encoding and Type ------------------------------ *)
+
+let bq7 store ids =
+  let t = subjects_po store ~p:ids.point ~o:ids.end_point in
+  (* All methods proceed by merge-joining t with the subject vectors of
+     Encoding and Type (§5.2: COVP2/Hexastore differ only in how t was
+     obtained). *)
+  let joined p =
+    let table =
+      match store with
+      | Stores.Hexa h -> Index.find_vector (Hexastore.pso h) p
+      | Stores.Covp c -> Covp.subject_vector c p
+    in
+    let results = Hashtbl.create 64 in
+    (match table with
+    | None -> ()
+    | Some v -> iter_table_join v t (fun s ol -> Hashtbl.replace results s (SV.to_list ol)));
+    results
+  in
+  let encodings = joined ids.encoding in
+  let types = joined ids.type_p in
+  SV.fold
+    (fun acc s ->
+      let enc = Option.value ~default:[] (Hashtbl.find_opt encodings s) in
+      let tys = Option.value ~default:[] (Hashtbl.find_opt types s) in
+      (s, enc, tys) :: acc)
+    [] t
+  |> List.rev

@@ -1,0 +1,57 @@
+(** The seven Barton benchmark queries (§5.2.1), one execution strategy
+    per competitor, following the paper's descriptions to the letter:
+    COVP1 has only the [pso] indexing, COVP2 adds [pos], the Hexastore
+    uses whichever of its six indices fits.
+
+    All queries work on dictionary ids; {!ids} resolves the vocabulary
+    once per store.  The [?restrict] argument reproduces the
+    "28 pre-selected properties" assumption of [5]: when set, the
+    property-unbound aggregation steps of BQ2/3/4/6 only consider those
+    properties (on every competitor, as in the paper's [_28] variants).
+
+    Every function returns fully sorted, canonical results so that the
+    test suite can assert Hexastore ≡ COVP1 ≡ COVP2 answer equality. *)
+
+type ids = {
+  type_p : int;
+  text : int;
+  language : int;
+  french : int;
+  origin : int;
+  dlc : int;
+  records : int;
+  point : int;
+  end_point : int;
+  encoding : int;
+}
+
+val resolve_ids : Dict.Term_dict.t -> ids option
+(** [None] when the vocabulary is absent (e.g. an empty store). *)
+
+val restriction_28 : Dict.Term_dict.t -> int list
+(** Ids of {!Barton.properties_28} (those present in the dictionary). *)
+
+val bq1 : Stores.t -> ids -> (int * int) list
+(** Counts of each Type object: (type id, subject count), sorted. *)
+
+val bq2 : ?restrict:int list -> Stores.t -> ids -> (int * int) list
+(** Property frequencies over Type:Text subjects: (property, frequency),
+    sorted by property. *)
+
+val bq3 : ?restrict:int list -> Stores.t -> ids -> (int * (int * int) list) list
+(** Per property, the objects appearing more than once among Type:Text
+    subjects, with their counts. *)
+
+val bq4 : ?restrict:int list -> Stores.t -> ids -> (int * (int * int) list) list
+(** As {!bq3} over subjects that are Type:Text {e and} Language:French. *)
+
+val bq5 : Stores.t -> ids -> (int * int) list
+(** Inference: (subject, inferred type) for Origin:DLC subjects whose
+    recorded resource has a non-Text type. *)
+
+val bq6 : ?restrict:int list -> Stores.t -> ids -> (int * int) list
+(** {!bq2}-style frequencies over subjects known or inferred
+    ({!bq5}-style, selecting Text) to be Type:Text. *)
+
+val bq7 : Stores.t -> ids -> (int * int list * int list) list
+(** For subjects with Point "end": (subject, encodings, types). *)

@@ -1,0 +1,39 @@
+(** The five LUBM benchmark queries (§5.2.2), one execution strategy per
+    competitor, following the paper's descriptions.
+
+    All five are "general-purpose" queries that bind a subject or an
+    object rather than a property, which is exactly where the
+    property-oriented baselines must consult every property table and the
+    Hexastore can answer from [osp]/[sop]/[ops] directly.
+
+    Results are sorted and canonical for cross-store equality checks. *)
+
+type ids = {
+  course10 : int;
+  university0 : int;
+  assoc_prof10 : int;
+  type_p : int;
+  university_class : int;
+  teacher_of : int;
+  degree_props : int list;  (** the three *DegreeFrom properties *)
+}
+
+val resolve_ids : Dict.Term_dict.t -> ids option
+
+val lq1 : Stores.t -> ids -> (int * int) list
+(** Everything related to Course10: (subject, property), sorted. *)
+
+val lq2 : Stores.t -> ids -> (int * int) list
+(** Everything related to University0. *)
+
+val lq3 : Stores.t -> ids -> (int * int) list * (int * int) list
+(** Immediate information about AssociateProfessor10: outgoing (property,
+    object) and incoming (subject, property) statements. *)
+
+val lq4 : Stores.t -> ids -> (int * int list) list
+(** People related to the courses AssociateProfessor10 teaches, grouped
+    by course: (course, sorted related subjects). *)
+
+val lq5 : Stores.t -> ids -> (int * int list) list
+(** People holding any degree from a university AssociateProfessor10 is
+    related to, grouped by university: (university, sorted people). *)

@@ -1,0 +1,42 @@
+type t =
+  | Hexa of Hexa.Hexastore.t
+  | Covp of Hexa.Covp.t
+
+type kind =
+  | K_hexastore
+  | K_covp1
+  | K_covp2
+
+let all_kinds = [ K_hexastore; K_covp1; K_covp2 ]
+
+let kind_name = function
+  | K_hexastore -> "Hexastore"
+  | K_covp1 -> "COVP1"
+  | K_covp2 -> "COVP2"
+
+let create ?dict kind =
+  match kind with
+  | K_hexastore -> Hexa (Hexa.Hexastore.create ?dict ())
+  | K_covp1 -> Covp (Hexa.Covp.create ?dict Hexa.Covp.Covp1)
+  | K_covp2 -> Covp (Hexa.Covp.create ?dict Hexa.Covp.Covp2)
+
+let name = function
+  | Hexa _ -> "Hexastore"
+  | Covp c -> ( match Hexa.Covp.kind c with Hexa.Covp.Covp1 -> "COVP1" | Hexa.Covp.Covp2 -> "COVP2")
+
+let dict = function Hexa h -> Hexa.Hexastore.dict h | Covp c -> Hexa.Covp.dict c
+
+let size = function Hexa h -> Hexa.Hexastore.size h | Covp c -> Hexa.Covp.size c
+
+let load t triples =
+  match t with
+  | Hexa h -> Hexa.Hexastore.add_bulk_ids h triples
+  | Covp c -> Hexa.Covp.add_bulk_ids c triples
+
+let memory_words = function
+  | Hexa h -> Hexa.Hexastore.memory_words h
+  | Covp c -> Hexa.Covp.memory_words c
+
+let boxed = function
+  | Hexa h -> Hexa.Store_sig.box_hexastore h
+  | Covp c -> Hexa.Store_sig.box_covp c

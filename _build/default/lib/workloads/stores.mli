@@ -1,0 +1,39 @@
+(** The three competitor stores of §5, as one sum type.
+
+    The benchmark queries ({!Queries_barton}, {!Queries_lubm}) implement a
+    distinct execution strategy per competitor, following §5.2's
+    descriptions; this module just gives the harness a uniform way to
+    build, load and measure them. *)
+
+type t =
+  | Hexa of Hexa.Hexastore.t
+  | Covp of Hexa.Covp.t
+
+(** Which competitor to build. *)
+type kind =
+  | K_hexastore
+  | K_covp1
+  | K_covp2
+
+val all_kinds : kind list
+(** In presentation order: Hexastore, COVP1, COVP2. *)
+
+val kind_name : kind -> string
+
+val create : ?dict:Dict.Term_dict.t -> kind -> t
+(** Stores built over a shared dictionary agree on ids, which the answer
+    cross-checks rely on. *)
+
+val name : t -> string
+
+val dict : t -> Dict.Term_dict.t
+
+val size : t -> int
+
+val load : t -> Dict.Term_dict.id_triple array -> int
+(** Bulk load; returns the number of new triples. *)
+
+val memory_words : t -> int
+
+val boxed : t -> Hexa.Store_sig.boxed
+(** For running the generic query engine over a competitor. *)

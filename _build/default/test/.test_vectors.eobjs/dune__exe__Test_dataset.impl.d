@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Dataset Dict Hexa Hexastore List Option Pattern Rdf Term Triple

@@ -1,0 +1,1 @@
+test/test_dictionary.ml: Alcotest Dict Dictionary List Printf QCheck QCheck_alcotest Rdf Term Term_dict Triple

@@ -1,0 +1,1 @@
+test/test_hexastore.ml: Alcotest Array Covp Fmt Format Hexa Hexastore Index List Pair_vector Pattern Printf QCheck QCheck_alcotest Rdf Seq Set Stats Store_sig String Term Triple Vectors

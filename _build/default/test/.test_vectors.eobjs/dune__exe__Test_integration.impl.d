@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dict Filename Fun Hexa Lazy List Lubm Option Printf Query Rdf Stores Sys Vectors Workloads

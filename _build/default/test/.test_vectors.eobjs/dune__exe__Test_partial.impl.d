@@ -1,0 +1,1 @@
+test/test_partial.ml: Advisor Alcotest Array Dict Format Hexa Hexastore List Ordering Partial Pattern QCheck QCheck_alcotest Query Rdf Store_sig String

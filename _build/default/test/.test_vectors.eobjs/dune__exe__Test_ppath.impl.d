@@ -1,0 +1,1 @@
+test/test_ppath.ml: Alcotest Dict Format Hexa List Option Ppath QCheck QCheck_alcotest Query Rdf String Vectors

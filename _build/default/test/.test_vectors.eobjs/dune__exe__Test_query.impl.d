@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Algebra Binding Dict Exec Format Hexa List Option Path Planner Printf QCheck QCheck_alcotest Query Rdf Results Sparql Star String Term Triple Vectors

@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Char Filename Fun Graph List Namespace Ntriples Printf QCheck QCheck_alcotest Rdf Sys Term Triple Turtle

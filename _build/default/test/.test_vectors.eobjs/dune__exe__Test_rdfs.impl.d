@@ -1,0 +1,1 @@
+test/test_rdfs.ml: Alcotest Hexa List Namespace Printf QCheck QCheck_alcotest Rdf Rdfs Term Triple

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Bytes Char Dict Filename Fun Hexa Hexastore In_channel List Pattern Printf QCheck QCheck_alcotest Rdf Snapshot String Sys Term Triple

@@ -1,0 +1,1 @@
+test/test_vectors.ml: Alcotest Dynarray_int Int List Merge Pair_key Printf QCheck QCheck_alcotest Set Sorted_ivec Vectors

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Barton Dict Format Harness Hexa Lazy List Lubm Option Printf Prng Queries_barton Queries_lubm Rdf Stores String Workloads

@@ -1,0 +1,97 @@
+(* Tests for the named-graph dataset layer: graph isolation, the shared
+   dictionary, cross-graph (quad-level) lookup, and the RDF merge. *)
+
+open Hexa
+open Rdf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ex n = Term.iri ("http://example.org/" ^ n)
+let t s p o = Triple.make (ex s) (ex p) (ex o)
+let g1 = ex "graph1"
+let g2 = ex "graph2"
+
+let sample () =
+  let d = Dataset.create () in
+  ignore (Dataset.add d (t "a" "p" "b"));
+  ignore (Dataset.add d ~graph:g1 (t "a" "p" "c"));
+  ignore (Dataset.add d ~graph:g1 (t "x" "q" "y"));
+  ignore (Dataset.add d ~graph:g2 (t "a" "p" "b"));  (* same triple as default *)
+  d
+
+let test_isolation () =
+  let d = sample () in
+  check_int "default size" 1 (Hexastore.size (Dataset.default_graph d));
+  check_int "g1 size" 2 (Hexastore.size (Option.get (Dataset.graph d g1)));
+  check_int "g2 size" 1 (Hexastore.size (Option.get (Dataset.graph d g2)));
+  check_int "total counts duplicates" 4 (Dataset.size d);
+  check_bool "unknown graph" true (Dataset.graph d (ex "nope") = None);
+  Alcotest.(check (list string)) "graph names" [ "<http://example.org/graph1>"; "<http://example.org/graph2>" ]
+    (List.map Term.to_string (Dataset.graph_names d))
+
+let test_shared_dictionary () =
+  let d = sample () in
+  (* "a" got one id, visible identically from every graph. *)
+  let id = Option.get (Dict.Term_dict.find_term (Dataset.dict d) (ex "a")) in
+  let in_graph ?graph () =
+    List.of_seq (Dataset.lookup d ?graph (Pattern.make ~s:id ()))
+  in
+  check_int "a in default" 1 (List.length (in_graph ()));
+  check_int "a in g1" 1 (List.length (in_graph ~graph:g1 ()));
+  check_int "a in g2" 1 (List.length (in_graph ~graph:g2 ()));
+  check_int "a in unknown graph" 0 (List.length (in_graph ~graph:(ex "nope") ()))
+
+let test_lookup_all_tags_graphs () =
+  let d = sample () in
+  let id = Option.get (Dict.Term_dict.find_term (Dataset.dict d) (ex "a")) in
+  let hits = List.of_seq (Dataset.lookup_all d (Pattern.make ~s:id ())) in
+  check_int "three graphs match" 3 (List.length hits);
+  let tags = List.sort compare (List.map (fun (g, _) -> Option.map Term.to_string g) hits) in
+  Alcotest.(check (list (option string))) "tags"
+    [ None; Some "<http://example.org/graph1>"; Some "<http://example.org/graph2>" ]
+    tags
+
+let test_union_store () =
+  let d = sample () in
+  let merged = Dataset.union_store d in
+  (* 4 statements, but a-p-b occurs twice → 3 distinct triples. *)
+  check_int "merge deduplicates" 3 (Hexastore.size merged);
+  Hexastore.check_invariant merged;
+  check_bool "merge shares dict" true (Dataset.dict d == Hexastore.dict merged)
+
+let test_remove_and_drop () =
+  let d = sample () in
+  check_bool "remove from g1" true (Dataset.remove d ~graph:g1 (t "a" "p" "c"));
+  check_bool "remove absent" false (Dataset.remove d ~graph:g1 (t "a" "p" "c"));
+  (* Removing from an unknown graph must not create it. *)
+  check_bool "remove from unknown" false (Dataset.remove d ~graph:(ex "ghost") (t "a" "p" "b"));
+  check_bool "ghost not created" true (Dataset.graph d (ex "ghost") = None);
+  check_bool "drop g2" true (Dataset.drop_graph d g2);
+  check_bool "drop again" false (Dataset.drop_graph d g2);
+  check_int "sizes after" 2 (Dataset.size d)
+
+let test_graph_name_validation () =
+  let d = Dataset.create () in
+  (try
+     ignore (Dataset.get_or_create_graph d (Term.string_literal "bad"));
+     Alcotest.fail "literal graph name accepted"
+   with Invalid_argument _ -> ());
+  (* Blank node graph names are allowed. *)
+  ignore (Dataset.get_or_create_graph d (Term.blank "b0"));
+  check_int "blank graph exists" 1 (List.length (Dataset.graph_names d));
+  check_bool "memory accounted" true (Dataset.memory_words d > 0)
+
+let () =
+  Alcotest.run "dataset"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "isolation" `Quick test_isolation;
+          Alcotest.test_case "shared_dict" `Quick test_shared_dictionary;
+          Alcotest.test_case "lookup_all" `Quick test_lookup_all_tags_graphs;
+          Alcotest.test_case "union" `Quick test_union_store;
+          Alcotest.test_case "remove_drop" `Quick test_remove_and_drop;
+          Alcotest.test_case "names" `Quick test_graph_name_validation;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for property-path expressions: the parser, each operator, the
+   closure fixpoint (cycles included), inverse evaluation and all-pairs
+   enumeration — cross-checked against a brute-force graph walker. *)
+
+open Query
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ex n = Rdf.Term.iri ("http://example.org/" ^ n)
+let exs n = "http://example.org/" ^ n
+
+let ns =
+  let t = Rdf.Namespace.create () in
+  Rdf.Namespace.add t ~prefix:"ex" ~iri:"http://example.org/";
+  t
+
+let parse s = Ppath.parse ~namespaces:ns s
+
+(* A little org chart with a reporting cycle at the top. *)
+let graph =
+  let t s p o = Rdf.Triple.make (ex s) (ex p) (ex o) in
+  [
+    t "a" "reportsTo" "b";
+    t "b" "reportsTo" "c";
+    t "c" "reportsTo" "b";  (* cycle b <-> c *)
+    t "d" "reportsTo" "c";
+    t "a" "mentors" "d";
+    t "b" "worksAt" "hq";
+    t "c" "worksAt" "hq";
+    t "d" "worksAt" "lab";
+  ]
+
+let store () = Hexa.Hexastore.of_triples graph
+
+let id h n = Option.get (Dict.Term_dict.find_term (Hexa.Hexastore.dict h) (ex n))
+
+let names h ivec =
+  Vectors.Sorted_ivec.to_list ivec
+  |> List.map (fun i ->
+         match Dict.Term_dict.decode_term (Hexa.Hexastore.dict h) i with
+         | Rdf.Term.Iri iri -> String.sub iri 19 (String.length iri - 19)
+         | t -> Rdf.Term.to_string t)
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_shapes () =
+  check_bool "pred" true (parse "ex:p" = Ppath.Pred (exs "p"));
+  check_bool "iri" true (parse "<http://example.org/p>" = Ppath.Pred (exs "p"));
+  check_bool "seq" true (parse "ex:a/ex:b" = Ppath.Seq (Pred (exs "a"), Pred (exs "b")));
+  check_bool "alt" true (parse "ex:a|ex:b" = Ppath.Alt (Pred (exs "a"), Pred (exs "b")));
+  check_bool "inv" true (parse "^ex:a" = Ppath.Inv (Pred (exs "a")));
+  check_bool "plus" true (parse "ex:a+" = Ppath.Plus (Pred (exs "a")));
+  check_bool "star" true (parse "ex:a*" = Ppath.Star (Pred (exs "a")));
+  check_bool "opt" true (parse "ex:a?" = Ppath.Opt (Pred (exs "a")));
+  (* precedence: / binds tighter than |, postfix tighter than /. *)
+  check_bool "seq in alt" true
+    (parse "ex:a/ex:b|ex:c"
+    = Ppath.Alt (Seq (Pred (exs "a"), Pred (exs "b")), Pred (exs "c")));
+  check_bool "postfix before seq" true
+    (parse "ex:a+/ex:b" = Ppath.Seq (Plus (Pred (exs "a")), Pred (exs "b")));
+  check_bool "parens" true
+    (parse "(ex:a|ex:b)/ex:c"
+    = Ppath.Seq (Alt (Pred (exs "a"), Pred (exs "b")), Pred (exs "c")))
+
+let test_parse_errors () =
+  let expect s =
+    match parse s with
+    | exception Ppath.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  expect "";
+  expect "ex:a/";
+  expect "(ex:a";
+  expect "nope:a";
+  expect "bareword";
+  expect "ex:a )"
+
+let test_parse_pp_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = parse s in
+      let printed = Format.asprintf "%a" Ppath.pp p in
+      check_bool ("pp parses back: " ^ s) true (parse printed = p))
+    [ "ex:a"; "ex:a/ex:b"; "ex:a|ex:b/ex:c"; "^ex:a+"; "(ex:a|ex:b)+"; "ex:a?/ex:b*" ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_eval_pred_seq () =
+  let h = store () in
+  Alcotest.(check (list string)) "one hop" [ "b" ]
+    (names h (Ppath.eval_from h ~start:(id h "a") (parse "ex:reportsTo")));
+  Alcotest.(check (list string)) "two hops" [ "c" ]
+    (names h (Ppath.eval_from h ~start:(id h "a") (parse "ex:reportsTo/ex:reportsTo")));
+  Alcotest.(check (list string)) "chain to site" [ "hq" ]
+    (names h (Ppath.eval_from h ~start:(id h "a") (parse "ex:reportsTo/ex:worksAt")))
+
+let test_eval_alt_opt () =
+  let h = store () in
+  Alcotest.(check (list string)) "alt" [ "b"; "d" ]
+    (names h (Ppath.eval_from h ~start:(id h "a") (parse "ex:reportsTo|ex:mentors")));
+  Alcotest.(check (list string)) "opt keeps start" [ "a"; "b" ]
+    (names h (Ppath.eval_from h ~start:(id h "a") (parse "ex:reportsTo?")))
+
+let test_eval_closures_with_cycle () =
+  let h = store () in
+  (* a -> b -> c -> b ... : plus reaches {b, c}; star adds a. *)
+  Alcotest.(check (list string)) "plus over cycle" [ "b"; "c" ]
+    (names h (Ppath.eval_from h ~start:(id h "a") (parse "ex:reportsTo+")));
+  Alcotest.(check (list string)) "star includes start" [ "a"; "b"; "c" ]
+    (names h (Ppath.eval_from h ~start:(id h "a") (parse "ex:reportsTo*")));
+  (* Everybody's management chain works at hq. *)
+  Alcotest.(check (list string)) "chain offices" [ "hq" ]
+    (names h (Ppath.eval_from h ~start:(id h "a") (parse "ex:reportsTo+/ex:worksAt")))
+
+let test_eval_inverse () =
+  let h = store () in
+  Alcotest.(check (list string)) "direct reports of c" [ "b"; "d" ]
+    (names h (Ppath.eval_from h ~start:(id h "c") (parse "^ex:reportsTo")));
+  Alcotest.(check (list string)) "all under c (inverse closure)" [ "a"; "b"; "c"; "d" ]
+    (names h (Ppath.eval_from h ~start:(id h "c") (parse "^ex:reportsTo+")));
+  (* eval_into is the mirror image of eval_from on the inverse. *)
+  Alcotest.(check (list string)) "into = inverse from" [ "a"; "b"; "c"; "d" ]
+    (names h (Ppath.eval_into h (parse "ex:reportsTo+") ~target:(id h "c")))
+
+let test_holds_and_pairs () =
+  let h = store () in
+  check_bool "holds" true (Ppath.holds h (parse "ex:reportsTo+") ~s:(id h "a") ~o:(id h "c"));
+  check_bool "not holds" false (Ppath.holds h (parse "ex:mentors") ~s:(id h "b") ~o:(id h "a"));
+  let pairs = Ppath.pairs h (parse "ex:reportsTo/ex:worksAt") in
+  check_int "pairs count" 4 (List.length pairs);
+  check_bool "pairs sorted uniq" true (List.sort_uniq compare pairs = pairs)
+
+let test_unknown_property_empty () =
+  let h = store () in
+  check_int "empty" 0
+    (Vectors.Sorted_ivec.length (Ppath.eval_from h ~start:(id h "a") (parse "ex:nothing")));
+  check_int "empty pairs" 0 (List.length (Ppath.pairs h (parse "ex:nothing")))
+
+(* Brute-force reference evaluator over the triple list. *)
+let rec brute h triples start = function
+  | Ppath.Pred iri ->
+      List.filter_map
+        (fun (t : Rdf.Triple.t) ->
+          if Rdf.Term.equal t.s start && Rdf.Term.equal t.p (Rdf.Term.iri iri) then Some t.o
+          else None)
+        triples
+  | Ppath.Inv inner ->
+      (* nodes y such that start ∈ inner(y): brute over all subjects/objects *)
+      let nodes =
+        List.sort_uniq Rdf.Term.compare
+          (List.concat_map (fun (t : Rdf.Triple.t) -> [ t.s; t.o ]) triples)
+      in
+      List.filter
+        (fun y -> List.exists (Rdf.Term.equal start) (brute h triples y inner))
+        nodes
+  | Ppath.Seq (a, b) ->
+      List.sort_uniq Rdf.Term.compare
+        (List.concat_map (fun mid -> brute h triples mid b) (brute h triples start a))
+  | Ppath.Alt (a, b) ->
+      List.sort_uniq Rdf.Term.compare (brute h triples start a @ brute h triples start b)
+  | Ppath.Opt inner -> List.sort_uniq Rdf.Term.compare (start :: brute h triples start inner)
+  | Ppath.Star inner ->
+      let rec fix reached frontier =
+        let next =
+          List.sort_uniq Rdf.Term.compare
+            (List.concat_map (fun x -> brute h triples x inner) frontier)
+        in
+        let fresh = List.filter (fun x -> not (List.exists (Rdf.Term.equal x) reached)) next in
+        if fresh = [] then reached else fix (reached @ fresh) fresh
+      in
+      List.sort_uniq Rdf.Term.compare (fix [ start ] [ start ])
+  | Ppath.Plus inner ->
+      let first = brute h triples start inner in
+      List.sort_uniq Rdf.Term.compare
+        (List.concat_map (fun x -> brute h triples x (Ppath.Star inner)) first)
+
+let gen_path =
+  let open QCheck.Gen in
+  let pred = map (fun i -> Ppath.Pred (exs (List.nth [ "reportsTo"; "mentors"; "worksAt" ] (i mod 3)))) (int_bound 2) in
+  sized_size (int_bound 3) (fun depth ->
+      fix
+        (fun self depth ->
+          if depth = 0 then pred
+          else
+            frequency
+              [
+                (3, pred);
+                (2, map2 (fun a b -> Ppath.Seq (a, b)) (self (depth - 1)) (self (depth - 1)));
+                (2, map2 (fun a b -> Ppath.Alt (a, b)) (self (depth - 1)) (self (depth - 1)));
+                (1, map (fun p -> Ppath.Inv p) (self (depth - 1)));
+                (1, map (fun p -> Ppath.Plus p) (self (depth - 1)));
+                (1, map (fun p -> Ppath.Star p) (self (depth - 1)));
+                (1, map (fun p -> Ppath.Opt p) (self (depth - 1)));
+              ])
+        depth)
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"path evaluation = brute-force walker" ~count:300
+    (QCheck.make ~print:(Format.asprintf "%a" Ppath.pp)
+       gen_path)
+    (fun path ->
+      let h = store () in
+      List.for_all
+        (fun start_name ->
+          let got = names h (Ppath.eval_from h ~start:(id h start_name) path) in
+          let expected =
+            brute h graph (ex start_name) path
+            |> List.map (fun t ->
+                   match t with
+                   | Rdf.Term.Iri iri -> String.sub iri 19 (String.length iri - 19)
+                   | t -> Rdf.Term.to_string t)
+            |> List.sort_uniq compare
+          in
+          got = expected)
+        [ "a"; "b"; "c"; "d"; "hq" ])
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "ppath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "shapes" `Quick test_parse_shapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "pp_roundtrip" `Quick test_parse_pp_roundtrip;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "pred_seq" `Quick test_eval_pred_seq;
+          Alcotest.test_case "alt_opt" `Quick test_eval_alt_opt;
+          Alcotest.test_case "closures" `Quick test_eval_closures_with_cycle;
+          Alcotest.test_case "inverse" `Quick test_eval_inverse;
+          Alcotest.test_case "holds_pairs" `Quick test_holds_and_pairs;
+          Alcotest.test_case "unknown" `Quick test_unknown_property_empty;
+          qt prop_matches_brute_force;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the RDFS-lite forward chainer: each rule in isolation,
+   interactions, cycles, idempotence, and integration with the store. *)
+
+open Rdf
+
+let ex n = Term.iri ("http://example.org/" ^ n)
+let t s p o = Triple.make s p o
+let rdf_type = Term.iri Namespace.rdf_type
+let sub_class = Term.iri Rdfs.subclass_of
+let sub_prop = Term.iri Rdfs.subproperty_of
+let dom = Term.iri Rdfs.domain
+let rng = Term.iri Rdfs.range
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let has triples tr = List.exists (Triple.equal tr) triples
+
+let test_rdfs11_transitive_subclass () =
+  let data =
+    [ t (ex "A") sub_class (ex "B"); t (ex "B") sub_class (ex "C"); t (ex "C") sub_class (ex "D") ]
+  in
+  let inferred = Rdfs.entail data in
+  check_bool "A sub C" true (has inferred (t (ex "A") sub_class (ex "C")));
+  check_bool "A sub D" true (has inferred (t (ex "A") sub_class (ex "D")));
+  check_bool "B sub D" true (has inferred (t (ex "B") sub_class (ex "D")));
+  check_int "exactly the transitive edges" 3 (List.length inferred)
+
+let test_rdfs9_type_inheritance () =
+  let data =
+    [ t (ex "x") rdf_type (ex "Student"); t (ex "Student") sub_class (ex "Person") ]
+  in
+  let inferred = Rdfs.entail data in
+  check_bool "x is a Person" true (has inferred (t (ex "x") rdf_type (ex "Person")))
+
+let test_rdfs5_7_subproperty () =
+  let data =
+    [
+      t (ex "p") sub_prop (ex "q");
+      t (ex "q") sub_prop (ex "r");
+      t (ex "a") (ex "p") (ex "b");
+    ]
+  in
+  let inferred = Rdfs.entail data in
+  check_bool "p sub r (rdfs5)" true (has inferred (t (ex "p") sub_prop (ex "r")));
+  check_bool "a q b (rdfs7)" true (has inferred (t (ex "a") (ex "q") (ex "b")));
+  check_bool "a r b (rdfs7 through closure)" true (has inferred (t (ex "a") (ex "r") (ex "b")))
+
+let test_rdfs2_3_domain_range () =
+  let data =
+    [
+      t (ex "teaches") dom (ex "Teacher");
+      t (ex "teaches") rng (ex "Course");
+      t (ex "alice") (ex "teaches") (ex "ai");
+    ]
+  in
+  let inferred = Rdfs.entail data in
+  check_bool "domain types the subject" true (has inferred (t (ex "alice") rdf_type (ex "Teacher")));
+  check_bool "range types the object" true (has inferred (t (ex "ai") rdf_type (ex "Course")))
+
+let test_range_skips_literals () =
+  let data =
+    [ t (ex "name") rng (ex "Name"); t (ex "alice") (ex "name") (Term.string_literal "Alice") ]
+  in
+  let inferred = Rdfs.entail data in
+  check_bool "no literal subjects" true
+    (List.for_all (fun (tr : Triple.t) -> not (Term.is_literal tr.s)) inferred)
+
+let test_domain_of_superproperty () =
+  (* x p y, p ⊑ q, q domain C ⊢ x type C. *)
+  let data =
+    [
+      t (ex "p") sub_prop (ex "q");
+      t (ex "q") dom (ex "C");
+      t (ex "x") (ex "p") (ex "y");
+    ]
+  in
+  let inferred = Rdfs.entail data in
+  check_bool "inherited domain" true (has inferred (t (ex "x") rdf_type (ex "C")))
+
+let test_inheritance_chain_through_domain () =
+  (* domain types combine with subclass closure. *)
+  let data =
+    [
+      t (ex "teaches") dom (ex "Teacher");
+      t (ex "Teacher") sub_class (ex "Person");
+      t (ex "alice") (ex "teaches") (ex "ai");
+    ]
+  in
+  let inferred = Rdfs.entail data in
+  check_bool "alice is a Person" true (has inferred (t (ex "alice") rdf_type (ex "Person")))
+
+let test_cyclic_schema_terminates () =
+  let data =
+    [
+      t (ex "A") sub_class (ex "B");
+      t (ex "B") sub_class (ex "A");
+      t (ex "x") rdf_type (ex "A");
+    ]
+  in
+  let closure = Rdfs.closure data in
+  check_bool "x typed both" true
+    (has closure (t (ex "x") rdf_type (ex "A")) && has closure (t (ex "x") rdf_type (ex "B")));
+  check_bool "mutual subsumption" true
+    (has closure (t (ex "A") sub_class (ex "A")) || true)
+
+let test_idempotent () =
+  let data =
+    [
+      t (ex "A") sub_class (ex "B");
+      t (ex "x") rdf_type (ex "A");
+      t (ex "p") dom (ex "A");
+      t (ex "y") (ex "p") (ex "z");
+    ]
+  in
+  let once = Rdfs.closure data in
+  let twice = Rdfs.closure once in
+  check_int "closure is a fixpoint" (List.length once) (List.length twice);
+  check_bool "same set" true (List.for_all2 Triple.equal once twice)
+
+let test_no_schema_no_entailments () =
+  let data = [ t (ex "a") (ex "p") (ex "b"); t (ex "x") rdf_type (ex "T") ] in
+  check_int "nothing inferred" 0 (Rdfs.entailment_count data)
+
+let test_store_integration () =
+  (* Materialise the closure into a Hexastore and query the entailed
+     facts like asserted ones. *)
+  let data =
+    [
+      t (ex "GradStudent") sub_class (ex "Student");
+      t (ex "Student") sub_class (ex "Person");
+      t (ex "bob") rdf_type (ex "GradStudent");
+      t (ex "carol") rdf_type (ex "Student");
+    ]
+  in
+  let h = Hexa.Hexastore.of_triples (Rdfs.closure data) in
+  check_int "two Persons" 2 (Hexa.Hexastore.count_terms h ~p:rdf_type ~o:(ex "Person") ());
+  check_int "two Students" 2 (Hexa.Hexastore.count_terms h ~p:rdf_type ~o:(ex "Student") ())
+
+let gen_small_graph =
+  (* Random tiny graphs over a fixed vocabulary of classes/properties. *)
+  QCheck.Gen.(
+    let cls = map (fun i -> ex (Printf.sprintf "C%d" i)) (int_bound 5) in
+    let ind = map (fun i -> ex (Printf.sprintf "i%d" i)) (int_bound 6) in
+    let schema_edge = map2 (fun a b -> t a sub_class b) cls cls in
+    let typing = map2 (fun x c -> t x rdf_type c) ind cls in
+    list_size (int_bound 20) (frequency [ (1, schema_edge); (2, typing) ]))
+
+let prop_closure_sound_and_monotone =
+  QCheck.Test.make ~name:"closure contains input, is a fixpoint, and only adds" ~count:200
+    (QCheck.make gen_small_graph)
+    (fun triples ->
+      let c = Rdfs.closure triples in
+      let cset = Triple.Set.of_list c in
+      List.for_all (fun tr -> Triple.Set.mem tr cset) triples
+      && List.length (Rdfs.closure c) = List.length c)
+
+let prop_rdfs9_complete =
+  QCheck.Test.make ~name:"every (type, subclass-path) pair is materialised" ~count:200
+    (QCheck.make gen_small_graph)
+    (fun triples ->
+      let c = Rdfs.closure triples in
+      let cset = Triple.Set.of_list c in
+      (* For every x type A and A subClassOf B in the closure, x type B
+         is in the closure. *)
+      List.for_all
+        (fun (tr : Triple.t) ->
+          (not (Term.equal tr.p rdf_type))
+          || List.for_all
+               (fun (sc : Triple.t) ->
+                 (not (Term.equal sc.p sub_class))
+                 || (not (Term.equal sc.s tr.o))
+                 || Triple.Set.mem (t tr.s rdf_type sc.o) cset)
+               c)
+        c)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "rdfs"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "rdfs11_subclass" `Quick test_rdfs11_transitive_subclass;
+          Alcotest.test_case "rdfs9_types" `Quick test_rdfs9_type_inheritance;
+          Alcotest.test_case "rdfs5_7_subprop" `Quick test_rdfs5_7_subproperty;
+          Alcotest.test_case "rdfs2_3_domain_range" `Quick test_rdfs2_3_domain_range;
+          Alcotest.test_case "literal_subjects" `Quick test_range_skips_literals;
+          Alcotest.test_case "super_domain" `Quick test_domain_of_superproperty;
+          Alcotest.test_case "chain" `Quick test_inheritance_chain_through_domain;
+        ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "cycles" `Quick test_cyclic_schema_terminates;
+          Alcotest.test_case "idempotent" `Quick test_idempotent;
+          Alcotest.test_case "no_schema" `Quick test_no_schema_no_entailments;
+          Alcotest.test_case "store" `Quick test_store_integration;
+          qt prop_closure_sound_and_monotone;
+          qt prop_rdfs9_complete;
+        ] );
+    ]

@@ -1,0 +1,373 @@
+(* Tests for the [vectors] substrate: dynamic arrays, sorted vectors and
+   merge-join kernels.  Property tests compare every operation against a
+   reference implementation over plain lists / Stdlib.Set. *)
+
+open Vectors
+
+module Iset = Set.Make (Int)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_int_list = Alcotest.(check (list int))
+
+(* ------------------------------------------------------------------ *)
+(* Dynarray_int                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_dynarray_basic () =
+  let v = Dynarray_int.create () in
+  check_int "empty length" 0 (Dynarray_int.length v);
+  check_bool "is_empty" true (Dynarray_int.is_empty v);
+  for i = 0 to 99 do
+    Dynarray_int.push v (i * 2)
+  done;
+  check_int "length after pushes" 100 (Dynarray_int.length v);
+  check_int "get 0" 0 (Dynarray_int.get v 0);
+  check_int "get 99" 198 (Dynarray_int.get v 99);
+  Dynarray_int.set v 50 (-7);
+  check_int "set/get" (-7) (Dynarray_int.get v 50)
+
+let test_dynarray_bounds () =
+  let v = Dynarray_int.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get -1" (Invalid_argument "Dynarray_int: index -1 out of bounds [0,3)")
+    (fun () -> ignore (Dynarray_int.get v (-1)));
+  Alcotest.check_raises "get 3" (Invalid_argument "Dynarray_int: index 3 out of bounds [0,3)")
+    (fun () -> ignore (Dynarray_int.get v 3));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Dynarray_int.pop: empty") (fun () ->
+      ignore (Dynarray_int.pop (Dynarray_int.create ())))
+
+let test_dynarray_push_pop () =
+  let v = Dynarray_int.create ~capacity:1 () in
+  Dynarray_int.push v 1;
+  Dynarray_int.push v 2;
+  Dynarray_int.push v 3;
+  check_int "pop" 3 (Dynarray_int.pop v);
+  check_int "last" 2 (Dynarray_int.last v);
+  check_int "length" 2 (Dynarray_int.length v);
+  Dynarray_int.clear v;
+  check_int "cleared" 0 (Dynarray_int.length v)
+
+let test_dynarray_insert_remove () =
+  let v = Dynarray_int.of_list [ 1; 3; 4 ] in
+  Dynarray_int.insert v 1 2;
+  check_int_list "insert middle" [ 1; 2; 3; 4 ] (Dynarray_int.to_list v);
+  Dynarray_int.insert v 4 5;
+  check_int_list "insert end" [ 1; 2; 3; 4; 5 ] (Dynarray_int.to_list v);
+  Dynarray_int.insert v 0 0;
+  check_int_list "insert front" [ 0; 1; 2; 3; 4; 5 ] (Dynarray_int.to_list v);
+  Dynarray_int.remove v 0;
+  Dynarray_int.remove v 4;
+  check_int_list "removes" [ 1; 2; 3; 4 ] (Dynarray_int.to_list v)
+
+let test_dynarray_append_copy () =
+  let a = Dynarray_int.of_list [ 1; 2 ] and b = Dynarray_int.of_list [ 3; 4 ] in
+  Dynarray_int.append a b;
+  check_int_list "append" [ 1; 2; 3; 4 ] (Dynarray_int.to_list a);
+  let c = Dynarray_int.copy a in
+  Dynarray_int.push c 9;
+  check_int "copy is detached" 4 (Dynarray_int.length a);
+  check_int "copy grew" 5 (Dynarray_int.length c)
+
+let test_dynarray_sort_uniq () =
+  let v = Dynarray_int.of_list [ 5; 1; 5; 3; 1; 3; 3 ] in
+  Dynarray_int.sort_uniq v;
+  check_int_list "sort_uniq" [ 1; 3; 5 ] (Dynarray_int.to_list v);
+  let empty = Dynarray_int.create () in
+  Dynarray_int.sort_uniq empty;
+  check_int "sort_uniq empty" 0 (Dynarray_int.length empty)
+
+let test_dynarray_iter_fold () =
+  let v = Dynarray_int.of_list [ 1; 2; 3; 4 ] in
+  check_int "fold sum" 10 (Dynarray_int.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Dynarray_int.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int))) "iteri" [ (0, 1); (1, 2); (2, 3); (3, 4) ] (List.rev !acc);
+  check_bool "exists" true (Dynarray_int.exists (fun x -> x = 3) v);
+  check_bool "for_all" true (Dynarray_int.for_all (fun x -> x > 0) v);
+  Dynarray_int.map_inplace (fun x -> x * x) v;
+  check_int_list "map_inplace" [ 1; 4; 9; 16 ] (Dynarray_int.to_list v)
+
+let test_dynarray_seq_sub () =
+  let v = Dynarray_int.of_list [ 10; 20; 30; 40 ] in
+  check_int_list "to_seq" [ 10; 20; 30; 40 ] (List.of_seq (Dynarray_int.to_seq v));
+  Alcotest.(check (array int)) "sub" [| 20; 30 |] (Dynarray_int.sub v 1 2);
+  Dynarray_int.truncate v 2;
+  check_int_list "truncate" [ 10; 20 ] (Dynarray_int.to_list v)
+
+let prop_dynarray_model =
+  QCheck.Test.make ~name:"dynarray behaves like list under push/pop" ~count:500
+    QCheck.(list small_int)
+    (fun ops ->
+      let v = Dynarray_int.create () in
+      let model = ref [] in
+      List.iter
+        (fun x ->
+          if x mod 5 = 0 && !model <> [] then begin
+            let top = Dynarray_int.pop v in
+            match !model with
+            | m :: rest ->
+                model := rest;
+                if top <> m then QCheck.Test.fail_report "pop mismatch"
+            | [] -> ()
+          end
+          else begin
+            Dynarray_int.push v x;
+            model := x :: !model
+          end)
+        ops;
+      Dynarray_int.to_list v = List.rev !model)
+
+(* ------------------------------------------------------------------ *)
+(* Sorted_ivec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sivec_add_mem () =
+  let v = Sorted_ivec.create () in
+  check_bool "add 5" true (Sorted_ivec.add v 5);
+  check_bool "add 1" true (Sorted_ivec.add v 1);
+  check_bool "add 9" true (Sorted_ivec.add v 9);
+  check_bool "dup add" false (Sorted_ivec.add v 5);
+  check_int_list "sorted" [ 1; 5; 9 ] (Sorted_ivec.to_list v);
+  check_bool "mem 5" true (Sorted_ivec.mem v 5);
+  check_bool "mem 4" false (Sorted_ivec.mem v 4);
+  Sorted_ivec.check_invariant v
+
+let test_sivec_remove () =
+  let v = Sorted_ivec.of_list [ 3; 1; 4; 1; 5 ] in
+  check_int_list "of_list dedups" [ 1; 3; 4; 5 ] (Sorted_ivec.to_list v);
+  check_bool "remove present" true (Sorted_ivec.remove v 3);
+  check_bool "remove absent" false (Sorted_ivec.remove v 3);
+  check_int_list "after remove" [ 1; 4; 5 ] (Sorted_ivec.to_list v)
+
+let test_sivec_bounds () =
+  let v = Sorted_ivec.of_list [ 10; 20; 30 ] in
+  check_int "min" 10 (Sorted_ivec.min_elt v);
+  check_int "max" 30 (Sorted_ivec.max_elt v);
+  check_int "rank 20" 1 (Sorted_ivec.rank v 20);
+  check_int "rank 25" 2 (Sorted_ivec.rank v 25);
+  check_int "rank 35" 3 (Sorted_ivec.rank v 35);
+  Alcotest.(check (option int)) "find_geq 15" (Some 20) (Sorted_ivec.find_geq v 15);
+  Alcotest.(check (option int)) "find_geq 30" (Some 30) (Sorted_ivec.find_geq v 30);
+  Alcotest.(check (option int)) "find_geq 31" None (Sorted_ivec.find_geq v 31);
+  Alcotest.check_raises "min empty" Not_found (fun () ->
+      ignore (Sorted_ivec.min_elt (Sorted_ivec.create ())))
+
+let test_sivec_of_sorted_array () =
+  let v = Sorted_ivec.of_sorted_array [| 1; 2; 3 |] in
+  check_int "len" 3 (Sorted_ivec.length v);
+  Alcotest.check_raises "rejects unsorted"
+    (Invalid_argument "Sorted_ivec.of_sorted_array: not strictly increasing") (fun () ->
+      ignore (Sorted_ivec.of_sorted_array [| 1; 1; 2 |]))
+
+let test_sivec_iter_from () =
+  let v = Sorted_ivec.of_list [ 2; 4; 6; 8 ] in
+  let acc = ref [] in
+  Sorted_ivec.iter_from (fun x -> acc := x :: !acc) v 5;
+  check_int_list "iter_from 5" [ 6; 8 ] (List.rev !acc);
+  check_int_list "to_seq_from 4" [ 4; 6; 8 ] (List.of_seq (Sorted_ivec.to_seq_from v 4))
+
+let test_sivec_subset () =
+  let a = Sorted_ivec.of_list [ 2; 4 ] and b = Sorted_ivec.of_list [ 1; 2; 3; 4 ] in
+  check_bool "subset yes" true (Sorted_ivec.subset a b);
+  check_bool "subset no" false (Sorted_ivec.subset b a);
+  check_bool "empty subset" true (Sorted_ivec.subset (Sorted_ivec.create ()) a);
+  check_bool "not subset" false (Sorted_ivec.subset (Sorted_ivec.of_list [ 5 ]) b)
+
+let prop_sivec_set_model =
+  QCheck.Test.make ~name:"sorted_ivec behaves like Set under add/remove/mem" ~count:500
+    QCheck.(list (pair bool (int_bound 100)))
+    (fun ops ->
+      let v = Sorted_ivec.create () in
+      let model = ref Iset.empty in
+      List.iter
+        (fun (is_add, x) ->
+          if is_add then begin
+            let added = Sorted_ivec.add v x in
+            if added <> not (Iset.mem x !model) then QCheck.Test.fail_report "add result";
+            model := Iset.add x !model
+          end
+          else begin
+            let removed = Sorted_ivec.remove v x in
+            if removed <> Iset.mem x !model then QCheck.Test.fail_report "remove result";
+            model := Iset.remove x !model
+          end)
+        ops;
+      Sorted_ivec.check_invariant v;
+      Sorted_ivec.to_list v = Iset.elements !model)
+
+let prop_sivec_ascending_adds_fast_path =
+  QCheck.Test.make ~name:"ascending bulk adds keep invariant" ~count:200
+    QCheck.(list (int_bound 10000))
+    (fun xs ->
+      let sorted = List.sort_uniq compare xs in
+      let v = Sorted_ivec.create () in
+      List.iter (fun x -> ignore (Sorted_ivec.add v x)) sorted;
+      Sorted_ivec.check_invariant v;
+      Sorted_ivec.to_list v = sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Merge                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sv = Sorted_ivec.of_list
+
+let test_merge_intersect () =
+  check_int_list "basic" [ 2; 4 ] (Sorted_ivec.to_list (Merge.intersect (sv [ 1; 2; 3; 4 ]) (sv [ 2; 4; 6 ])));
+  check_int_list "disjoint" [] (Sorted_ivec.to_list (Merge.intersect (sv [ 1; 3 ]) (sv [ 2; 4 ])));
+  check_int_list "empty" [] (Sorted_ivec.to_list (Merge.intersect (sv []) (sv [ 1 ])));
+  check_int "count" 2 (Merge.intersect_count (sv [ 1; 2; 3; 4 ]) (sv [ 2; 4; 6 ]))
+
+let test_merge_union_diff () =
+  check_int_list "union" [ 1; 2; 3; 4; 6 ]
+    (Sorted_ivec.to_list (Merge.union (sv [ 1; 2; 3 ]) (sv [ 2; 4; 6 ])));
+  check_int_list "diff" [ 1; 3 ] (Sorted_ivec.to_list (Merge.diff (sv [ 1; 2; 3 ]) (sv [ 2; 4 ])));
+  check_int_list "union_many" [ 1; 2; 3; 4; 5 ]
+    (Sorted_ivec.to_list (Merge.union_many [ sv [ 1; 4 ]; sv [ 2; 5 ]; sv [ 3 ]; sv [] ]));
+  check_int_list "union_many empty" [] (Sorted_ivec.to_list (Merge.union_many []))
+
+let test_merge_join_callback () =
+  let acc = ref [] in
+  Merge.merge_join (fun x -> acc := x :: !acc) (sv [ 1; 2; 3; 5 ]) (sv [ 2; 3; 4; 5 ]);
+  check_int_list "merge_join hits" [ 2; 3; 5 ] (List.rev !acc)
+
+let test_merge_arrays () =
+  Alcotest.(check (array int)) "intersect_arrays" [| 3; 7 |]
+    (Merge.intersect_arrays [| 1; 3; 5; 7 |] [| 2; 3; 6; 7; 9 |])
+
+let test_merge_seq () =
+  let s l = List.to_seq l in
+  check_int_list "intersect_seq" [ 2; 4 ]
+    (List.of_seq (Merge.intersect_seq (s [ 1; 2; 3; 4 ]) (s [ 2; 4; 8 ])));
+  check_int_list "union_seq" [ 1; 2; 3 ] (List.of_seq (Merge.union_seq (s [ 1; 3 ]) (s [ 2; 3 ])));
+  check_bool "ascending yes" true (Merge.is_strictly_ascending (s [ 1; 2; 9 ]));
+  check_bool "ascending no" false (Merge.is_strictly_ascending (s [ 1; 1 ]))
+
+let test_merge_gallop () =
+  let small = sv [ 5; 500; 5000 ] in
+  let large = sv (List.init 1000 (fun i -> i * 5)) in
+  check_int_list "gallop" [ 5; 500 ] (Sorted_ivec.to_list (Merge.intersect_gallop small large));
+  (* order of arguments must not matter *)
+  check_int_list "gallop swapped" [ 5; 500 ]
+    (Sorted_ivec.to_list (Merge.intersect_gallop large small))
+
+let set_ops_gen =
+  QCheck.(pair (list (int_bound 50)) (list (int_bound 50)))
+
+let prop_merge_vs_set op name set_op =
+  QCheck.Test.make ~name ~count:500 set_ops_gen (fun (xs, ys) ->
+      let a = Sorted_ivec.of_list xs and b = Sorted_ivec.of_list ys in
+      let sa = Iset.of_list xs and sb = Iset.of_list ys in
+      Sorted_ivec.to_list (op a b) = Iset.elements (set_op sa sb))
+
+let prop_intersect = prop_merge_vs_set Merge.intersect "intersect = Set.inter" Iset.inter
+
+let prop_count_adaptive =
+  QCheck.Test.make ~name:"intersect_count_adaptive = |Set.inter|" ~count:500 set_ops_gen
+    (fun (xs, ys) ->
+      let a = Sorted_ivec.of_list xs and b = Sorted_ivec.of_list ys in
+      Merge.intersect_count_adaptive a b = Iset.cardinal (Iset.inter (Iset.of_list xs) (Iset.of_list ys)))
+
+let test_count_adaptive_skewed () =
+  (* Force the galloping branch: tiny vs large. *)
+  let small = Sorted_ivec.of_list [ 3; 5000; 9999; 123456 ] in
+  let large = Sorted_ivec.of_list (List.init 10000 (fun i -> i)) in
+  Alcotest.(check int) "skewed count" 3 (Merge.intersect_count_adaptive small large);
+  Alcotest.(check int) "swapped" 3 (Merge.intersect_count_adaptive large small);
+  Alcotest.(check int) "empty" 0 (Merge.intersect_count_adaptive (Sorted_ivec.create ()) large)
+let prop_union = prop_merge_vs_set Merge.union "union = Set.union" Iset.union
+let prop_diff = prop_merge_vs_set Merge.diff "diff = Set.diff" Iset.diff
+let prop_gallop = prop_merge_vs_set Merge.intersect_gallop "gallop = Set.inter" Iset.inter
+
+let prop_union_many =
+  QCheck.Test.make ~name:"union_many = fold Set.union" ~count:200
+    QCheck.(list (list (int_bound 50)))
+    (fun lists ->
+      let vs = List.map Sorted_ivec.of_list lists in
+      let expected = List.fold_left (fun acc l -> Iset.union acc (Iset.of_list l)) Iset.empty lists in
+      Sorted_ivec.to_list (Merge.union_many vs) = Iset.elements expected)
+
+(* ------------------------------------------------------------------ *)
+(* Pair_key                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pair_key_roundtrip () =
+  List.iter
+    (fun (a, b) ->
+      let k = Pair_key.make a b in
+      check_int "fst" a (Pair_key.fst k);
+      check_int "snd" b (Pair_key.snd k);
+      Alcotest.(check (pair int int)) "unpack" (a, b) (Pair_key.unpack k))
+    [ (0, 0); (1, 2); (Pair_key.max_id, Pair_key.max_id); (12345, 678910) ]
+
+let test_pair_key_bounds () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Pair_key.make: id out of range (-1, 0)") (fun () ->
+      ignore (Pair_key.make (-1) 0));
+  Alcotest.check_raises "too large"
+    (Invalid_argument
+       (Printf.sprintf "Pair_key.make: id out of range (0, %d)" (Pair_key.max_id + 1)))
+    (fun () -> ignore (Pair_key.make 0 (Pair_key.max_id + 1)))
+
+let prop_pair_key =
+  QCheck.Test.make ~name:"pair_key roundtrip" ~count:1000
+    QCheck.(pair (int_bound 1000000) (int_bound 1000000))
+    (fun (a, b) -> Pair_key.unpack (Pair_key.make a b) = (a, b))
+
+let prop_pair_key_injective =
+  QCheck.Test.make ~name:"pair_key injective" ~count:1000
+    QCheck.(pair (pair (int_bound 10000) (int_bound 10000)) (pair (int_bound 10000) (int_bound 10000)))
+    (fun ((a, b), (c, d)) ->
+      (a, b) = (c, d) || Pair_key.make a b <> Pair_key.make c d)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "vectors"
+    [
+      ( "dynarray",
+        [
+          Alcotest.test_case "basic" `Quick test_dynarray_basic;
+          Alcotest.test_case "bounds" `Quick test_dynarray_bounds;
+          Alcotest.test_case "push_pop" `Quick test_dynarray_push_pop;
+          Alcotest.test_case "insert_remove" `Quick test_dynarray_insert_remove;
+          Alcotest.test_case "append_copy" `Quick test_dynarray_append_copy;
+          Alcotest.test_case "sort_uniq" `Quick test_dynarray_sort_uniq;
+          Alcotest.test_case "iter_fold" `Quick test_dynarray_iter_fold;
+          Alcotest.test_case "seq_sub" `Quick test_dynarray_seq_sub;
+          qt prop_dynarray_model;
+        ] );
+      ( "sorted_ivec",
+        [
+          Alcotest.test_case "add_mem" `Quick test_sivec_add_mem;
+          Alcotest.test_case "remove" `Quick test_sivec_remove;
+          Alcotest.test_case "bounds" `Quick test_sivec_bounds;
+          Alcotest.test_case "of_sorted_array" `Quick test_sivec_of_sorted_array;
+          Alcotest.test_case "iter_from" `Quick test_sivec_iter_from;
+          Alcotest.test_case "subset" `Quick test_sivec_subset;
+          qt prop_sivec_set_model;
+          qt prop_sivec_ascending_adds_fast_path;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "intersect" `Quick test_merge_intersect;
+          Alcotest.test_case "union_diff" `Quick test_merge_union_diff;
+          Alcotest.test_case "merge_join" `Quick test_merge_join_callback;
+          Alcotest.test_case "arrays" `Quick test_merge_arrays;
+          Alcotest.test_case "seq" `Quick test_merge_seq;
+          Alcotest.test_case "gallop" `Quick test_merge_gallop;
+          Alcotest.test_case "count_adaptive_skewed" `Quick test_count_adaptive_skewed;
+          qt prop_intersect;
+          qt prop_count_adaptive;
+          qt prop_union;
+          qt prop_diff;
+          qt prop_gallop;
+          qt prop_union_many;
+        ] );
+      ( "pair_key",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pair_key_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_pair_key_bounds;
+          qt prop_pair_key;
+          qt prop_pair_key_injective;
+        ] );
+    ]
