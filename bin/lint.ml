@@ -1,0 +1,20 @@
+(* The repo's source lint gate, run as [dune build @lint].
+
+   Scans the given directory trees (default: lib) with [Check.Lint] and
+   exits non-zero when any rule fires: a library .ml without a .mli,
+   Obj.magic, stdout printing from library code, or a catch-all
+   [with _ ->] handler.  See lib/check/lint.mli for the rationale. *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ -> [ "lib" ]
+  in
+  let violations = List.concat_map Check.Lint.scan_dir roots in
+  match violations with
+  | [] -> Printf.printf "lint: OK (%s clean)\n" (String.concat ", " roots)
+  | vs ->
+      List.iter (fun v -> prerr_endline (Check.Violation.to_string v)) vs;
+      Printf.eprintf "lint: %d violation(s) in %s\n" (List.length vs) (String.concat ", " roots);
+      exit 1

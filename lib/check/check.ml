@@ -1,0 +1,8 @@
+module Violation = Violation
+module Invariant = Invariant
+module Model = Model
+module Diff = Diff
+module Lint = Lint
+
+let store = Invariant.store
+let debug = Hexa.Debug.enabled

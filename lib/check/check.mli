@@ -1,0 +1,30 @@
+(** Correctness tooling for the Hexastore.
+
+    Three instruments over the paper's structural invariants (§4/§4.1):
+
+    - {!Invariant} — per-layer validators returning typed
+      {!Violation.t} lists; {!store} is the whole-store entry point.
+    - {!Model}/{!Diff} — a naive reference store and a differential
+      model-checker that executes random operation sequences against it
+      and the real store, shrinking any disagreement to a minimal
+      counterexample.
+    - {!Lint} — the source gate behind [dune build @lint].
+
+    [debug] re-exports {!Hexa.Debug.enabled}: setting it to [true] makes
+    [Hexastore.add_ids]/[remove_ids] re-validate every vector and list
+    they touch (off by default; also enabled by [HEXASTORE_DEBUG=1]). *)
+
+module Violation = Violation
+module Invariant = Invariant
+module Model = Model
+module Diff = Diff
+module Lint = Lint
+
+val store : Hexa.Hexastore.t -> Violation.t list
+(** [store h] is {!Invariant.store}[ h]: the complete invariant check —
+    sortedness, six-way agreement, physical terminal-list sharing,
+    accounting, dictionary bijectivity.  Empty list = healthy store. *)
+
+val debug : bool ref
+(** The {!Hexa.Debug.enabled} flag gating the insert/delete assertion
+    hooks. *)

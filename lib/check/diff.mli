@@ -1,0 +1,39 @@
+(** Differential model-checking of the Hexastore against {!Model}.
+
+    A random sequence of inserts, deletes and pattern queries is executed
+    against a fresh {!Hexa.Hexastore} and the naive reference store in
+    lock-step.  After every operation the two must agree on the operation's
+    result, on store size, and (by default) the Hexastore must pass the
+    full {!Invariant.store} check.  Any disagreement is reported as a
+    {!divergence}; QCheck shrinking then minimises the operation sequence
+    to a smallest reproducing counterexample. *)
+
+type op =
+  | Insert of Dict.Term_dict.id_triple
+  | Delete of Dict.Term_dict.id_triple
+  | Query of Hexa.Pattern.t
+
+type divergence = {
+  step : int;  (** 0-based index of the diverging operation. *)
+  op : op;
+  detail : string;  (** What disagreed, with both sides' values. *)
+}
+
+val op_to_string : op -> string
+
+val ops_to_string : op list -> string
+
+val divergence_to_string : divergence -> string
+
+val run : ?validate:bool -> op list -> divergence list
+(** Execute the sequence against both stores.  With [validate] (default
+    [true]), {!Invariant.store} runs after every mutation and its
+    violations are reported as divergences; queries additionally
+    cross-check [count] and [mem]. *)
+
+val arb_ops : ?max_id:int -> ?max_len:int -> unit -> op list QCheck.arbitrary
+(** QCheck generator of op sequences with shrinking.  Ids are drawn from
+    [0 .. max_id] (default 3 — a tiny universe maximises collisions and
+    terminal-list sharing); sequences have up to [max_len] (default 40)
+    operations, biased towards inserts so deletes and queries hit
+    populated structures. *)

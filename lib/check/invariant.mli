@@ -1,0 +1,64 @@
+(** Per-layer structural invariant validators.
+
+    The invariant catalogue the paper relies on, machine-checked:
+
+    - {b Sortedness} (§4.1): every vector and terminal list is strictly
+      increasing — {!sorted_ivec}, {!pair_vector}.
+    - {b Accounting}: every pair vector's maintained [total] equals the sum
+      of its payload-list lengths, and every ordering's total equals the
+      store size — {!pair_vector}, {!index}, {!store}.
+    - {b Pruning}: no empty terminal list, vector, or header survives a
+      deletion — {!index}, {!store}.
+    - {b Six-way agreement} (§4): the same triple set is reachable from
+      every one of the six orderings — {!store}.
+    - {b Terminal-list sharing} (§4.1, the 5× space bound): twin orderings
+      point at the {e same} list, asserted by physical equality ([==]) —
+      {!store}.
+    - {b Dictionary bijectivity} (§4.1's mapping table): term ↔ id is a
+      bijection — {!dictionary}, {!term_dict}.
+    - {b Dataset coherence}: every graph shares the dataset dictionary
+      physically and the dataset size is the sum over graphs — {!dataset}.
+    - {b Snapshot fidelity} (§7): save/load round-trips the triple set,
+      the dictionary, and every structural invariant — {!snapshot_roundtrip}.
+
+    All validators return the complete list of violations found (empty =
+    invariant holds) and never raise on malformed structures. *)
+
+val sorted_ivec : ?path:string -> Vectors.Sorted_ivec.t -> Violation.t list
+(** Strict ascending order. *)
+
+val pair_vector : ?path:string -> Hexa.Pair_vector.t -> Violation.t list
+(** Keys strictly ascending, every payload list sorted and non-empty, and
+    [total] equal to the sum of payload lengths. *)
+
+val index : ?path:string -> Hexa.Index.t -> Violation.t list
+(** Every header's pair vector valid and non-empty. *)
+
+val store : Hexa.Hexastore.t -> Violation.t list
+(** The full Hexastore invariant: the six per-index checks, six-way
+    triple-set agreement, physical terminal-list sharing between twin
+    orderings (and with the direct accessor tables), per-index totals
+    equal to the store size, and dictionary bijectivity. *)
+
+val dictionary : Dict.Dictionary.t -> Violation.t list
+(** [decode] then [find] round-trips to the same id for every allocated
+    id (string ↔ id bijection). *)
+
+val term_dict : Dict.Term_dict.t -> Violation.t list
+(** [decode_term] then [find_term] round-trips for every allocated id
+    (term ↔ id bijection). *)
+
+val dataset : Hexa.Dataset.t -> Violation.t list
+(** Every graph (default and named) passes {!store}, shares the dataset
+    dictionary physically, and the dataset size is the sum of graph
+    sizes. *)
+
+val snapshot_roundtrip : Hexa.Hexastore.t -> Violation.t list
+(** Saves the store to a temporary file, loads it back, and checks the
+    reloaded store for: identical size, identical triple set, identical
+    dictionary contents (term-by-term, positional ids), and all {!store}
+    invariants.  The temporary file is always removed.
+
+    Stores whose triples use ids not allocated in their dictionary (a
+    raw id-level store) are not snapshotable; a single violation saying
+    so is returned without touching the filesystem. *)

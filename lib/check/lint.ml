@@ -1,0 +1,190 @@
+module V = Violation
+
+type rule =
+  | Missing_mli
+  | Obj_magic
+  | Printf_in_lib
+  | Catch_all
+
+let rule_name = function
+  | Missing_mli -> "missing-mli"
+  | Obj_magic -> "obj-magic"
+  | Printf_in_lib -> "printf-in-lib"
+  | Catch_all -> "catch-all"
+
+(* The patterns are assembled at runtime so this file does not flag
+   itself when the linter scans lib/check. *)
+let pat_obj_magic = "Obj." ^ "magic"
+let pats_printf = [ "Printf." ^ "printf"; "Format." ^ "printf"; "print_" ^ "endline" ]
+
+(* --- comment/string stripping ------------------------------------------ *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let strip_comments_and_strings src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  let in_string = ref false in
+  while !i < n do
+    let c = src.[!i] in
+    if !in_string then begin
+      (* Inside a string literal (also reached from within comments). *)
+      if c = '\\' && !i + 1 < n then begin
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else begin
+        if c = '"' then in_string := false;
+        if !comment_depth = 0 && c = '"' then () else blank !i;
+        incr i
+      end
+    end
+    else if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr comment_depth;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr comment_depth;
+        i := !i + 2
+      end
+      else begin
+        if c = '"' then in_string := true;
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      comment_depth := 1;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      in_string := true;
+      incr i
+    end
+    else if
+      (* Character literals, so that '"' or '(' do not derail the scan.
+         A quote not matching the literal shape is a type variable. *)
+      c = '\''
+      && !i + 2 < n
+      && (src.[!i + 2] = '\'' && src.[!i + 1] <> '\\')
+    then begin
+      blank (!i + 1);
+      i := !i + 3
+    end
+    else if c = '\'' && !i + 3 < n && src.[!i + 1] = '\\' && src.[!i + 3] = '\'' then begin
+      blank (!i + 1);
+      blank (!i + 2);
+      i := !i + 4
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* --- scanning ----------------------------------------------------------- *)
+
+let line_of src idx =
+  let line = ref 1 in
+  for k = 0 to idx - 1 do
+    if src.[k] = '\n' then incr line
+  done;
+  !line
+
+(* Occurrences of [pat] in [src] at word boundaries. *)
+let find_token src pat =
+  let n = String.length src and m = String.length pat in
+  let hits = ref [] in
+  for i = 0 to n - m do
+    if
+      String.sub src i m = pat
+      && (i = 0 || not (is_word_char src.[i - 1]))
+      && (i + m >= n || not (is_word_char src.[i + m]))
+    then hits := i :: !hits
+  done;
+  List.rev !hits
+
+let skip_ws src i =
+  let n = String.length src in
+  let j = ref i in
+  while !j < n && (src.[!j] = ' ' || src.[!j] = '\t' || src.[!j] = '\n' || src.[!j] = '\r') do
+    incr j
+  done;
+  !j
+
+(* [with _ ->] possibly spanning lines; a named wildcard ([with _e ->])
+   does not count, nor does [with _ as e ->] (no arrow directly after). *)
+let catch_all_positions src =
+  List.filter
+    (fun i ->
+      let n = String.length src in
+      let j = skip_ws src (i + 4) in
+      j < n
+      && src.[j] = '_'
+      && (j + 1 >= n || not (is_word_char src.[j + 1]))
+      &&
+      let k = skip_ws src (j + 1) in
+      k + 1 < n && src.[k] = '-' && src.[k + 1] = '>')
+    (find_token src "with")
+
+let violation ~path rule idx src detail =
+  V.v V.Source
+    ~path:(Printf.sprintf "%s:%d" path (line_of src idx))
+    "%s: %s" (rule_name rule) detail
+
+let scan_source ~path contents =
+  let src = strip_comments_and_strings contents in
+  let of_rule rule detail idxs = List.map (fun i -> violation ~path rule i src detail) idxs in
+  of_rule Obj_magic "Obj.magic defeats the type system; no uses allowed in lib/"
+    (find_token src pat_obj_magic)
+  @ List.concat_map
+      (fun pat ->
+        of_rule Printf_in_lib
+          (pat ^ " writes to stdout from library code; take a formatter instead")
+          (find_token src pat))
+      pats_printf
+  @ of_rule Catch_all "catch-all exception handler swallows every failure" (catch_all_positions src)
+
+(* --- directory walking -------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let hidden name = String.length name = 0 || name.[0] = '.' || name.[0] = '_'
+
+let rec scan_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> [ V.v V.Source ~path:dir "unreadable directory: %s" msg ]
+  | entries ->
+      Array.sort compare entries;
+      Array.to_list entries
+      |> List.concat_map (fun name ->
+             if hidden name then []
+             else
+               let path = Filename.concat dir name in
+               if Sys.is_directory path then scan_dir path
+               else if Filename.check_suffix name ".ml" then
+                 let missing =
+                   if Sys.file_exists (path ^ "i") then []
+                   else
+                     [
+                       V.v V.Source ~path "%s: %s has no interface (%si missing)"
+                         (rule_name Missing_mli) name name;
+                     ]
+                 in
+                 missing @ scan_source ~path (read_file path)
+               else if Filename.check_suffix name ".mli" then scan_source ~path (read_file path)
+               else [])

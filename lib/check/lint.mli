@@ -1,0 +1,40 @@
+(** Source lint for the [lib/] tree, run as [dune build @lint].
+
+    Four rules, all gate-style (any finding fails the build):
+
+    - {b missing-mli}: every [.ml] in a library directory must have a
+      matching [.mli] — an unconstrained module leaks representation and
+      invites invariant-breaking access.
+    - {b obj-magic}: no [Obj.magic] (or any [Obj.] escape hatch) in
+      library code.
+    - {b printf-in-lib}: no [Printf.printf]/[Format.printf] writing to
+      stdout from library code; libraries report through values or
+      formatters the caller supplies.
+    - {b catch-all}: no [with _ ->] handlers — swallowing every exception
+      (including [Out_of_memory] and [Assert_failure]) hides the very
+      corruption the {!Invariant} layer exists to surface.
+
+    Occurrences inside comments and string literals are ignored (sources
+    are scanned with comments/strings blanked out). *)
+
+type rule =
+  | Missing_mli
+  | Obj_magic
+  | Printf_in_lib
+  | Catch_all
+
+val rule_name : rule -> string
+
+val strip_comments_and_strings : string -> string
+(** The same source with comment bodies (nested [(* *)]) and string
+    literal contents replaced by spaces; line structure is preserved so
+    reported line numbers match the original. *)
+
+val scan_source : path:string -> string -> Violation.t list
+(** Content rules ({!Obj_magic}, {!Printf_in_lib}, {!Catch_all}) against
+    one file's text.  [path] is used for reporting only. *)
+
+val scan_dir : string -> Violation.t list
+(** Walk a directory tree (skipping dot- and underscore-prefixed
+    entries), apply {!scan_source} to every [.ml] and [.mli], and report
+    {!Missing_mli} for every [.ml] lacking a sibling [.mli]. *)

@@ -1,0 +1,11 @@
+let enabled =
+  ref
+    (match Sys.getenv_opt "HEXASTORE_DEBUG" with
+    | Some ("1" | "true" | "on") -> true
+    | Some _ | None -> false)
+
+let count = ref 0
+
+let validation_count () = !count
+
+let note_validation () = incr count

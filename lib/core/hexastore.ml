@@ -61,6 +61,31 @@ let link index ~first ~second l =
   ignore (Pair_vector.get_or_insert v second (fun () -> l));
   Pair_vector.bump_total v 1
 
+(* Debug-only hook (see {!Debug}): after a mutation, re-validate every
+   vector and list it touched.  Gated on [Debug.enabled] so the cost is a
+   single flag read in normal operation. *)
+let debug_validate t { s; p; o } =
+  Debug.note_validation ();
+  let check_list table key =
+    match Hashtbl.find_opt table key with
+    | Some l -> Sorted_ivec.check_invariant l
+    | None -> ()
+  in
+  check_list t.o_lists (Pair_key.make s p);
+  check_list t.p_lists (Pair_key.make s o);
+  check_list t.s_lists (Pair_key.make p o);
+  let check_vector index first =
+    match Index.find_vector index first with
+    | Some v -> Pair_vector.check_invariant v
+    | None -> ()
+  in
+  check_vector t.spo s;
+  check_vector t.sop s;
+  check_vector t.pso p;
+  check_vector t.pos p;
+  check_vector t.osp o;
+  check_vector t.ops o
+
 let add_ids t { s; p; o } =
   let o_list = get_or_create_list t.o_lists (Pair_key.make s p) in
   if not (Sorted_ivec.add o_list o) then false
@@ -76,6 +101,7 @@ let add_ids t { s; p; o } =
     link t.pos ~first:p ~second:o s_list;
     link t.ops ~first:o ~second:p s_list;
     t.size <- t.size + 1;
+    if !Debug.enabled then debug_validate t { s; p; o };
     true
   end
 
@@ -127,6 +153,7 @@ let remove_ids t { s; p; o } =
             unlink t.pos ~first:p ~second:o ~list_empty:s_empty;
             unlink t.ops ~first:o ~second:p ~list_empty:s_empty);
         t.size <- t.size - 1;
+        if !Debug.enabled then debug_validate t { s; p; o };
         true
       end
 

@@ -1,0 +1,68 @@
+(** The common store interface.
+
+    The query engine, the harness and parts of the test suite are generic
+    over "something that can answer triple patterns".  The Hexastore and
+    both COVP baselines implement this signature; first-class modules
+    ({!boxed}) let callers hold a heterogeneous store without functorising
+    the world. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Display name ("Hexastore", "COVP1", "COVP2"). *)
+
+  val dict : t -> Dict.Term_dict.t
+
+  val size : t -> int
+
+  val add_ids : t -> Dict.Term_dict.id_triple -> bool
+
+  val add_bulk_ids : t -> Dict.Term_dict.id_triple array -> int
+
+  val lookup : t -> Pattern.t -> Dict.Term_dict.id_triple Seq.t
+
+  val count : t -> Pattern.t -> int
+  (** Exact cardinality of [lookup t pat]; may cost a scan on shapes the
+      store has no index for. *)
+
+  val memory_words : t -> int
+end
+
+module Hexastore_store : S with type t = Hexastore.t
+
+module Covp1_store : S with type t = Covp.t
+
+module Covp2_store : S with type t = Covp.t
+
+module Partial_store : S with type t = Partial.t
+
+(** A store packed with its operations. *)
+type boxed = Boxed : (module S with type t = 'a) * 'a -> boxed
+
+val box_hexastore : Hexastore.t -> boxed
+
+val box_partial : Partial.t -> boxed
+
+val box_covp : Covp.t -> boxed
+(** Picks the COVP1 or COVP2 vtable from {!Covp.kind}. *)
+
+(** Convenience wrappers dispatching through the box. *)
+
+val name : boxed -> string
+val dict : boxed -> Dict.Term_dict.t
+val size : boxed -> int
+val add_ids : boxed -> Dict.Term_dict.id_triple -> bool
+val add_bulk_ids : boxed -> Dict.Term_dict.id_triple array -> int
+val lookup : boxed -> Pattern.t -> Dict.Term_dict.id_triple Seq.t
+val count : boxed -> Pattern.t -> int
+val memory_words : boxed -> int
+
+val add_triple : boxed -> Rdf.Triple.t -> bool
+(** Encode through the box's dictionary, then insert. *)
+
+val load_triples : boxed -> Rdf.Triple.t list -> int
+(** Bulk-encode and bulk-load; returns the number of new triples. *)
+
+val find : boxed -> ?s:Rdf.Term.t -> ?p:Rdf.Term.t -> ?o:Rdf.Term.t -> unit -> Rdf.Triple.t Seq.t
+(** Term-level pattern lookup; unknown terms yield the empty sequence. *)

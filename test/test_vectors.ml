@@ -173,6 +173,55 @@ let test_sivec_subset () =
   check_bool "empty subset" true (Sorted_ivec.subset (Sorted_ivec.create ()) a);
   check_bool "not subset" false (Sorted_ivec.subset (Sorted_ivec.of_list [ 5 ]) b)
 
+(* Binary-search bounds audit: empty vector, single element, absent keys
+   at both ends, exact hits on the first and last element — every seam of
+   [index_geq] and the operations derived from it.  (Elements are
+   distinct by construction, so first- and last-occurrence semantics
+   coincide; [index_geq] is the canonical lower bound.) *)
+let test_sivec_search_bounds_audit () =
+  let empty = Sorted_ivec.create () in
+  check_int "empty index_geq" 0 (Sorted_ivec.index_geq empty 7);
+  check_int "empty rank" 0 (Sorted_ivec.rank empty min_int);
+  check_bool "empty mem" false (Sorted_ivec.mem empty 7);
+  Alcotest.(check (option int)) "empty find_geq" None (Sorted_ivec.find_geq empty 7);
+  let single = Sorted_ivec.of_list [ 42 ] in
+  check_int "single below" 0 (Sorted_ivec.index_geq single 41);
+  check_int "single exact" 0 (Sorted_ivec.index_geq single 42);
+  check_int "single above" 1 (Sorted_ivec.index_geq single 43);
+  check_bool "single mem exact" true (Sorted_ivec.mem single 42);
+  check_bool "single mem below" false (Sorted_ivec.mem single 41);
+  check_bool "single mem above" false (Sorted_ivec.mem single 43);
+  let v = Sorted_ivec.of_list [ 10; 20; 30; 40 ] in
+  check_int "absent below min" 0 (Sorted_ivec.index_geq v 9);
+  check_int "absent above max" 4 (Sorted_ivec.index_geq v 41);
+  check_bool "mem below min" false (Sorted_ivec.mem v 9);
+  check_bool "mem above max" false (Sorted_ivec.mem v 41);
+  Alcotest.(check (option int)) "find_geq below min" (Some 10) (Sorted_ivec.find_geq v 9);
+  Alcotest.(check (option int)) "find_geq above max" None (Sorted_ivec.find_geq v 41);
+  check_int "first exact" 0 (Sorted_ivec.index_geq v 10);
+  check_int "last exact" 3 (Sorted_ivec.index_geq v 40);
+  check_int "rank of max" 3 (Sorted_ivec.rank v 40);
+  check_int "rank past max" 4 (Sorted_ivec.rank v 41);
+  check_int "gap key lands right" 1 (Sorted_ivec.index_geq v 15);
+  check_int "last gap key" 3 (Sorted_ivec.index_geq v 35);
+  let acc = ref [] in
+  Sorted_ivec.iter_from (fun x -> acc := x :: !acc) v 41;
+  check_int_list "iter_from beyond max" [] !acc;
+  check_int_list "to_seq_from below min" [ 10; 20; 30; 40 ]
+    (List.of_seq (Sorted_ivec.to_seq_from v min_int));
+  check_bool "remove below min" false (Sorted_ivec.remove (Sorted_ivec.of_list [ 1; 2 ]) 0);
+  check_bool "remove above max" false (Sorted_ivec.remove (Sorted_ivec.of_list [ 1; 2 ]) 3)
+
+let prop_sivec_index_geq_oracle =
+  QCheck.Test.make ~name:"index_geq/mem/find_geq vs list oracle" ~count:500
+    QCheck.(pair (list (int_bound 60)) (int_bound 70))
+    (fun (xs, x) ->
+      let v = Sorted_ivec.of_list xs in
+      let elements = Iset.elements (Iset.of_list xs) in
+      Sorted_ivec.index_geq v x = List.length (List.filter (fun e -> e < x) elements)
+      && Sorted_ivec.mem v x = List.mem x elements
+      && Sorted_ivec.find_geq v x = List.find_opt (fun e -> e >= x) elements)
+
 let prop_sivec_set_model =
   QCheck.Test.make ~name:"sorted_ivec behaves like Set under add/remove/mem" ~count:500
     QCheck.(list (pair bool (int_bound 100)))
@@ -286,6 +335,47 @@ let prop_union_many =
       let expected = List.fold_left (fun acc l -> Iset.union acc (Iset.of_list l)) Iset.empty lists in
       Sorted_ivec.to_list (Merge.union_many vs) = Iset.elements expected)
 
+(* List-based oracles for the remaining join kernels (satellite audit):
+   the callback join, the count-only intersection, and the lazy sequence
+   kernels must all agree with naive list filtering. *)
+
+let oracle_inter xs ys =
+  let sy = Iset.of_list ys in
+  List.filter (fun x -> Iset.mem x sy) (Iset.elements (Iset.of_list xs))
+
+let prop_merge_join_oracle =
+  QCheck.Test.make ~name:"merge_join visits exactly the intersection, in order" ~count:500
+    set_ops_gen
+    (fun (xs, ys) ->
+      let acc = ref [] in
+      Merge.merge_join (fun x -> acc := x :: !acc) (Sorted_ivec.of_list xs)
+        (Sorted_ivec.of_list ys);
+      List.rev !acc = oracle_inter xs ys)
+
+let prop_intersect_count_oracle =
+  QCheck.Test.make ~name:"intersect_count = |list intersection|" ~count:500 set_ops_gen
+    (fun (xs, ys) ->
+      Merge.intersect_count (Sorted_ivec.of_list xs) (Sorted_ivec.of_list ys)
+      = List.length (oracle_inter xs ys))
+
+let prop_merge_seq_oracle =
+  QCheck.Test.make ~name:"intersect_seq/union_seq vs list oracles" ~count:500 set_ops_gen
+    (fun (xs, ys) ->
+      let sx = List.to_seq (Iset.elements (Iset.of_list xs))
+      and sy = List.to_seq (Iset.elements (Iset.of_list ys)) in
+      let sx' = List.to_seq (Iset.elements (Iset.of_list xs))
+      and sy' = List.to_seq (Iset.elements (Iset.of_list ys)) in
+      List.of_seq (Merge.intersect_seq sx sy) = oracle_inter xs ys
+      && List.of_seq (Merge.union_seq sx' sy')
+         = Iset.elements (Iset.union (Iset.of_list xs) (Iset.of_list ys)))
+
+let prop_merge_diff_oracle =
+  QCheck.Test.make ~name:"diff = list filter oracle" ~count:500 set_ops_gen
+    (fun (xs, ys) ->
+      let sy = Iset.of_list ys in
+      Sorted_ivec.to_list (Merge.diff (Sorted_ivec.of_list xs) (Sorted_ivec.of_list ys))
+      = List.filter (fun x -> not (Iset.mem x sy)) (Iset.elements (Iset.of_list xs)))
+
 (* ------------------------------------------------------------------ *)
 (* Pair_key                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -344,6 +434,8 @@ let () =
           Alcotest.test_case "of_sorted_array" `Quick test_sivec_of_sorted_array;
           Alcotest.test_case "iter_from" `Quick test_sivec_iter_from;
           Alcotest.test_case "subset" `Quick test_sivec_subset;
+          Alcotest.test_case "search bounds audit" `Quick test_sivec_search_bounds_audit;
+          qt prop_sivec_index_geq_oracle;
           qt prop_sivec_set_model;
           qt prop_sivec_ascending_adds_fast_path;
         ] );
@@ -362,6 +454,10 @@ let () =
           qt prop_diff;
           qt prop_gallop;
           qt prop_union_many;
+          qt prop_merge_join_oracle;
+          qt prop_intersect_count_oracle;
+          qt prop_merge_seq_oracle;
+          qt prop_merge_diff_oracle;
         ] );
       ( "pair_key",
         [
