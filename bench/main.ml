@@ -16,26 +16,33 @@
 open Workloads
 
 type mode =
+  | Smoke  (** seconds-scale subset, for the [@bench-smoke] CI alias *)
   | Quick
   | Full
+
+let mode_name = function Smoke -> "smoke" | Quick -> "quick" | Full -> "full"
 
 (* ------------------------------------------------------------------- *)
 (* Data environments (built once per run, shared across figures)        *)
 (* ------------------------------------------------------------------- *)
 
 let barton_cfg = function
+  | Smoke -> Barton.config ~subjects:2_000 ~seed:7 ()
   | Quick -> Barton.config ~subjects:40_000 ~seed:7 ()
   | Full -> Barton.config ~subjects:350_000 ~seed:7 ()
 
 let barton_sizes = function
+  | Smoke -> [ 2_000; 8_000 ]
   | Quick -> [ 30_000; 60_000; 120_000; 240_000 ]
   | Full -> [ 250_000; 500_000; 1_000_000; 2_000_000 ]
 
 let lubm_cfg = function
+  | Smoke -> Lubm.config ~universities:1 ~departments_per_university:2 ~seed:42 ()
   | Quick -> Lubm.config ~universities:8 ~departments_per_university:4 ~seed:42 ()
   | Full -> Lubm.config ~universities:32 ~departments_per_university:8 ~seed:42 ()
 
 let lubm_sizes = function
+  | Smoke -> [ 2_000; 7_000 ]
   | Quick -> [ 30_000; 60_000; 120_000; 240_000 ]
   | Full -> [ 250_000; 500_000; 1_000_000; 2_000_000 ]
 
@@ -86,7 +93,12 @@ let sweep sized ~variants =
         stores)
     sized
 
+(* Every printed series is also retained, so [--json] can re-emit the
+   whole run in machine-readable form at the end. *)
+let collected : (string * string * Harness.point list) list ref = ref []
+
 let print_series ~figure ~title points =
+  collected := (figure, title, points) :: !collected;
   Format.printf "@[<v>%a@]@." (Harness.pp_series ~figure ~title) points
 
 (* A Barton query body, made total over missing vocabulary. *)
@@ -598,6 +610,172 @@ let abl_usage _env =
     ];
   Format.printf "@."
 
+(* abl-telemetry: cost of the PR-2 instrumentation hooks.  The same
+   bulk-load + 2000-count body runs with telemetry disabled (every hook
+   is one flag read and a fall-through branch) and enabled (counters,
+   histograms and spans recording); "telemetry-off" is the number that
+   must not regress against pre-instrumentation baselines. *)
+let telemetry_overhead () =
+  let dict = Dict.Term_dict.create () in
+  let triples =
+    Array.of_seq
+      (Seq.map (Dict.Term_dict.encode_triple dict)
+         (Lubm.generate_seq (Lubm.config ~universities:1 ~departments_per_university:2 ())))
+  in
+  let probes = Array.sub triples 0 (min 2_000 (Array.length triples)) in
+  let body () =
+    let h = Hexa.Hexastore.create ~dict () in
+    ignore (Hexa.Hexastore.add_bulk_ids h triples);
+    let acc = ref 0 in
+    Array.iter
+      (fun (tr : Dict.Term_dict.id_triple) ->
+        acc := !acc + Hexa.Hexastore.count h (Hexa.Pattern.make ~s:tr.s ~p:tr.p ()))
+      probes;
+    !acc
+  in
+  let off_s, n_off =
+    Telemetry.with_enabled false (fun () -> Harness.time ~warmup:1 ~repeats:5 body)
+  in
+  let on_s, n_on =
+    Telemetry.with_enabled true (fun () -> Harness.time ~warmup:1 ~repeats:5 body)
+  in
+  assert (n_off = n_on);
+  (Array.length triples, off_s, on_s)
+
+let abl_telemetry _env =
+  let n, off_s, on_s = telemetry_overhead () in
+  print_series ~figure:"abl-telemetry"
+    ~title:
+      (Printf.sprintf
+         "Instrumentation cost, bulk-load of %d triples + 2000 counts (on/off = %.2fx)" n
+         (on_s /. off_s))
+    [
+      { Harness.size = n; method_ = "telemetry-off"; seconds = off_s };
+      { Harness.size = n; method_ = "telemetry-on"; seconds = on_s };
+    ]
+
+(* ------------------------------------------------------------------- *)
+(* Machine-readable emission (--json): the PR-2 benchmark artifact      *)
+(* ------------------------------------------------------------------- *)
+
+(* Wall time (telemetry off, so timings are clean), then one traced run
+   whose hexastore.probe.* counter deltas say which indices the query
+   actually read. *)
+let query_summary store (name, run) =
+  let seconds, _ =
+    Telemetry.with_enabled false (fun () ->
+        Harness.time ~warmup:1 ~repeats:timing_repeats (fun () -> run store))
+  in
+  let probes =
+    Telemetry.with_enabled true (fun () ->
+        let before = Telemetry.Metrics.snapshot_counters ~prefix:"hexastore.probe." () in
+        run store;
+        let after = Telemetry.Metrics.snapshot_counters ~prefix:"hexastore.probe." () in
+        List.filter_map
+          (fun (k, v) ->
+            let v0 = Option.value ~default:0 (List.assoc_opt k before) in
+            if v > v0 then Some (k, Telemetry.Json.Int (v - v0)) else None)
+          after)
+  in
+  (name, Telemetry.Json.Obj [ ("seconds", Telemetry.Json.Float seconds); ("probes", Telemetry.Json.Obj probes) ])
+
+let workload_summary sized queries_of =
+  match List.rev sized with
+  | [] -> Telemetry.Json.Null
+  | { Harness.n_triples; stores; dict } :: _ -> (
+      let hexa = List.find_opt (function Stores.Hexa _ -> true | Stores.Covp _ -> false) stores in
+      match hexa with
+      | None -> Telemetry.Json.Null
+      | Some store ->
+          Telemetry.Json.Obj
+            [
+              ("triples", Telemetry.Json.Int n_triples);
+              ( "memory_mb",
+                Telemetry.Json.Float (Harness.words_to_mb (Stores.memory_words store)) );
+              ("queries", Telemetry.Json.Obj (List.map (query_summary store) (queries_of dict)));
+            ])
+
+let barton_queries dict =
+  match Queries_barton.resolve_ids dict with
+  | None -> []
+  | Some ids ->
+      [
+        ("BQ1", fun s -> force_list (Queries_barton.bq1 s ids));
+        ("BQ2", fun s -> force_list (Queries_barton.bq2 s ids));
+        ("BQ3", fun s -> force_list (Queries_barton.bq3 s ids));
+        ("BQ4", fun s -> force_list (Queries_barton.bq4 s ids));
+        ("BQ5", fun s -> force_list (Queries_barton.bq5 s ids));
+        ("BQ6", fun s -> force_list (Queries_barton.bq6 s ids));
+        ("BQ7", fun s -> force_list (Queries_barton.bq7 s ids));
+      ]
+
+let lubm_queries dict =
+  match Queries_lubm.resolve_ids dict with
+  | None -> []
+  | Some ids ->
+      [
+        ("LQ1", fun s -> force_list (Queries_lubm.lq1 s ids));
+        ("LQ2", fun s -> force_list (Queries_lubm.lq2 s ids));
+        ( "LQ3",
+          fun s ->
+            let out, inc = Queries_lubm.lq3 s ids in
+            force_list out;
+            force_list inc );
+        ("LQ4", fun s -> force_list (Queries_lubm.lq4 s ids));
+        ("LQ5", fun s -> force_list (Queries_lubm.lq5 s ids));
+      ]
+
+let figure_json (figure, title, points) =
+  Telemetry.Json.Obj
+    [
+      ("figure", Telemetry.Json.String figure);
+      ("title", Telemetry.Json.String title);
+      ( "points",
+        Telemetry.Json.List
+          (List.map
+             (fun { Harness.size; method_; seconds } ->
+               Telemetry.Json.Obj
+                 [
+                   ("size", Telemetry.Json.Int size);
+                   ("method", Telemetry.Json.String method_);
+                   ("seconds", Telemetry.Json.Float seconds);
+                 ])
+             points) );
+    ]
+
+let emit_json ~mode ~path env =
+  let overhead_triples, off_s, on_s = telemetry_overhead () in
+  let json =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.String "hexastore-bench/v1");
+        ("pr", Telemetry.Json.Int 2);
+        ("mode", Telemetry.Json.String (mode_name mode));
+        ( "workloads",
+          Telemetry.Json.Obj
+            [
+              ("lubm", workload_summary (Lazy.force env.lubm) lubm_queries);
+              ("barton", workload_summary (Lazy.force env.barton) barton_queries);
+            ] );
+        ( "telemetry_overhead",
+          Telemetry.Json.Obj
+            [
+              ("triples", Telemetry.Json.Int overhead_triples);
+              ("disabled_seconds", Telemetry.Json.Float off_s);
+              ("enabled_seconds", Telemetry.Json.Float on_s);
+              ("enabled_over_disabled", Telemetry.Json.Float (on_s /. off_s));
+            ] );
+        ("figures", Telemetry.Json.List (List.map figure_json (List.rev !collected)));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Telemetry.Json.to_string ~indent:2 json);
+      output_char oc '\n');
+  Format.printf "# wrote %s@." path
+
 (* ------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks (one grouped test per figure)              *)
 (* ------------------------------------------------------------------- *)
@@ -665,19 +843,18 @@ let figures =
     ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
     ("abl-load", abl_load); ("abl-join", abl_join); ("abl-dict", abl_dict);
     ("abl-share", abl_share); ("abl-star", abl_star); ("abl-partial", abl_partial);
-    ("abl-cyclic", abl_cyclic); ("abl-usage", abl_usage);
+    ("abl-cyclic", abl_cyclic); ("abl-usage", abl_usage); ("abl-telemetry", abl_telemetry);
   ]
 
-let run_bench full selected bechamel list_only =
+let run_bench full smoke selected bechamel list_only json_path =
   if list_only then begin
     List.iter (fun (name, _) -> print_endline name) figures;
     0
   end
   else begin
-    let mode = if full then Full else Quick in
+    let mode = if smoke then Smoke else if full then Full else Quick in
     let env = make_env mode in
-    Format.printf "# Hexastore benchmark harness — mode: %s@."
-      (match mode with Quick -> "quick" | Full -> "full");
+    Format.printf "# Hexastore benchmark harness — mode: %s@." (mode_name mode);
     if bechamel then bechamel_suite env
     else begin
       let to_run =
@@ -693,7 +870,8 @@ let run_bench full selected bechamel list_only =
                     None)
               names
       in
-      List.iter (fun (_, f) -> f env) to_run
+      List.iter (fun (_, f) -> f env) to_run;
+      Option.iter (fun path -> emit_json ~mode ~path env) json_path
     end;
     0
   end
@@ -702,6 +880,11 @@ let () =
   let open Cmdliner in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Full-size sweeps (paper-scale prefixes; slower).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Tiny seconds-scale sweeps (CI smoke test; overrides --full).")
   in
   let figure =
     Arg.(
@@ -712,7 +895,16 @@ let () =
     Arg.(value & flag & info [ "bechamel" ] ~doc:"Run the Bechamel micro-benchmark suite instead.")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List figure ids and exit.") in
-  let term = Term.(const run_bench $ full $ figure $ bechamel $ list_only) in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "After the figures, write the whole run (figure series, per-query wall times and \
+             index-probe counters, memory, telemetry overhead) as JSON to $(docv).")
+  in
+  let term = Term.(const run_bench $ full $ smoke $ figure $ bechamel $ list_only $ json_path) in
   let info =
     Cmd.info "hexastore-bench"
       ~doc:

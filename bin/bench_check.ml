@@ -1,0 +1,69 @@
+(* Validator for the BENCH_PR<n>.json artifacts the benchmark harness
+   emits (bench/main.exe --json): parses the file with Telemetry.Json
+   and checks the keys every per-PR benchmark record must carry, so the
+   @bench-smoke alias fails loudly when the emission path regresses. *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("bench-check: " ^ msg); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let require ~ctx json key =
+  match Telemetry.Json.member key json with
+  | Some v -> v
+  | None -> fail "%s: missing key %S" ctx key
+
+let require_number ~ctx json key =
+  match Telemetry.Json.to_float_opt (require ~ctx json key) with
+  | Some f -> f
+  | None -> fail "%s: key %S is not a number" ctx key
+
+let check_workload name json =
+  let ctx = "workloads." ^ name in
+  ignore (require_number ~ctx json "triples");
+  ignore (require_number ~ctx json "memory_mb");
+  match require ~ctx json "queries" with
+  | Telemetry.Json.Obj [] -> fail "%s.queries is empty" ctx
+  | Telemetry.Json.Obj queries ->
+      List.iter
+        (fun (qname, q) ->
+          let ctx = ctx ^ ".queries." ^ qname in
+          ignore (require_number ~ctx q "seconds");
+          match require ~ctx q "probes" with
+          | Telemetry.Json.Obj _ -> ()
+          | _ -> fail "%s.probes is not an object" ctx)
+        queries
+  | _ -> fail "%s.queries is not an object" ctx
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: bench_check FILE.json"
+  in
+  let json =
+    match Telemetry.Json.of_string (read_file path) with
+    | Ok json -> Ok json
+    | Error msg -> Error msg
+  in
+  let json = match json with Ok j -> j | Error msg -> fail "%s does not parse: %s" path msg in
+  (match require ~ctx:"root" json "schema" with
+  | Telemetry.Json.String "hexastore-bench/v1" -> ()
+  | _ -> fail "schema is not \"hexastore-bench/v1\"");
+  (match require ~ctx:"root" json "mode" with
+  | Telemetry.Json.String _ -> ()
+  | _ -> fail "mode is not a string");
+  let workloads = require ~ctx:"root" json "workloads" in
+  check_workload "lubm" (require ~ctx:"workloads" workloads "lubm");
+  check_workload "barton" (require ~ctx:"workloads" workloads "barton");
+  let overhead = require ~ctx:"root" json "telemetry_overhead" in
+  let off = require_number ~ctx:"telemetry_overhead" overhead "disabled_seconds" in
+  let on = require_number ~ctx:"telemetry_overhead" overhead "enabled_seconds" in
+  if off <= 0. || on <= 0. then fail "telemetry_overhead timings must be positive";
+  (match require ~ctx:"root" json "figures" with
+  | Telemetry.Json.List _ -> ()
+  | _ -> fail "figures is not a list");
+  Printf.printf "bench-check: %s OK\n" path

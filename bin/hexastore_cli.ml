@@ -95,11 +95,52 @@ let query_cmd =
             Format.printf "@[<v>%a@]@."
               (Query.Results.pp dict ~columns:q.projection)
               solutions
-        end)
+        end;
+        (* HEXASTORE_TELEMETRY=1: dump what the run recorded, on stderr
+           so it composes with --csv pipelines. *)
+        if !Telemetry.enabled then Format.eprintf "%a@." Telemetry.report ())
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Load RDF data and run a SPARQL-subset query against a Hexastore.")
     Term.(const run $ data_arg $ format_arg $ query_arg $ csv_arg)
+
+(* --- explain ---------------------------------------------------------- *)
+
+let explain_cmd =
+  let query_arg =
+    Arg.(
+      required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"SPARQL query text, or @FILE.")
+  in
+  let analyze_arg =
+    Arg.(
+      value & flag
+      & info [ "analyze" ] ~doc:"Also execute the plan and report actual cardinalities and timings.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the plan tree as JSON.") in
+  let run data format query_text analyze json =
+    handle_errors (fun () ->
+        let store = load_store ~format data in
+        let text =
+          if String.length query_text > 0 && query_text.[0] = '@' then (
+            let path = String.sub query_text 1 (String.length query_text - 1) in
+            let ic = open_in path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic)))
+          else query_text
+        in
+        let q = Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) text in
+        let boxed = Hexa.Store_sig.box_hexastore store in
+        let plan = Query.Exec.explain ~analyze boxed q.algebra in
+        if json then print_endline (Telemetry.Json.to_string ~indent:2 (Query.Exec.explain_to_json plan))
+        else Format.printf "%a@." Query.Exec.pp_explain plan)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the query plan: join order, per-scan index, cardinality estimates; with --analyze, \
+          actual row counts and timings.")
+    Term.(const run $ data_arg $ format_arg $ query_arg $ analyze_arg $ json_arg)
 
 (* --- stats ------------------------------------------------------------ *)
 
@@ -220,4 +261,6 @@ let () =
     Cmd.info "hexastore" ~version:"1.0.0"
       ~doc:"Sextuple-indexed RDF storage and querying (Weiss, Karras, Bernstein; VLDB 2008)."
   in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; stats_cmd; convert_cmd; snapshot_cmd; advise_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ query_cmd; explain_cmd; stats_cmd; convert_cmd; snapshot_cmd; advise_cmd ]))

@@ -5,17 +5,26 @@ type rule =
   | Obj_magic
   | Printf_in_lib
   | Catch_all
+  | Raw_clock
 
 let rule_name = function
   | Missing_mli -> "missing-mli"
   | Obj_magic -> "obj-magic"
   | Printf_in_lib -> "printf-in-lib"
   | Catch_all -> "catch-all"
+  | Raw_clock -> "raw-clock"
 
 (* The patterns are assembled at runtime so this file does not flag
    itself when the linter scans lib/check. *)
 let pat_obj_magic = "Obj." ^ "magic"
 let pats_printf = [ "Printf." ^ "printf"; "Format." ^ "printf"; "print_" ^ "endline" ]
+let pats_clock = [ "Unix." ^ "gettimeofday"; "Sys." ^ "time" ]
+
+(* lib/telemetry wraps the system clock; everyone else must go through
+   it (Telemetry.Clock), so tests can inject a deterministic source. *)
+let clock_exempt path =
+  let dir = Filename.dirname path in
+  Filename.basename dir = "telemetry" || Filename.basename path = "telemetry"
 
 (* --- comment/string stripping ------------------------------------------ *)
 
@@ -154,6 +163,14 @@ let scan_source ~path contents =
           (find_token src pat))
       pats_printf
   @ of_rule Catch_all "catch-all exception handler swallows every failure" (catch_all_positions src)
+  @ (if clock_exempt path then []
+     else
+       List.concat_map
+         (fun pat ->
+           of_rule Raw_clock
+             (pat ^ " reads the system clock directly; use Telemetry.Clock so tests can inject time")
+             (find_token src pat))
+         pats_clock)
 
 (* --- directory walking -------------------------------------------------- *)
 

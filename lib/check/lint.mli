@@ -13,6 +13,11 @@
     - {b catch-all}: no [with _ ->] handlers — swallowing every exception
       (including [Out_of_memory] and [Assert_failure]) hides the very
       corruption the {!Invariant} layer exists to surface.
+    - {b raw-clock}: no direct [Unix.gettimeofday] or [Sys.time] in
+      library code; time flows through [Telemetry.Clock] so tests and
+      EXPLAIN ANALYZE can inject a deterministic source.  Files under a
+      [telemetry] directory are exempt — that is where the clock is
+      wrapped.
 
     Occurrences inside comments and string literals are ignored (sources
     are scanned with comments/strings blanked out). *)
@@ -22,6 +27,7 @@ type rule =
   | Obj_magic
   | Printf_in_lib
   | Catch_all
+  | Raw_clock
 
 val rule_name : rule -> string
 

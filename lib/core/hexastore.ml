@@ -6,6 +6,37 @@ type id_triple = Dict.Term_dict.id_triple = {
   o : int;
 }
 
+(* Telemetry: per-ordering probe/insert/delete counters, indexed in the
+   order of {!Ordering.all}, plus a histogram of terminal scan sizes
+   (list length or vector total enumerated by a lookup).  Every hook is
+   a single flag read while telemetry is off. *)
+let ord_index = function
+  | Ordering.Spo -> 0
+  | Ordering.Sop -> 1
+  | Ordering.Pso -> 2
+  | Ordering.Pos -> 3
+  | Ordering.Osp -> 4
+  | Ordering.Ops -> 5
+
+let counter_family event =
+  Array.of_list
+    (List.map
+       (fun o -> Telemetry.Metrics.counter ("hexastore." ^ event ^ "." ^ Ordering.name o))
+       Ordering.all)
+
+let m_probe = counter_family "probe"
+let m_insert = counter_family "insert"
+let m_delete = counter_family "delete"
+let m_scan_len = Telemetry.Metrics.histogram "hexastore.scan.terminal_size"
+
+let note_ord o = Telemetry.Metrics.incr m_probe.(ord_index o)
+let note_probe shape = note_ord (Ordering.for_shape shape)
+
+(* Every mutation touches all six orderings (§4.2's update cost), so the
+   whole family advances together. *)
+let note_mutation family n =
+  if !Telemetry.Config.enabled then Array.iter (fun c -> Telemetry.Metrics.add c n) family
+
 type t = {
   dict : Dict.Term_dict.t;
   spo : Index.t;
@@ -39,12 +70,16 @@ let create ?dict () =
 
 let dict t = t.dict
 let size t = t.size
-let spo t = t.spo
-let sop t = t.sop
-let pso t = t.pso
-let pos t = t.pos
-let osp t = t.osp
-let ops t = t.ops
+(* Handing out an index is counted as a probe of it: the benchmark
+   query strategies read indices through these accessors, and the
+   hexastore.probe.* counters are how EXPLAIN and the bench artifact
+   attribute work to index families. *)
+let spo t = note_ord Ordering.Spo; t.spo
+let sop t = note_ord Ordering.Sop; t.sop
+let pso t = note_ord Ordering.Pso; t.pso
+let pos t = note_ord Ordering.Pos; t.pos
+let osp t = note_ord Ordering.Osp; t.osp
+let ops t = note_ord Ordering.Ops; t.ops
 
 let get_or_create_list table key =
   match Hashtbl.find_opt table key with
@@ -101,6 +136,7 @@ let add_ids t { s; p; o } =
     link t.pos ~first:p ~second:o s_list;
     link t.ops ~first:o ~second:p s_list;
     t.size <- t.size + 1;
+    note_mutation m_insert 1;
     if !Debug.enabled then debug_validate t { s; p; o };
     true
   end
@@ -153,6 +189,7 @@ let remove_ids t { s; p; o } =
             unlink t.pos ~first:p ~second:o ~list_empty:s_empty;
             unlink t.ops ~first:o ~second:p ~list_empty:s_empty);
         t.size <- t.size - 1;
+        note_mutation m_delete 1;
         if !Debug.enabled then debug_validate t { s; p; o };
         true
       end
@@ -219,6 +256,7 @@ let add_bulk_ids t triples =
       link t.ops ~first:tr.o ~second:tr.p s_list)
     fresh;
   t.size <- t.size + !fresh_count;
+  note_mutation m_insert !fresh_count;
   !fresh_count
 
 (* --- lookup ---------------------------------------------------------- *)
@@ -241,33 +279,49 @@ let full_scan t =
     (fun s -> seq_of_header t.spo (fun p o -> { s; p; o }) s)
     (Sorted_ivec.to_seq (Index.headers t.spo))
 
+let scan_list_opt l =
+  (match l with
+  | Some l -> Telemetry.Metrics.observe m_scan_len (Sorted_ivec.length l)
+  | None -> ());
+  seq_of_list_opt l
+
+let scan_header index build h =
+  (match Index.find_vector index h with
+  | Some v -> Telemetry.Metrics.observe m_scan_len (Pair_vector.total v)
+  | None -> ());
+  seq_of_header index build h
+
 let lookup t (pat : Pattern.t) =
-  match Pattern.shape pat with
+  let shape = Pattern.shape pat in
+  note_probe shape;
+  match shape with
   | Pattern.All ->
       let tr = { s = Option.get pat.s; p = Option.get pat.p; o = Option.get pat.o } in
       if mem_ids t tr then Seq.return tr else Seq.empty
   | Pattern.Sp ->
       let s = Option.get pat.s and p = Option.get pat.p in
-      Seq.map (fun o -> { s; p; o }) (seq_of_list_opt (Index.find_list t.spo s p))
+      Seq.map (fun o -> { s; p; o }) (scan_list_opt (Index.find_list t.spo s p))
   | Pattern.So ->
       let s = Option.get pat.s and o = Option.get pat.o in
-      Seq.map (fun p -> { s; p; o }) (seq_of_list_opt (Index.find_list t.sop s o))
+      Seq.map (fun p -> { s; p; o }) (scan_list_opt (Index.find_list t.sop s o))
   | Pattern.Po ->
       let p = Option.get pat.p and o = Option.get pat.o in
-      Seq.map (fun s -> { s; p; o }) (seq_of_list_opt (Index.find_list t.pos p o))
+      Seq.map (fun s -> { s; p; o }) (scan_list_opt (Index.find_list t.pos p o))
   | Pattern.S ->
       let s = Option.get pat.s in
-      seq_of_header t.spo (fun p o -> { s; p; o }) s
+      scan_header t.spo (fun p o -> { s; p; o }) s
   | Pattern.P ->
       let p = Option.get pat.p in
-      seq_of_header t.pso (fun s o -> { s; p; o }) p
+      scan_header t.pso (fun s o -> { s; p; o }) p
   | Pattern.O ->
       let o = Option.get pat.o in
-      seq_of_header t.osp (fun s p -> { s; p; o }) o
+      scan_header t.osp (fun s p -> { s; p; o }) o
   | Pattern.None_bound -> full_scan t
 
 let count t (pat : Pattern.t) =
-  match Pattern.shape pat with
+  let shape = Pattern.shape pat in
+  note_probe shape;
+  match shape with
   | Pattern.All ->
       if mem_ids t { s = Option.get pat.s; p = Option.get pat.p; o = Option.get pat.o } then 1
       else 0
@@ -301,9 +355,18 @@ let fold f t acc = Seq.fold_left (fun acc tr -> f tr acc) acc (full_scan t)
 
 (* --- direct accessors ------------------------------------------------ *)
 
-let objects_of_sp t ~s ~p = Hashtbl.find_opt t.o_lists (Pair_key.make s p)
-let properties_of_so t ~s ~o = Hashtbl.find_opt t.p_lists (Pair_key.make s o)
-let subjects_of_po t ~p ~o = Hashtbl.find_opt t.s_lists (Pair_key.make p o)
+let probe_lists ord table key =
+  note_ord ord;
+  let r = Hashtbl.find_opt table key in
+  (match r with
+  | Some l when !Telemetry.Config.enabled ->
+      Telemetry.Metrics.observe m_scan_len (Sorted_ivec.length l)
+  | _ -> ());
+  r
+
+let objects_of_sp t ~s ~p = probe_lists Ordering.Spo t.o_lists (Pair_key.make s p)
+let properties_of_so t ~s ~o = probe_lists Ordering.Sop t.p_lists (Pair_key.make s o)
+let subjects_of_po t ~p ~o = probe_lists Ordering.Pos t.s_lists (Pair_key.make p o)
 
 let subjects t = Index.headers t.spo
 let properties t = Index.headers t.pso

@@ -11,8 +11,17 @@ type summary = {
 
 let words_to_mb w = float_of_int (w * 8) /. (1024. *. 1024.)
 
+(* Refreshed on every {!summary}, so a telemetry export taken after a
+   stats pass carries the store's current footprint. *)
+let m_memory_words = Telemetry.Metrics.gauge "hexastore.memory_words"
+let m_memory_mb = Telemetry.Metrics.gauge "hexastore.memory_mb"
+let m_triples = Telemetry.Metrics.gauge "hexastore.size_triples"
+
 let summary h =
   let memory_words = Hexastore.memory_words h in
+  Telemetry.Metrics.set m_memory_words (float_of_int memory_words);
+  Telemetry.Metrics.set m_memory_mb (words_to_mb memory_words);
+  Telemetry.Metrics.set m_triples (float_of_int (Hexastore.size h));
   {
     triples = Hexastore.size h;
     distinct_subjects = Sorted_ivec.length (Hexastore.subjects h);

@@ -67,4 +67,13 @@ val vars_of_tp : tp -> string list
 val vars_of : t -> string list
 (** All variables mentioned anywhere in the query, sorted. *)
 
+val pp_atom : Format.formatter -> atom -> unit
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_tp : Format.formatter -> tp -> unit
+(** One triple pattern, Turtle-ish: [?s <iri> "lit" .]. *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit
+
 val pp : Format.formatter -> t -> unit

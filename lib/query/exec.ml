@@ -1,5 +1,31 @@
 open Algebra
 
+(* Telemetry: per-operator produced-row counters (lazy operators count
+   rows as they stream), spans around the blocking materialisations and
+   the top-level entry points.  All hooks vanish to a flag read while
+   telemetry is off. *)
+let m_rows_scan = Telemetry.Metrics.counter "query.rows.scan"
+let m_rows_bgp = Telemetry.Metrics.counter "query.rows.bgp"
+let m_rows_join = Telemetry.Metrics.counter "query.rows.join"
+let m_rows_left_join = Telemetry.Metrics.counter "query.rows.left_join"
+let m_rows_union = Telemetry.Metrics.counter "query.rows.union"
+let m_rows_values = Telemetry.Metrics.counter "query.rows.values"
+let m_rows_filter = Telemetry.Metrics.counter "query.rows.filter"
+let m_rows_distinct = Telemetry.Metrics.counter "query.rows.distinct"
+let m_rows_project = Telemetry.Metrics.counter "query.rows.project"
+let m_rows_group = Telemetry.Metrics.counter "query.rows.group"
+let m_rows_order = Telemetry.Metrics.counter "query.rows.order_by"
+let m_rows_slice = Telemetry.Metrics.counter "query.rows.slice"
+
+let counted c seq =
+  if !Telemetry.Config.enabled then
+    Seq.map
+      (fun x ->
+        Telemetry.Metrics.incr c;
+        x)
+      seq
+  else seq
+
 (* --- value comparison ------------------------------------------------- *)
 
 let numeric_of_term = function
@@ -101,13 +127,18 @@ let eval_tp store (tp : tp) binding =
   | Some s, Some p, Some o ->
       Hexa.Store_sig.lookup store { Hexa.Pattern.s; p; o }
       |> Seq.filter_map (extend_with binding tp)
+      |> counted m_rows_scan
   | _ -> Seq.empty
 
-let eval_bgp store tps =
-  let ordered = Planner.order_bgp store tps in
+(* Nested-loop join over an already-planned pattern order; EXPLAIN
+   ANALYZE reuses this on plan prefixes so its per-operator cardinalities
+   come from exactly the executed order. *)
+let eval_ordered store ordered =
   List.fold_left
     (fun sols tp -> Seq.concat_map (eval_tp store tp) sols)
     (Seq.return Binding.empty) ordered
+
+let eval_bgp store tps = eval_ordered store (Planner.order_bgp store tps)
 
 (* --- joins ------------------------------------------------------------ *)
 
@@ -175,21 +206,28 @@ let eval_group keys aggs solutions =
 let rec eval store (q : Algebra.t) : Binding.t Seq.t =
   let dict = Hexa.Store_sig.dict store in
   match q with
-  | Bgp tps -> eval_bgp store tps
+  | Bgp tps -> counted m_rows_bgp (eval_bgp store tps)
   | Join (a, b) ->
-      let right = List.of_seq (eval store b) in
+      let right =
+        Telemetry.Trace.with_span "exec.join.build_right" (fun () -> List.of_seq (eval store b))
+      in
       Seq.concat_map
         (fun sa -> List.to_seq (List.filter_map (merge_bindings sa) right))
         (eval store a)
+      |> counted m_rows_join
   | Left_join (a, b) ->
-      let right = List.of_seq (eval store b) in
+      let right =
+        Telemetry.Trace.with_span "exec.left_join.build_right" (fun () ->
+            List.of_seq (eval store b))
+      in
       Seq.concat_map
         (fun sa ->
           match List.filter_map (merge_bindings sa) right with
           | [] -> Seq.return sa
           | merged -> List.to_seq merged)
         (eval store a)
-  | Union (a, b) -> Seq.append (eval store a) (eval store b)
+      |> counted m_rows_left_join
+  | Union (a, b) -> counted m_rows_union (Seq.append (eval store a) (eval store b))
   | Values (vs, rows) ->
       (* Rows with a term unknown to the dictionary cannot join with any
          data; they are dropped (documented subset behaviour). *)
@@ -208,7 +246,9 @@ let rec eval store (q : Algebra.t) : Binding.t Seq.t =
                | _ -> None
              in
              build Binding.empty vs row)
-  | Filter (expr, q) -> Seq.filter (fun sol -> filter_pass dict sol expr) (eval store q)
+      |> counted m_rows_values
+  | Filter (expr, q) ->
+      counted m_rows_filter (Seq.filter (fun sol -> filter_pass dict sol expr) (eval store q))
   | Distinct q ->
       let seen = Hashtbl.create 64 in
       Seq.filter
@@ -220,6 +260,7 @@ let rec eval store (q : Algebra.t) : Binding.t Seq.t =
             true
           end)
         (eval store q)
+      |> counted m_rows_distinct
   | Project (vs, q) ->
       Seq.map
         (fun sol ->
@@ -228,10 +269,16 @@ let rec eval store (q : Algebra.t) : Binding.t Seq.t =
               match Binding.get sol v with None -> b | Some x -> Binding.bind b v x)
             Binding.empty vs)
         (eval store q)
+      |> counted m_rows_project
   | Extend_group (keys, aggs, q) ->
-      List.to_seq (eval_group keys aggs (List.of_seq (eval store q)))
+      Telemetry.Trace.with_span "exec.group" (fun () ->
+          List.to_seq (eval_group keys aggs (List.of_seq (eval store q))))
+      |> counted m_rows_group
   | Order_by (orders, q) ->
-      let sols = List.of_seq (eval store q) in
+      let sols =
+        Telemetry.Trace.with_span "exec.order_by.collect" (fun () ->
+            List.of_seq (eval store q))
+      in
       let cmp a b =
         let rec loop = function
           | [] -> 0
@@ -247,21 +294,22 @@ let rec eval store (q : Algebra.t) : Binding.t Seq.t =
         in
         loop orders
       in
-      List.to_seq (List.stable_sort cmp sols)
+      counted m_rows_order (List.to_seq (List.stable_sort cmp sols))
   | Slice (offset, limit, q) ->
       let s = eval store q in
       let s = match offset with None -> s | Some n -> Seq.drop n s in
-      (match limit with None -> s | Some n -> Seq.take n s)
+      counted m_rows_slice (match limit with None -> s | Some n -> Seq.take n s)
 
 let run_seq store q = eval store q
 
-let run store q = List.of_seq (eval store q)
+let run store q = Telemetry.Trace.with_span "exec.run" (fun () -> List.of_seq (eval store q))
 
-let ask store q = not (Seq.is_empty (eval store q))
+let ask store q = Telemetry.Trace.with_span "exec.ask" (fun () -> not (Seq.is_empty (eval store q)))
 
-let count store q = Seq.length (eval store q)
+let count store q = Telemetry.Trace.with_span "exec.count" (fun () -> Seq.length (eval store q))
 
 let construct store ~template q =
+  Telemetry.Trace.with_span "exec.construct" @@ fun () ->
   let dict = Hexa.Store_sig.dict store in
   let term_of_atom sol = function
     | Term t -> Some t
@@ -288,3 +336,141 @@ let construct store ~template q =
       Rdf.Triple.Set.empty (eval store q)
   in
   Rdf.Triple.Set.elements out
+
+(* --- EXPLAIN ---------------------------------------------------------- *)
+
+type explain_node = {
+  op : string;
+  detail : string;
+  estimate : int option;
+  selectivity : float option;
+  actual_rows : int option;
+  time_s : float option;
+  children : explain_node list;
+}
+
+let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
+  (* ANALYZE evaluates each node's sub-plan independently (and plan
+     prefixes for BGP scans), so a node's cost includes its inputs —
+     cumulative, like the cold cost of running the query up to that
+     operator.  Timings read the injectable {!Telemetry.Clock}. *)
+  let measure alg =
+    if analyze then begin
+      let t0 = Telemetry.Clock.now () in
+      let n = Seq.length (eval store alg) in
+      (Some n, Some (Telemetry.Clock.now () -. t0))
+    end
+    else (None, None)
+  in
+  let node ?estimate ?selectivity op detail children =
+    let actual_rows, time_s = measure q in
+    { op; detail; estimate; selectivity; actual_rows; time_s; children }
+  in
+  let sub = explain_build ~analyze store in
+  match q with
+  | Bgp tps ->
+      let choices = Planner.plan store tps in
+      let scans =
+        List.mapi
+          (fun i (c : Planner.choice) ->
+            let prefix =
+              List.filteri (fun j _ -> j <= i) choices |> List.map (fun c -> c.Planner.tp)
+            in
+            let actual_rows, time_s =
+              if analyze then begin
+                let t0 = Telemetry.Clock.now () in
+                let n = Seq.length (eval_ordered store prefix) in
+                (Some n, Some (Telemetry.Clock.now () -. t0))
+              end
+              else (None, None)
+            in
+            {
+              op = "scan";
+              detail =
+                Format.asprintf "%a index=%s" Algebra.pp_tp c.Planner.tp
+                  (Hexa.Ordering.name c.Planner.index);
+              estimate = Some c.Planner.estimate;
+              selectivity = Some c.Planner.selectivity;
+              actual_rows;
+              time_s;
+              children = [];
+            })
+          choices
+      in
+      node "bgp" (Printf.sprintf "%d patterns, index nested-loop" (List.length tps)) scans
+  | Join (a, b) -> node "join" "" [ sub a; sub b ]
+  | Left_join (a, b) -> node "left-join" "OPTIONAL" [ sub a; sub b ]
+  | Union (a, b) -> node "union" "" [ sub a; sub b ]
+  | Values (vs, rows) ->
+      node
+        ~estimate:(List.length rows)
+        "values"
+        (Printf.sprintf "[%s] %d rows" (String.concat " " (List.map (( ^ ) "?") vs))
+           (List.length rows))
+        []
+  | Filter (expr, inner) -> node "filter" (Format.asprintf "%a" Algebra.pp_expr expr) [ sub inner ]
+  | Distinct inner -> node "distinct" "" [ sub inner ]
+  | Project (vs, inner) ->
+      node "project" (Printf.sprintf "[%s]" (String.concat " " (List.map (( ^ ) "?") vs)))
+        [ sub inner ]
+  | Extend_group (keys, aggs, inner) ->
+      node "group"
+        (Format.asprintf "keys=[%s] aggs=[%s]"
+           (String.concat " " (List.map (( ^ ) "?") keys))
+           (String.concat " "
+              (List.map
+                 (fun (v, agg) -> Format.asprintf "?%s=%a" v Algebra.pp_aggregate agg)
+                 aggs)))
+        [ sub inner ]
+  | Order_by (orders, inner) ->
+      node "order-by"
+        (String.concat " "
+           (List.map
+              (fun { Algebra.key; descending } ->
+                Printf.sprintf "?%s%s" key (if descending then " desc" else ""))
+              orders))
+        [ sub inner ]
+  | Slice (offset, limit, inner) ->
+      let part name = function None -> [] | Some n -> [ Printf.sprintf "%s=%d" name n ] in
+      node "slice" (String.concat " " (part "offset" offset @ part "limit" limit)) [ sub inner ]
+
+let explain ?(analyze = false) store q =
+  Telemetry.Trace.with_span "exec.explain" (fun () -> explain_build ~analyze store q)
+
+let pp_explain_node ppf n =
+  let detail = if n.detail = "" then "" else " " ^ n.detail in
+  Format.fprintf ppf "%s%s" n.op detail;
+  (match (n.estimate, n.selectivity) with
+  | Some est, Some sel -> Format.fprintf ppf "  (est=%d sel=%.2e)" est sel
+  | Some est, None -> Format.fprintf ppf "  (est=%d)" est
+  | None, _ -> ());
+  (match n.actual_rows with Some r -> Format.fprintf ppf "  rows=%d" r | None -> ());
+  match n.time_s with Some t -> Format.fprintf ppf " time=%.3fms" (t *. 1000.) | None -> ()
+
+let pp_explain ppf root =
+  let rec go prefix ppf n =
+    let rec children ppf = function
+      | [] -> ()
+      | [ last ] ->
+          Format.fprintf ppf "@,%s└─ %a" prefix (go (prefix ^ "   ")) last
+      | child :: rest ->
+          Format.fprintf ppf "@,%s├─ %a" prefix (go (prefix ^ "│  ")) child;
+          children ppf rest
+    in
+    Format.fprintf ppf "%a%a" pp_explain_node n children n.children
+  in
+  Format.fprintf ppf "@[<v>%a@]" (go "") root
+
+let rec explain_to_json n =
+  let opt name enc = function None -> [] | Some v -> [ (name, enc v) ] in
+  Telemetry.Json.Obj
+    ([ ("op", Telemetry.Json.String n.op) ]
+    @ (if n.detail = "" then [] else [ ("detail", Telemetry.Json.String n.detail) ])
+    @ opt "estimate" (fun v -> Telemetry.Json.Int v) n.estimate
+    @ opt "selectivity" (fun v -> Telemetry.Json.Float v) n.selectivity
+    @ opt "actual_rows" (fun v -> Telemetry.Json.Int v) n.actual_rows
+    @ opt "time_s" (fun v -> Telemetry.Json.Float v) n.time_s
+    @
+    match n.children with
+    | [] -> []
+    | children -> [ ("children", Telemetry.Json.List (List.map explain_to_json children)) ])

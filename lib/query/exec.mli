@@ -27,3 +27,32 @@ val compare_values : Dict.Term_dict.t -> Binding.value -> Binding.value -> int
 (** Value order used by filters and ORDER BY: numbers (aggregate ints and
     numeric literals) compare numerically and sort before other terms,
     which compare by their N-Triples spelling. *)
+
+(** {1 EXPLAIN}
+
+    A typed plan tree mirroring the algebra, annotated with what the
+    planner decided (estimates, selectivities, serving index per BGP
+    scan) and — under [~analyze:true] — with observed behaviour. *)
+
+type explain_node = {
+  op : string;            (** operator name, e.g. ["bgp"], ["scan"], ["filter"] *)
+  detail : string;        (** operator-specific rendering; [""] when none *)
+  estimate : int option;  (** planner cardinality estimate *)
+  selectivity : float option;  (** estimate / store size *)
+  actual_rows : int option;    (** ANALYZE only: rows the node produces *)
+  time_s : float option;
+      (** ANALYZE only: cumulative cost of evaluating the node's sub-plan
+          (inputs included), read from {!Telemetry.Clock}. *)
+  children : explain_node list;
+}
+
+val explain : ?analyze:bool -> Hexa.Store_sig.boxed -> Algebra.t -> explain_node
+(** Plan a query and report the evidence.  With [~analyze:true] (default
+    false) each node's sub-plan — and, inside a BGP, each plan prefix —
+    is also evaluated to record actual cardinalities and timings; BGP
+    scan rows are therefore consistent with {!count} on the prefix. *)
+
+val pp_explain : Format.formatter -> explain_node -> unit
+(** Tree rendering with box-drawing connectors, one node per line. *)
+
+val explain_to_json : explain_node -> Telemetry.Json.t

@@ -1,3 +1,20 @@
+let m_plans = Telemetry.Metrics.counter "query.planner.bgps_planned"
+
+let m_scan_index =
+  (* Which of the six orderings each planned lookup resolves to. *)
+  Array.of_list
+    (List.map
+       (fun o -> Telemetry.Metrics.counter ("query.planner.scan_index." ^ Hexa.Ordering.name o))
+       Hexa.Ordering.all)
+
+let ord_index = function
+  | Hexa.Ordering.Spo -> 0
+  | Hexa.Ordering.Sop -> 1
+  | Hexa.Ordering.Pso -> 2
+  | Hexa.Ordering.Pos -> 3
+  | Hexa.Ordering.Osp -> 4
+  | Hexa.Ordering.Ops -> 5
+
 let id_of_atom dict = function
   | Algebra.Var _ -> Some None  (* wildcard *)
   | Algebra.Term t -> (
@@ -11,7 +28,26 @@ let estimate store (tp : Algebra.tp) =
   | Some s, Some p, Some o -> Hexa.Store_sig.count store { Hexa.Pattern.s; p; o }
   | _ -> 0
 
-let order_bgp store tps =
+type choice = {
+  tp : Algebra.tp;
+  estimate : int;
+  selectivity : float;
+  index : Hexa.Ordering.t;
+}
+
+(* The shape a pattern will present at execution time, given the
+   variables bound by the choices before it: a position is bound if it
+   is a constant or a variable some earlier pattern binds. *)
+let runtime_shape bound (tp : Algebra.tp) =
+  let b = function
+    | Algebra.Term _ -> Some 0
+    | Algebra.Var v -> if List.mem v bound then Some 0 else None
+  in
+  Hexa.Pattern.shape { Hexa.Pattern.s = b tp.s; p = b tp.p; o = b tp.o }
+
+let plan store tps =
+  Telemetry.Metrics.incr m_plans;
+  let n = Hexa.Store_sig.size store in
   let numbered = List.mapi (fun i tp -> (i, tp, estimate store tp)) tps in
   let shares_var bound tp =
     List.exists (fun v -> List.mem v bound) (Algebra.vars_of_tp tp)
@@ -35,9 +71,25 @@ let order_bgp store tps =
         in
         (match best with
         | None -> List.rev acc
-        | Some (i, tp, _) ->
+        | Some (i, tp, est) ->
+            let index = Hexa.Ordering.for_shape (runtime_shape bound tp) in
+            Telemetry.Metrics.incr m_scan_index.(ord_index index);
+            let choice =
+              {
+                tp;
+                estimate = est;
+                selectivity = (if n = 0 then 0. else float_of_int est /. float_of_int n);
+                index;
+              }
+            in
             let remaining = List.filter (fun (j, _, _) -> j <> i) remaining in
             let bound = List.sort_uniq compare (bound @ Algebra.vars_of_tp tp) in
-            pick bound remaining (tp :: acc))
+            pick bound remaining (choice :: acc))
   in
   pick [] numbered []
+
+let order_bgp store tps = List.map (fun c -> c.tp) (plan store tps)
+
+let pp_choice ppf c =
+  Format.fprintf ppf "%a  [index=%s est=%d sel=%.2e]" Algebra.pp_tp c.tp
+    (Hexa.Ordering.name c.index) c.estimate c.selectivity

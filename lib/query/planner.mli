@@ -4,13 +4,34 @@
     O(log) time ({!Hexa.Hexastore.count}), which makes the textbook greedy
     strategy effective: repeatedly pick the remaining triple pattern with
     the smallest estimated result, preferring patterns that share an
-    already-bound variable (so every step is a join, not a product). *)
+    already-bound variable (so every step is a join, not a product).
+
+    {!plan} additionally records what the strategy decided — the chosen
+    order, the cardinality estimates it compared, and the index each
+    lookup will resolve to at execution time — both as the returned
+    {!choice} list (which EXPLAIN renders) and, when telemetry is
+    enabled, as [query.planner.*] counters. *)
 
 val estimate : Hexa.Store_sig.boxed -> Algebra.tp -> int
 (** Upper-bound cardinality of a pattern evaluated with no bindings:
     constants resolve through the dictionary (an unknown constant gives
     0), variables are wildcards. *)
 
+(** One planned scan, in execution order. *)
+type choice = {
+  tp : Algebra.tp;
+  estimate : int;       (** {!estimate} at planning time *)
+  selectivity : float;  (** estimate / store size (0 on an empty store) *)
+  index : Hexa.Ordering.t;
+      (** the ordering that will serve the pattern, given the variables
+          bound by the choices before it *)
+}
+
+val plan : Hexa.Store_sig.boxed -> Algebra.tp list -> choice list
+(** Execution order for the patterns of a BGP, with the evidence behind
+    each pick.  Deterministic: ties break on the original position. *)
+
 val order_bgp : Hexa.Store_sig.boxed -> Algebra.tp list -> Algebra.tp list
-(** Execution order for the patterns of a BGP.  Deterministic: ties break
-    on the original position. *)
+(** [plan] without the evidence. *)
+
+val pp_choice : Format.formatter -> choice -> unit

@@ -1,0 +1,24 @@
+type source = unit -> float
+
+let wall : source = Unix.gettimeofday
+
+let source = ref wall
+
+let now () = !source ()
+
+let set_source s = source := s
+
+let reset () = source := wall
+
+let with_source s f =
+  let saved = !source in
+  source := s;
+  Fun.protect ~finally:(fun () -> source := saved) f
+
+let fixed t : source = fun () -> t
+
+let ticking ?(start = 0.) ?(step = 1.) () : source =
+  let t = ref (start -. step) in
+  fun () ->
+    t := !t +. step;
+    !t

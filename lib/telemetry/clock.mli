@@ -1,0 +1,33 @@
+(** The injectable clock every timed component reads.
+
+    Library code must never call [Unix.gettimeofday] or [Sys.time]
+    directly (the lint gate enforces this outside [lib/telemetry/]); it
+    calls {!now}, whose source can be swapped for a deterministic one so
+    that traces, EXPLAIN ANALYZE timings and the differential
+    model-checker stay reproducible under test. *)
+
+type source = unit -> float
+(** A clock: seconds as a float, from an arbitrary epoch. *)
+
+val wall : source
+(** The real wall clock ([Unix.gettimeofday]); the default source. *)
+
+val now : unit -> float
+(** Read the current source. *)
+
+val set_source : source -> unit
+
+val reset : unit -> unit
+(** Back to {!wall}. *)
+
+val with_source : source -> (unit -> 'a) -> 'a
+(** Run with a substitute clock, restoring the previous source on exit
+    (including on exception). *)
+
+val fixed : float -> source
+(** A clock frozen at one instant. *)
+
+val ticking : ?start:float -> ?step:float -> unit -> source
+(** A deterministic clock advancing by [step] (default 1.0) on every
+    read, starting so that the first read returns [start] (default 0).
+    Golden tests of span timings use this. *)

@@ -1,0 +1,11 @@
+let enabled =
+  ref
+    (match Sys.getenv_opt "HEXASTORE_TELEMETRY" with
+    | Some ("1" | "true" | "on") -> true
+    | Some _ | None -> false)
+
+let count = ref 0
+
+let activity_count () = !count
+
+let note_activity () = incr count

@@ -1,0 +1,96 @@
+(* 40 log-spaced buckets with upper bounds 2^0 .. 2^39; the last bucket
+   additionally absorbs everything larger.  The array is allocated once
+   at registration, so observation mutates in place. *)
+
+let bucket_count = 40
+
+type t = {
+  name : string;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+}
+
+let make name =
+  { name; buckets = Array.make bucket_count 0; count = 0; sum = 0; min = max_int; max = min_int }
+
+let name h = h.name
+
+let bound i = 1 lsl i
+
+(* Index of the first bucket whose upper bound is >= v. *)
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 1 in
+    while !i < bucket_count - 1 && bound !i < v do
+      incr i
+    done;
+    !i
+  end
+
+let observe h v =
+  if !Config.enabled then begin
+    Config.note_activity ();
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum + v;
+    if v < h.min then h.min <- v;
+    if v > h.max then h.max <- v
+  end
+
+let count h = h.count
+
+let sum h = h.sum
+
+let min_value h = if h.count = 0 then None else Some h.min
+
+let max_value h = if h.count = 0 then None else Some h.max
+
+let mean h = if h.count = 0 then 0. else float_of_int h.sum /. float_of_int h.count
+
+let reset h =
+  Array.fill h.buckets 0 bucket_count 0;
+  h.count <- 0;
+  h.sum <- 0;
+  h.min <- max_int;
+  h.max <- min_int
+
+let fold_buckets f acc h =
+  let acc = ref acc in
+  Array.iteri (fun i n -> if n > 0 then acc := f !acc ~le:(bound i) ~count:n) h.buckets;
+  !acc
+
+let to_json h =
+  let buckets =
+    fold_buckets
+      (fun acc ~le ~count -> Json.Obj [ ("le", Json.Int le); ("count", Json.Int count) ] :: acc)
+      [] h
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum", Json.Int h.sum);
+      ("min", match min_value h with None -> Json.Null | Some v -> Json.Int v);
+      ("max", match max_value h with None -> Json.Null | Some v -> Json.Int v);
+      ("mean", Json.Float (mean h));
+      ("buckets", Json.List (List.rev buckets));
+    ]
+
+let pp ppf h =
+  if h.count = 0 then Format.fprintf ppf "(empty)"
+  else begin
+    Format.fprintf ppf "count=%d sum=%d min=%d max=%d mean=%.1f" h.count h.sum h.min h.max (mean h);
+    Format.fprintf ppf "@,  ";
+    let first = ref true in
+    ignore
+      (fold_buckets
+         (fun () ~le ~count ->
+           if not !first then Format.fprintf ppf " ";
+           first := false;
+           Format.fprintf ppf "le%d:%d" le count)
+         () h)
+  end

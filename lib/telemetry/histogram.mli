@@ -1,0 +1,36 @@
+(** Fixed log-spaced integer histograms.
+
+    40 buckets with upper bounds 2{^0} … 2{^39} (the last bucket also
+    absorbs larger values); the bucket array is allocated once at
+    registration so {!observe} is allocation-free.  Observation is a
+    no-op while [Telemetry.enabled] is off.
+
+    Used for terminal-list scan lengths, merge kernel input/output sizes
+    and (in nanoseconds) operator latencies. *)
+
+type t
+
+val make : string -> t
+(** Usually reached through [Metrics.histogram], which registers the
+    result process-wide. *)
+
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record one value ([<= 1] lands in the first bucket).  Gated on
+    [Telemetry.enabled]. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int option
+val max_value : t -> int option
+val mean : t -> float
+
+val reset : t -> unit
+
+val fold_buckets : ('a -> le:int -> count:int -> 'a) -> 'a -> t -> 'a
+(** Over non-empty buckets, in increasing bound order. *)
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** A minimal JSON document model, encoder and parser.
+
+    Hand-rolled so the telemetry exports ({!Metrics.to_json}, the
+    EXPLAIN JSON shape, the [BENCH_*.json] benchmark records) carry no
+    new dependency.  The encoder emits standards-conformant JSON
+    (non-finite floats become [null]); the parser accepts the documents
+    the encoder produces plus ordinary interchange JSON (BMP [\u]
+    escapes; surrogate pairs are not reassembled). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Serialize; [indent] (default 2) of 0 gives a compact single line. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a complete document; trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val path : string list -> t -> t option
+(** Nested {!member}. *)
+
+val to_float_opt : t -> float option
+(** Numeric value of an [Int] or [Float] node. *)

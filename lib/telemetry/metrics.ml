@@ -1,0 +1,159 @@
+type counter = {
+  c_name : string;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  mutable g_value : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let register name make project =
+  match Hashtbl.find_opt registry name with
+  | Some existing -> (
+      match project existing with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Telemetry.Metrics: %S is already registered as a %s" name
+               (kind_name existing)))
+  | None ->
+      let m = make () in
+      Hashtbl.add registry name
+        (match m with `C c -> Counter c | `G g -> Gauge g | `H h -> Histogram h);
+      m
+
+let counter name =
+  match
+    register name
+      (fun () -> `C { c_name = name; c_value = 0 })
+      (function Counter c -> Some (`C c) | _ -> None)
+  with
+  | `C c -> c
+  | _ -> assert false
+
+let gauge name =
+  match
+    register name
+      (fun () -> `G { g_name = name; g_value = 0. })
+      (function Gauge g -> Some (`G g) | _ -> None)
+  with
+  | `G g -> g
+  | _ -> assert false
+
+let histogram name =
+  match
+    register name
+      (fun () -> `H (Histogram.make name))
+      (function Histogram h -> Some (`H h) | _ -> None)
+  with
+  | `H h -> h
+  | _ -> assert false
+
+(* --- hot-path mutation ------------------------------------------------- *)
+
+let incr c =
+  if !Config.enabled then begin
+    Config.note_activity ();
+    c.c_value <- c.c_value + 1
+  end
+
+let add c n =
+  if !Config.enabled then begin
+    Config.note_activity ();
+    c.c_value <- c.c_value + n
+  end
+
+let set g v =
+  if !Config.enabled then begin
+    Config.note_activity ();
+    g.g_value <- v
+  end
+
+let observe = Histogram.observe
+
+(* --- reading ----------------------------------------------------------- *)
+
+let value c = c.c_value
+
+let gauge_value g = g.g_value
+
+let counter_name c = c.c_name
+
+let gauge_name g = g.g_name
+
+let fold f acc =
+  let items = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  let items = List.sort (fun (a, _) (b, _) -> compare a b) items in
+  List.fold_left (fun acc (name, m) -> f acc name m) acc items
+
+let snapshot_counters ?(prefix = "") () =
+  fold
+    (fun acc name m ->
+      match m with
+      | Counter c when String.starts_with ~prefix name -> (name, c.c_value) :: acc
+      | _ -> acc)
+    []
+  |> List.rev
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.
+      | Histogram h -> Histogram.reset h)
+    registry
+
+(* --- export ------------------------------------------------------------ *)
+
+let to_json () =
+  let counters, gauges, histograms =
+    fold
+      (fun (cs, gs, hs) name m ->
+        match m with
+        | Counter c -> ((name, Json.Int c.c_value) :: cs, gs, hs)
+        | Gauge g -> (cs, (name, Json.Float g.g_value) :: gs, hs)
+        | Histogram h -> (cs, gs, (name, Histogram.to_json h) :: hs))
+      ([], [], [])
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev counters));
+      ("gauges", Json.Obj (List.rev gauges));
+      ("histograms", Json.Obj (List.rev histograms));
+    ]
+
+let pp_report ppf () =
+  Format.fprintf ppf "@[<v>";
+  let header = ref None in
+  let section name =
+    if !header <> Some name then begin
+      if !header <> None then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%s:@," name;
+      header := Some name
+    end
+  in
+  fold
+    (fun () name m ->
+      match m with
+      | Counter c ->
+          section "counters";
+          Format.fprintf ppf "  %-48s %d@," name c.c_value
+      | Gauge g ->
+          section "gauges";
+          Format.fprintf ppf "  %-48s %g@," name g.g_value
+      | Histogram h ->
+          section "histograms";
+          Format.fprintf ppf "  @[<v>%-48s %a@]@," name Histogram.pp h)
+    ();
+  Format.fprintf ppf "@]"

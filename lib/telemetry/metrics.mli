@@ -1,0 +1,62 @@
+(** The process-wide metrics registry.
+
+    Metrics are registered once by name — typically at module
+    initialisation of the instrumented layer, so the hot path holds a
+    direct record pointer and mutates it in place: an {!incr} is one flag
+    read, one activity bump and one unboxed-int store, with no lookup and
+    no allocation.  While [Telemetry.enabled] is off every mutation is a
+    no-op (one flag read and branch).
+
+    Registering the same name twice returns the existing metric;
+    re-registering a name under a different metric kind raises
+    [Invalid_argument]. *)
+
+type counter
+(** Monotonic (under normal use) integer counter. *)
+
+type gauge
+(** Last-write-wins float gauge. *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> Histogram.t
+
+(** {1 Hot-path mutation (gated on [Telemetry.enabled])} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+
+val observe : Histogram.t -> int -> unit
+(** Alias of {!Histogram.observe}, for call-site uniformity. *)
+
+(** {1 Reading and export} *)
+
+val value : counter -> int
+val gauge_value : gauge -> float
+val counter_name : counter -> string
+val gauge_name : gauge -> string
+
+val snapshot_counters : ?prefix:string -> unit -> (string * int) list
+(** Current counter values, name-sorted, optionally restricted to names
+    with [prefix].  The benchmark harness diffs two snapshots to report
+    per-query probe counts. *)
+
+val reset_all : unit -> unit
+(** Zero every registered metric (registrations persist). *)
+
+(** A registered metric, as listed by {!fold}. *)
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+val fold : ('a -> string -> metric -> 'a) -> 'a -> 'a
+(** Over all registered metrics in name order. *)
+
+val to_json : unit -> Json.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {..}}], each
+    section name-sorted. *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** Human-readable dump of the whole registry. *)

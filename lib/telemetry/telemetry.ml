@@ -1,0 +1,25 @@
+module Config = Config
+module Clock = Clock
+module Json = Json
+module Histogram = Histogram
+module Metrics = Metrics
+module Trace = Trace
+
+let enabled = Config.enabled
+
+let activity_count = Config.activity_count
+
+let with_enabled flag f =
+  let saved = !Config.enabled in
+  Config.enabled := flag;
+  Fun.protect ~finally:(fun () -> Config.enabled := saved) f
+
+let report ppf () =
+  Format.fprintf ppf "@[<v>%a@,@,spans:@,%a@]" Metrics.pp_report () Trace.pp ()
+
+let to_json () =
+  Json.Obj [ ("metrics", Metrics.to_json ()); ("trace", Trace.to_json ()) ]
+
+let reset () =
+  Metrics.reset_all ();
+  Trace.clear ()

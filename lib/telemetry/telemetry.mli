@@ -1,0 +1,39 @@
+(** Telemetry: the observability layer.
+
+    A process-wide metrics registry (monotonic counters, gauges,
+    log-spaced histograms — {!Metrics}, {!Histogram}), a span tracer
+    with an injectable clock ({!Trace}, {!Clock}), and a dependency-free
+    JSON document model ({!Json}) used for every machine-readable export
+    (the registry dump, EXPLAIN plans, [BENCH_*.json]).
+
+    Everything is gated on {!enabled}: off (the default) every hook in
+    the instrumented layers costs one flag read and allocates nothing;
+    on ([HEXASTORE_TELEMETRY=1] or setting the ref), counters, scan-size
+    histograms and operator spans are collected and can be exported with
+    {!report} / {!to_json}. *)
+
+module Config = Config
+module Clock = Clock
+module Json = Json
+module Histogram = Histogram
+module Metrics = Metrics
+module Trace = Trace
+
+val enabled : bool ref
+(** The master gate ({!Config.enabled}); defaults to [false] unless
+    [HEXASTORE_TELEMETRY=1] (or [true]/[on]) is exported. *)
+
+val activity_count : unit -> int
+(** {!Config.activity_count}: proves in tests that no hook ran. *)
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run with the gate forced to a value, restoring it afterwards. *)
+
+val report : Format.formatter -> unit -> unit
+(** Human-readable dump: the registry, then the span buffer. *)
+
+val to_json : unit -> Json.t
+(** [{"metrics": ..., "trace": ...}]. *)
+
+val reset : unit -> unit
+(** Zero all metrics and clear the trace buffer. *)

@@ -1,0 +1,72 @@
+type span = {
+  name : string;
+  start : float;
+  duration : float;
+  depth : int;
+}
+
+let max_spans = 8192
+
+let buffer : span list ref = ref []
+
+let buffered = ref 0
+
+let dropped_count = ref 0
+
+let depth = ref 0
+
+let dropped () = !dropped_count
+
+let record s =
+  if !buffered >= max_spans then incr dropped_count
+  else begin
+    buffer := s :: !buffer;
+    incr buffered
+  end
+
+let with_span name f =
+  if not !Config.enabled then f ()
+  else begin
+    Config.note_activity ();
+    let start = Clock.now () in
+    let d = !depth in
+    incr depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr depth;
+        record { name; start; duration = Clock.now () -. start; depth = d })
+      f
+  end
+
+let spans () = List.rev !buffer
+
+let clear () =
+  buffer := [];
+  buffered := 0;
+  dropped_count := 0;
+  depth := 0
+
+let span_to_json s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("start", Json.Float s.start);
+      ("duration_s", Json.Float s.duration);
+      ("depth", Json.Int s.depth);
+    ]
+
+let to_json () =
+  Json.Obj
+    [
+      ("spans", Json.List (List.map span_to_json (spans ())));
+      ("dropped", Json.Int !dropped_count);
+    ]
+
+let pp ppf () =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s%-40s %.6fs@," (String.make (2 * s.depth) ' ') s.name s.duration)
+    (spans ());
+  if !dropped_count > 0 then Format.fprintf ppf "(%d spans dropped)@," !dropped_count;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** Span-based tracing.
+
+    A span is one timed region — a query operator, a bulk load, a
+    benchmark body — named, clocked through the injectable {!Clock} (so
+    a deterministic source gives deterministic traces), and recorded
+    with its nesting depth.  Completed spans accumulate in a process
+    buffer, bounded at an internal cap (further spans are counted as
+    dropped rather than recorded).
+
+    While [Telemetry.enabled] is off, {!with_span} is exactly the
+    wrapped call: one flag read, nothing recorded, nothing allocated. *)
+
+type span = {
+  name : string;
+  start : float;    (** {!Clock.now} at entry *)
+  duration : float; (** seconds *)
+  depth : int;      (** nesting depth at entry, outermost = 0 *)
+}
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Time [f] under [name].  The span is recorded even when [f] raises. *)
+
+val spans : unit -> span list
+(** Completed spans, in completion order. *)
+
+val dropped : unit -> int
+(** Spans discarded since the buffer filled (see module doc). *)
+
+val clear : unit -> unit
+(** Empty the buffer, zero the drop count, reset nesting. *)
+
+val to_json : unit -> Json.t
+
+val pp : Format.formatter -> unit -> unit
+(** One line per span, indented by depth. *)

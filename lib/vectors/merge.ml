@@ -1,3 +1,19 @@
+(* Telemetry: per-kernel call counters plus shared input/output size
+   histograms.  [note] is one flag read when telemetry is off. *)
+let m_intersect = Telemetry.Metrics.counter "vectors.merge.intersect.calls"
+let m_union = Telemetry.Metrics.counter "vectors.merge.union.calls"
+let m_diff = Telemetry.Metrics.counter "vectors.merge.diff.calls"
+let m_join = Telemetry.Metrics.counter "vectors.merge.merge_join.calls"
+let m_input = Telemetry.Metrics.histogram "vectors.merge.input_keys"
+let m_output = Telemetry.Metrics.histogram "vectors.merge.output_keys"
+
+let note kernel ~input ~output =
+  if !Telemetry.Config.enabled then begin
+    Telemetry.Metrics.incr kernel;
+    Telemetry.Metrics.observe m_input input;
+    Telemetry.Metrics.observe m_output output
+  end
+
 let intersect a b =
   let na = Sorted_ivec.length a and nb = Sorted_ivec.length b in
   let out = Sorted_ivec.create ~capacity:(min na nb |> max 1) () in
@@ -12,6 +28,7 @@ let intersect a b =
     else if x < y then incr i
     else incr j
   done;
+  note m_intersect ~input:(na + nb) ~output:(Sorted_ivec.length out);
   out
 
 let intersect_arrays a b =
@@ -102,6 +119,9 @@ let intersect_gallop small large =
       cursor := !lo;
       if !lo < nl && Sorted_ivec.get large !lo = x then ignore (Sorted_ivec.add out x))
     small;
+  note m_intersect
+    ~input:(Sorted_ivec.length small + nl)
+    ~output:(Sorted_ivec.length out);
   out
 
 let union a b =
@@ -132,6 +152,7 @@ let union a b =
     ignore (Sorted_ivec.add out (Sorted_ivec.get b !j));
     incr j
   done;
+  note m_union ~input:(na + nb) ~output:(Sorted_ivec.length out);
   out
 
 let union_many vs =
@@ -161,21 +182,25 @@ let diff a b =
     if not (!j < nb && Sorted_ivec.get b !j = x) then ignore (Sorted_ivec.add out x);
     incr i
   done;
+  note m_diff ~input:(na + nb) ~output:(Sorted_ivec.length out);
   out
 
 let merge_join f a b =
   let na = Sorted_ivec.length a and nb = Sorted_ivec.length b in
   let i = ref 0 and j = ref 0 in
+  let hits = ref 0 in
   while !i < na && !j < nb do
     let x = Sorted_ivec.get a !i and y = Sorted_ivec.get b !j in
     if x = y then begin
       f x;
+      incr hits;
       incr i;
       incr j
     end
     else if x < y then incr i
     else incr j
-  done
+  done;
+  note m_join ~input:(na + nb) ~output:!hits
 
 let rec intersect_seq sa sb () =
   match (sa (), sb ()) with

@@ -1,5 +1,10 @@
 type t = Dynarray_int.t
 
+(* Telemetry: one counter per binary-search call, one per comparison
+   step.  Both are single-flag-read no-ops while telemetry is off. *)
+let m_bsearch = Telemetry.Metrics.counter "vectors.bsearch.probes"
+let m_bsearch_steps = Telemetry.Metrics.counter "vectors.bsearch.steps"
+
 let create ?capacity () = Dynarray_int.create ?capacity ()
 
 let singleton x =
@@ -17,8 +22,10 @@ let max_elt v = if is_empty v then raise Not_found else Dynarray_int.last v
 
 (* Index of the first element >= x, i.e. the classic lower bound. *)
 let index_geq v x =
+  Telemetry.Metrics.incr m_bsearch;
   let lo = ref 0 and hi = ref (length v) in
   while !lo < !hi do
+    Telemetry.Metrics.incr m_bsearch_steps;
     let mid = (!lo + !hi) / 2 in
     if Dynarray_int.unsafe_get v mid < x then lo := mid + 1 else hi := mid
   done;

@@ -1,4 +1,4 @@
-let now () = Unix.gettimeofday ()
+let now () = Telemetry.Clock.now ()
 
 let time ?(warmup = 1) ?(repeats = 3) f =
   for _ = 1 to warmup do

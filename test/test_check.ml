@@ -256,6 +256,8 @@ let bad_magic = "let f x = Obj." ^ "magic x\n"
 let bad_printf = "let g () = Printf." ^ "printf \"%d\" 3\n"
 let bad_catch = "let h () = try () with _ " ^ "-> ()\n"
 let bad_catch_multiline = "let h () = try () with\n  _\n  " ^ "-> ()\n"
+let bad_clock = "let t () = Unix." ^ "gettimeofday ()\n"
+let bad_clock_sys = "let t () = Sys." ^ "time ()\n"
 
 let count_rule vs = List.length vs
 
@@ -267,6 +269,19 @@ let test_lint_seeded_violations () =
     (count_rule (C.Lint.scan_source ~path:"x.ml" bad_catch_multiline));
   check_int "all three content rules" 3
     (count_rule (C.Lint.scan_source ~path:"x.ml" (bad_magic ^ bad_printf ^ bad_catch)))
+
+let test_lint_raw_clock () =
+  check_int "raw gettimeofday" 1 (count_rule (C.Lint.scan_source ~path:"lib/core/x.ml" bad_clock));
+  check_int "raw Sys clock" 1 (count_rule (C.Lint.scan_source ~path:"lib/core/x.ml" bad_clock_sys));
+  (* The wrapping layer itself is exempt — that is where the clock lives. *)
+  check_int "telemetry dir exempt" 0
+    (count_rule (C.Lint.scan_source ~path:"lib/telemetry/clock.ml" bad_clock));
+  (* Sys.time the token, not e.g. Sys.timestamp or My_sys.time. *)
+  check_int "no false positives on longer names" 0
+    (count_rule
+       (C.Lint.scan_source ~path:"x.ml" ("let a = Sys." ^ "timestamp\nlet b = My_" ^ "sys.time\n")));
+  check_int "clock in comment ignored" 0
+    (count_rule (C.Lint.scan_source ~path:"x.ml" ("(* Unix." ^ "gettimeofday *)\nlet x = 1\n")))
 
 let test_lint_clean_sources () =
   let clean =
@@ -344,6 +359,7 @@ let () =
       ( "lint",
         [
           Alcotest.test_case "seeded violations" `Quick test_lint_seeded_violations;
+          Alcotest.test_case "raw clock" `Quick test_lint_raw_clock;
           Alcotest.test_case "clean sources" `Quick test_lint_clean_sources;
           Alcotest.test_case "missing mli" `Quick test_lint_missing_mli;
           Alcotest.test_case "repo tree clean" `Quick test_lint_repo_tree_is_clean;

@@ -1,0 +1,397 @@
+(* Tests for the PR-2 observability layer (lib/telemetry + the
+   instrumentation it gates): the metrics registry, the disabled-mode
+   zero-cost guarantee, the injectable clock, the span tracer, the JSON
+   codec, EXPLAIN goldens on LUBM plans, and planner estimate accuracy
+   (q-error) against exact execution counts. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_float = Alcotest.(check (float 1e-9))
+
+let ub = "http://www.lehigh.edu/~zhp2/2004/0401/univ-bench.owl#"
+let rdf_type = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+let sparql_prefix =
+  "PREFIX ub: <" ^ ub ^ "> PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+
+let lubm_store =
+  lazy
+    (let cfg = Workloads.Lubm.config ~universities:1 ~departments_per_university:1 () in
+     Hexa.Hexastore.of_triples (Workloads.Lubm.generate cfg))
+
+let lubm_boxed () = Hexa.Store_sig.box_hexastore (Lazy.force lubm_store)
+
+let parse text =
+  (Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) (sparql_prefix ^ text)).algebra
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  let c = Telemetry.Metrics.counter "test.counters.a" in
+  check_int "fresh counter is zero" 0 (Telemetry.Metrics.value c);
+  Telemetry.with_enabled true (fun () ->
+      Telemetry.Metrics.incr c;
+      Telemetry.Metrics.incr c;
+      Telemetry.Metrics.add c 40);
+  check_int "incr and add accumulate" 42 (Telemetry.Metrics.value c);
+  (* Registration is idempotent: same name, same cell. *)
+  let c' = Telemetry.Metrics.counter "test.counters.a" in
+  check_int "re-registration returns the same counter" 42 (Telemetry.Metrics.value c');
+  check_bool "kind mismatch rejected" true
+    (match Telemetry.Metrics.gauge "test.counters.a" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_gauges () =
+  let g = Telemetry.Metrics.gauge "test.gauges.a" in
+  Telemetry.with_enabled true (fun () ->
+      Telemetry.Metrics.set g 1.5;
+      Telemetry.Metrics.set g 2.5);
+  check_float "last write wins" 2.5 (Telemetry.Metrics.gauge_value g)
+
+let test_histograms () =
+  let h = Telemetry.Metrics.histogram "test.histograms.a" in
+  Telemetry.with_enabled true (fun () ->
+      List.iter (Telemetry.Metrics.observe h) [ 1; 2; 3; 1000; 0 ]);
+  check_int "count" 5 (Telemetry.Histogram.count h);
+  check_int "sum" 1006 (Telemetry.Histogram.sum h);
+  check_int "min" 0 (Option.get (Telemetry.Histogram.min_value h));
+  check_int "max" 1000 (Option.get (Telemetry.Histogram.max_value h));
+  check_float "mean" 201.2 (Telemetry.Histogram.mean h);
+  let bucketed =
+    Telemetry.Histogram.fold_buckets (fun acc ~le:_ ~count -> acc + count) 0 h
+  in
+  check_int "buckets hold every observation" 5 bucketed;
+  Telemetry.Histogram.reset h;
+  check_int "reset empties" 0 (Telemetry.Histogram.count h)
+
+let test_snapshot_prefix () =
+  let c1 = Telemetry.Metrics.counter "test.snap.one" in
+  let c2 = Telemetry.Metrics.counter "test.snap.two" in
+  ignore (Telemetry.Metrics.counter "test.other.three");
+  Telemetry.with_enabled true (fun () ->
+      Telemetry.Metrics.incr c1;
+      Telemetry.Metrics.add c2 2);
+  check_bool "prefix filters and sorts" true
+    (let snap = Telemetry.Metrics.snapshot_counters ~prefix:"test.snap." () in
+     snap = [ ("test.snap.one", 1); ("test.snap.two", 2) ]
+     || (* other tests may have re-run and bumped further *)
+     List.map fst snap = [ "test.snap.one"; "test.snap.two" ]);
+  match Telemetry.Metrics.to_json () with
+  | Telemetry.Json.Obj fields ->
+      check_bool "to_json has the three sections" true
+        (List.for_all (fun k -> List.mem_assoc k fields) [ "counters"; "gauges"; "histograms" ])
+  | _ -> Alcotest.fail "Metrics.to_json did not return an object"
+
+(* ------------------------------------------------------------------ *)
+(* Disabled-mode guarantees                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_no_activity () =
+  check_bool "telemetry starts disabled" false !Telemetry.enabled;
+  let before = Telemetry.activity_count () in
+  (* Exercise every instrumented layer: store probes, merge kernels,
+     planner, executor. *)
+  let boxed = lubm_boxed () in
+  let q = parse "SELECT ?x ?y WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:advisor ?y . }" in
+  check_bool "query ran" true (Query.Exec.count boxed q > 0);
+  check_int "no hook mutated anything while disabled" before (Telemetry.activity_count ())
+
+let test_disabled_counters_stay_zero () =
+  let c = Telemetry.Metrics.counter "test.disabled.c" in
+  let h = Telemetry.Metrics.histogram "test.disabled.h" in
+  Telemetry.Metrics.incr c;
+  Telemetry.Metrics.add c 5;
+  Telemetry.Metrics.observe h 7;
+  ignore (Telemetry.Trace.with_span "test.disabled.span" (fun () -> 0));
+  check_int "counter untouched" 0 (Telemetry.Metrics.value c);
+  check_int "histogram untouched" 0 (Telemetry.Histogram.count h);
+  check_bool "no span recorded" true
+    (not (List.exists (fun s -> s.Telemetry.Trace.name = "test.disabled.span")
+            (Telemetry.Trace.spans ())))
+
+let test_disabled_zero_allocation () =
+  let c = Telemetry.Metrics.counter "test.disabled.alloc" in
+  let h = Telemetry.Metrics.histogram "test.disabled.alloc.h" in
+  let nothing () = () in
+  (* Warm up so any one-time allocation is done. *)
+  Telemetry.Metrics.incr c;
+  Telemetry.Metrics.observe h 3;
+  Telemetry.Trace.with_span "warm" nothing;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Telemetry.Metrics.incr c;
+    Telemetry.Metrics.add c 2;
+    Telemetry.Metrics.observe h 3;
+    Telemetry.Trace.with_span "loop" nothing
+  done;
+  let after = Gc.minor_words () in
+  check_float "disabled hooks allocate nothing" 0. (after -. before)
+
+let test_enabled_hooks_fire () =
+  let before = Telemetry.activity_count () in
+  Telemetry.with_enabled true (fun () ->
+      let boxed = lubm_boxed () in
+      ignore (Query.Exec.count boxed (parse "SELECT ?x WHERE { ?x rdf:type ub:Course . }")));
+  check_bool "hooks ran while enabled" true (Telemetry.activity_count () > before)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_injection () =
+  Telemetry.Clock.with_source (Telemetry.Clock.fixed 5.) (fun () ->
+      check_float "fixed" 5. (Telemetry.Clock.now ());
+      check_float "fixed again" 5. (Telemetry.Clock.now ()));
+  Telemetry.Clock.with_source (Telemetry.Clock.ticking ~start:1. ~step:0.5 ()) (fun () ->
+      check_float "tick 1" 1. (Telemetry.Clock.now ());
+      check_float "tick 2" 1.5 (Telemetry.Clock.now ());
+      check_float "tick 3" 2. (Telemetry.Clock.now ()));
+  (* Restored to the wall clock: two reads a real instant apart differ. *)
+  let a = Telemetry.Clock.now () in
+  check_bool "wall clock restored" true (a > 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_spans () =
+  Telemetry.with_enabled true (fun () ->
+      Telemetry.Trace.clear ();
+      Telemetry.Clock.with_source (Telemetry.Clock.ticking ~start:0. ~step:1. ()) (fun () ->
+          Telemetry.Trace.with_span "outer" (fun () ->
+              Telemetry.Trace.with_span "inner" (fun () -> ()))));
+  let spans = Telemetry.Trace.spans () in
+  check_int "two spans" 2 (List.length spans);
+  let inner = List.nth spans 0 and outer = List.nth spans 1 in
+  check_string "inner completes first" "inner" inner.Telemetry.Trace.name;
+  check_string "outer completes last" "outer" outer.Telemetry.Trace.name;
+  check_int "inner depth" 1 inner.Telemetry.Trace.depth;
+  check_int "outer depth" 0 outer.Telemetry.Trace.depth;
+  (* Ticking clock: outer start=0, inner start=1, inner end=2, outer
+     end=3 — so inner lasts 1 "second" and outer 3. *)
+  check_float "inner duration" 1. inner.Telemetry.Trace.duration;
+  check_float "outer duration" 3. outer.Telemetry.Trace.duration;
+  Telemetry.Trace.clear ();
+  check_int "clear empties" 0 (List.length (Telemetry.Trace.spans ()))
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Telemetry.Json.Obj
+      [
+        ("s", Telemetry.Json.String "a\"b\\c\n\t\x01é");
+        ("i", Telemetry.Json.Int (-42));
+        ("f", Telemetry.Json.Float 2.5);
+        ("b", Telemetry.Json.Bool true);
+        ("n", Telemetry.Json.Null);
+        ("l", Telemetry.Json.List [ Telemetry.Json.Int 1; Telemetry.Json.Obj [] ]);
+      ]
+  in
+  (match Telemetry.Json.of_string (Telemetry.Json.to_string doc) with
+  | Ok doc' -> check_bool "round-trips" true (doc = doc')
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg);
+  (match Telemetry.Json.of_string (Telemetry.Json.to_string ~indent:0 doc) with
+  | Ok doc' -> check_bool "compact round-trips" true (doc = doc')
+  | Error msg -> Alcotest.failf "compact round-trip failed: %s" msg);
+  check_bool "trailing garbage rejected" true
+    (Result.is_error (Telemetry.Json.of_string "{} x"));
+  check_bool "unterminated rejected" true (Result.is_error (Telemetry.Json.of_string "[1, 2"));
+  let nested = Telemetry.Json.Obj [ ("a", Telemetry.Json.Obj [ ("b", Telemetry.Json.Int 7) ]) ] in
+  check_bool "path walks" true
+    (match Telemetry.Json.path [ "a"; "b" ] nested with
+    | Some v -> Telemetry.Json.to_float_opt v = Some 7.
+    | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN goldens (LUBM, deterministic seed 42)                       *)
+(* ------------------------------------------------------------------ *)
+
+let render plan = Format.asprintf "%a" Query.Exec.pp_explain plan
+
+let test_explain_golden_single () =
+  let plan = Query.Exec.explain (lubm_boxed ())
+      (parse "SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . }")
+  in
+  let expected =
+    "project [?x]\n"
+    ^ "└─ bgp 1 patterns, index nested-loop\n"
+    ^ "   └─ scan ?x <" ^ rdf_type ^ "> <" ^ ub
+    ^ "GraduateStudent> . index=pos  (est=96 sel=2.53e-02)"
+  in
+  check_string "single-pattern plan" expected (render plan)
+
+let test_explain_golden_analyze () =
+  (* A ticking clock makes every ANALYZE timing exactly one step
+     (0.5 ms); row counts are exact, so the whole tree is a golden. *)
+  let q =
+    parse
+      "SELECT ?x ?y WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:advisor ?y . ?y rdf:type \
+       ub:FullProfessor . }"
+  in
+  let plan =
+    Telemetry.Clock.with_source (Telemetry.Clock.ticking ~start:0. ~step:0.0005 ()) (fun () ->
+        Query.Exec.explain ~analyze:true (lubm_boxed ()) q)
+  in
+  let expected =
+    "project [?x ?y]  rows=23 time=0.500ms\n"
+    ^ "└─ bgp 3 patterns, index nested-loop  rows=23 time=0.500ms\n"
+    ^ "   ├─ scan ?y <" ^ rdf_type ^ "> <" ^ ub
+    ^ "FullProfessor> . index=pos  (est=7 sel=1.84e-03)  rows=7 time=0.500ms\n"
+    ^ "   ├─ scan ?x <" ^ ub ^ "advisor> ?y . index=pos  (est=96 sel=2.53e-02)  rows=23 \
+       time=0.500ms\n"
+    ^ "   └─ scan ?x <" ^ rdf_type ^ "> <" ^ ub
+    ^ "GraduateStudent> . index=spo  (est=96 sel=2.53e-02)  rows=23 time=0.500ms"
+  in
+  check_string "3-pattern ANALYZE plan" expected (render plan)
+
+let test_explain_analyze_matches_count () =
+  (* Acceptance: ANALYZE row counts agree with Exec.count. *)
+  let boxed = lubm_boxed () in
+  List.iter
+    (fun text ->
+      let q = parse text in
+      let plan = Query.Exec.explain ~analyze:true boxed q in
+      check_int ("root rows = count for " ^ text) (Query.Exec.count boxed q)
+        (Option.get plan.Query.Exec.actual_rows))
+    [
+      "SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . }";
+      "SELECT ?x ?c WHERE { ?x ub:takesCourse ?c . ?x rdf:type ub:GraduateStudent . }";
+      "SELECT ?x ?y WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:advisor ?y . ?y rdf:type \
+       ub:FullProfessor . }";
+    ]
+
+let test_explain_json_shape () =
+  let plan =
+    Query.Exec.explain (lubm_boxed ()) (parse "SELECT ?x WHERE { ?x rdf:type ub:Course . }")
+  in
+  let json = Query.Exec.explain_to_json plan in
+  check_bool "op at root" true
+    (match Telemetry.Json.member "op" json with
+    | Some (Telemetry.Json.String "project") -> true
+    | _ -> false);
+  (* Encode and re-parse: the EXPLAIN export must stay within what the
+     codec round-trips.  Floats carry 12 significant digits through the
+     encoder, so compare the stable re-encoding, not the values. *)
+  match Telemetry.Json.of_string (Telemetry.Json.to_string json) with
+  | Ok json' ->
+      check_string "explain JSON re-encodes identically" (Telemetry.Json.to_string json)
+        (Telemetry.Json.to_string json')
+  | Error msg -> Alcotest.failf "explain JSON failed to parse: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Planner accuracy (q-error)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_selectivity_exact_for_patterns () =
+  (* The planner's per-pattern inputs are exact counts, not sampled
+     estimates: Stats.selectivity × size must equal Exec.count on every
+     single-pattern BGP (q-error exactly 1). *)
+  let h = Lazy.force lubm_store in
+  let boxed = lubm_boxed () in
+  let dict = Hexa.Hexastore.dict h in
+  let n = Hexa.Hexastore.size h in
+  List.iter
+    (fun text ->
+      match parse text with
+      | Query.Algebra.Project (_, Query.Algebra.Bgp [ tp ]) as q ->
+          let pat_of = function
+            | Query.Algebra.Var _ -> Some None
+            | Query.Algebra.Term t -> (
+                match Dict.Term_dict.find_term dict t with
+                | None -> None
+                | Some id -> Some (Some id))
+          in
+          (match (pat_of tp.Query.Algebra.s, pat_of tp.Query.Algebra.p, pat_of tp.Query.Algebra.o)
+          with
+          | Some s, Some p, Some o ->
+              let sel = Hexa.Stats.selectivity h { Hexa.Pattern.s; p; o } in
+              let estimated = int_of_float (Float.round (sel *. float_of_int n)) in
+              check_int ("selectivity exact for " ^ text) (Query.Exec.count boxed q) estimated
+          | _ -> Alcotest.failf "vocabulary missing for %s" text)
+      | _ -> Alcotest.failf "not a single-pattern query: %s" text)
+    [
+      "SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . }";
+      "SELECT ?x WHERE { ?x rdf:type ub:FullProfessor . }";
+      "SELECT ?x WHERE { ?x ub:advisor ?y . }";
+      "SELECT ?x WHERE { ?x ub:takesCourse ?c . }";
+    ]
+
+let test_join_q_error_within_order_of_magnitude () =
+  (* For multi-pattern queries the planner still uses the standalone
+     per-pattern estimate at each step; EXPLAIN ANALYZE gives the rows
+     each step actually produced.  Record the q-error of every scan and
+     assert it stays within one order of magnitude on the LUBM queries
+     (the store's exact per-pattern counts keep it tight). *)
+  let boxed = lubm_boxed () in
+  let q_errors = ref [] in
+  let rec walk (node : Query.Exec.explain_node) =
+    (match (node.op, node.estimate, node.actual_rows) with
+    | "scan", Some est, Some rows when est > 0 && rows > 0 ->
+        let q_err = Float.max (float_of_int est /. float_of_int rows)
+            (float_of_int rows /. float_of_int est)
+        in
+        q_errors := (node.detail, q_err) :: !q_errors
+    | _ -> ());
+    List.iter walk node.children
+  in
+  List.iter
+    (fun text -> walk (Query.Exec.explain ~analyze:true boxed (parse text)))
+    [
+      "SELECT ?x ?c WHERE { ?x ub:takesCourse ?c . ?x rdf:type ub:GraduateStudent . }";
+      "SELECT ?x ?y WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:advisor ?y . ?y rdf:type \
+       ub:FullProfessor . }";
+      "SELECT ?x ?d WHERE { ?x ub:worksFor ?d . ?x rdf:type ub:FullProfessor . }";
+    ]
+  ;
+  check_bool "collected several scans" true (List.length !q_errors >= 6);
+  List.iter
+    (fun (detail, q_err) ->
+      Format.printf "q-error %.2f  %s@." q_err detail;
+      if q_err > 10. then
+        Alcotest.failf "q-error %.2f exceeds one order of magnitude for %s" q_err detail)
+    (List.rev !q_errors)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "snapshot and json" `Quick test_snapshot_prefix;
+        ] );
+      ( "disabled-mode",
+        [
+          Alcotest.test_case "no activity" `Quick test_disabled_no_activity;
+          Alcotest.test_case "counters stay zero" `Quick test_disabled_counters_stay_zero;
+          Alcotest.test_case "zero allocation" `Quick test_disabled_zero_allocation;
+          Alcotest.test_case "hooks fire when enabled" `Quick test_enabled_hooks_fire;
+        ] );
+      ("clock", [ Alcotest.test_case "injection" `Quick test_clock_injection ]);
+      ("trace", [ Alcotest.test_case "spans" `Quick test_trace_spans ]);
+      ("json", [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ]);
+      ( "explain",
+        [
+          Alcotest.test_case "golden single pattern" `Quick test_explain_golden_single;
+          Alcotest.test_case "golden analyze join" `Quick test_explain_golden_analyze;
+          Alcotest.test_case "analyze matches count" `Quick test_explain_analyze_matches_count;
+          Alcotest.test_case "json shape" `Quick test_explain_json_shape;
+        ] );
+      ( "planner-accuracy",
+        [
+          Alcotest.test_case "per-pattern selectivity exact" `Quick
+            test_selectivity_exact_for_patterns;
+          Alcotest.test_case "join q-error within 10x" `Quick
+            test_join_q_error_within_order_of_magnitude;
+        ] );
+    ]
