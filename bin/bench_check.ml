@@ -63,7 +63,62 @@ let () =
   let off = require_number ~ctx:"telemetry_overhead" overhead "disabled_seconds" in
   let on = require_number ~ctx:"telemetry_overhead" overhead "enabled_seconds" in
   if off <= 0. || on <= 0. then fail "telemetry_overhead timings must be positive";
-  (match require ~ctx:"root" json "figures" with
-  | Telemetry.Json.List _ -> ()
-  | _ -> fail "figures is not a list");
+  let figures =
+    match require ~ctx:"root" json "figures" with
+    | Telemetry.Json.List figs -> figs
+    | _ -> fail "figures is not a list"
+  in
+  (* When the artifact carries the load ablation, it must compare all
+     five write paths, and delta update staging must beat per-triple
+     insertion at the largest sweep (the PR 3 headline number). *)
+  let is_figure name fig =
+    match Telemetry.Json.member "figure" fig with
+    | Some (Telemetry.Json.String n) -> String.equal n name
+    | _ -> false
+  in
+  (match List.find_opt (is_figure "abl-load") figures with
+  | None -> ()
+  | Some fig ->
+      let points =
+        match require ~ctx:"abl-load" fig "points" with
+        | Telemetry.Json.List pts -> pts
+        | _ -> fail "abl-load.points is not a list"
+      in
+      let decoded =
+        List.map
+          (fun p ->
+            let ctx = "abl-load.points" in
+            let size = int_of_float (require_number ~ctx p "size") in
+            let meth =
+              match require ~ctx p "method" with
+              | Telemetry.Json.String m -> m
+              | _ -> fail "%s: method is not a string" ctx
+            in
+            (size, meth, require_number ~ctx p "seconds"))
+          points
+      in
+      List.iter
+        (fun m ->
+          if not (List.exists (fun (_, m', _) -> String.equal m m') decoded) then
+            fail "abl-load is missing the %S series" m)
+        [ "bulk"; "incremental"; "delta"; "update-pertriple"; "update-delta" ];
+      let largest = List.fold_left (fun acc (n, _, _) -> max acc n) 0 decoded in
+      let at size meth =
+        match
+          List.find_opt (fun (n, m, _) -> n = size && String.equal m meth) decoded
+        with
+        | Some (_, _, s) -> s
+        | None -> fail "abl-load: no %S point at size %d" meth size
+      in
+      let upd_triple = at largest "update-pertriple"
+      and upd_delta = at largest "update-delta" in
+      if upd_delta <= 0. then fail "abl-load: non-positive update-delta timing";
+      if upd_delta >= upd_triple then
+        fail "abl-load: delta staging (%gs) not faster than per-triple updates (%gs)"
+          upd_delta upd_triple;
+      Printf.printf
+        "bench-check: abl-load update staging speedup at %d-triple base: %.1fx\n"
+        largest (upd_triple /. upd_delta);
+      Printf.printf "bench-check: abl-load full-load incremental/delta at %d: %.1fx\n"
+        largest (at largest "incremental" /. at largest "delta"));
   Printf.printf "bench-check: %s OK\n" path

@@ -5,4 +5,5 @@ module Diff = Diff
 module Lint = Lint
 
 let store = Invariant.store
+let delta = Invariant.delta
 let debug = Hexa.Debug.enabled

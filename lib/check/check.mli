@@ -25,6 +25,12 @@ val store : Hexa.Hexastore.t -> Violation.t list
     sortedness, six-way agreement, physical terminal-list sharing,
     accounting, dictionary bijectivity.  Empty list = healthy store. *)
 
+val delta : Hexa.Delta.t -> Violation.t list
+(** [delta d] is {!Invariant.delta}[ d]: the base's full {!store} check
+    plus the delta coherence rules (buffers disjoint from base and each
+    other, tombstones subset of base, merged view equal to a flushed
+    clone).  Empty list = healthy delta-fronted store. *)
+
 val debug : bool ref
 (** The {!Hexa.Debug.enabled} flag gating the insert/delete assertion
     hooks. *)

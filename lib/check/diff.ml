@@ -10,6 +10,8 @@ type op =
   | Insert of id_triple
   | Delete of id_triple
   | Query of Pattern.t
+  | Flush
+  | Compact
 
 type divergence = {
   step : int;
@@ -21,6 +23,8 @@ let op_to_string = function
   | Insert { s; p; o } -> Printf.sprintf "insert (%d,%d,%d)" s p o
   | Delete { s; p; o } -> Printf.sprintf "delete (%d,%d,%d)" s p o
   | Query pat -> Format.asprintf "query %a" Pattern.pp pat
+  | Flush -> "flush"
+  | Compact -> "compact"
 
 let ops_to_string ops = String.concat "; " (List.map op_to_string ops)
 
@@ -57,7 +61,11 @@ let run ?(validate = true) ops =
                  (triples_to_string rm));
           let ch = Hexastore.count h pat in
           let cm = Model.count m pat in
-          if ch <> cm then report step op (Printf.sprintf "count %d vs model %d" ch cm));
+          if ch <> cm then report step op (Printf.sprintf "count %d vs model %d" ch cm)
+      | Flush | Compact ->
+          (* A plain Hexastore has nothing staged; these only matter to
+             {!run_delta}. *)
+          ());
       if Hexastore.size h <> Model.size m then
         report step op
           (Printf.sprintf "size %d vs model %d" (Hexastore.size h) (Model.size m));
@@ -66,20 +74,78 @@ let run ?(validate = true) ops =
           if Hexastore.mem_ids h tr <> Model.mem m tr then
             report step op
               (Printf.sprintf "mem %b vs model %b" (Hexastore.mem_ids h tr) (Model.mem m tr))
-      | Query _ -> ());
+      | Query _ | Flush | Compact -> ());
       if validate then
         match op with
         | Insert _ | Delete _ ->
             List.iter
               (fun v -> report step op ("invariant: " ^ Violation.to_string v))
               (Invariant.store h)
+        | Query _ | Flush | Compact -> ())
+    ops;
+  List.rev !divergences
+
+let run_delta ?(validate = true) ?insert_threshold ?delete_threshold ops =
+  let d = Hexa.Delta.create ?insert_threshold ?delete_threshold () in
+  let m = Model.create () in
+  let divergences = ref [] in
+  let report step op detail = divergences := { step; op; detail } :: !divergences in
+  List.iteri
+    (fun step op ->
+      (match op with
+      | Insert tr ->
+          let rd = Delta.add_ids d tr in
+          let rm = Model.add m tr in
+          if rd <> rm then
+            report step op (Printf.sprintf "insert returned %b, model returned %b" rd rm)
+      | Delete tr ->
+          let rd = Delta.remove_ids d tr in
+          let rm = Model.remove m tr in
+          if rd <> rm then
+            report step op (Printf.sprintf "delete returned %b, model returned %b" rd rm)
+      | Query pat ->
+          let rd = List.sort Model.compare_spo (List.of_seq (Delta.lookup d pat)) in
+          let rm = Model.lookup m pat in
+          if rd <> rm then
+            report step op
+              (Printf.sprintf "lookup [%s] vs model [%s]" (triples_to_string rd)
+                 (triples_to_string rm));
+          let cd = Delta.count d pat in
+          let cm = Model.count m pat in
+          if cd <> cm then report step op (Printf.sprintf "count %d vs model %d" cd cm)
+      | Flush ->
+          Delta.flush d;
+          if Delta.pending_inserts d + Delta.pending_deletes d <> 0 then
+            report step op
+              (Printf.sprintf "flush left %d inserts, %d deletes pending"
+                 (Delta.pending_inserts d) (Delta.pending_deletes d))
+      | Compact ->
+          Delta.compact d;
+          if Delta.pending_inserts d + Delta.pending_deletes d <> 0 then
+            report step op
+              (Printf.sprintf "compact left %d inserts, %d deletes pending"
+                 (Delta.pending_inserts d) (Delta.pending_deletes d)));
+      if Delta.size d <> Model.size m then
+        report step op (Printf.sprintf "size %d vs model %d" (Delta.size d) (Model.size m));
+      (match op with
+      | Insert tr | Delete tr ->
+          if Delta.mem_ids d tr <> Model.mem m tr then
+            report step op
+              (Printf.sprintf "mem %b vs model %b" (Delta.mem_ids d tr) (Model.mem m tr))
+      | Query _ | Flush | Compact -> ());
+      if validate then
+        match op with
+        | Insert _ | Delete _ | Flush | Compact ->
+            List.iter
+              (fun v -> report step op ("invariant: " ^ Violation.to_string v))
+              (Invariant.delta d)
         | Query _ -> ())
     ops;
   List.rev !divergences
 
 (* --- generation and shrinking ------------------------------------------ *)
 
-let gen_ops ~max_id ~max_len =
+let gen_ops_with ~extra ~max_id ~max_len =
   let open QCheck.Gen in
   let id = int_bound max_id in
   let gen_triple = map (fun (s, p, o) -> { s; p; o }) (triple id id id) in
@@ -87,13 +153,21 @@ let gen_ops ~max_id ~max_len =
   let pattern = map (fun (s, p, o) -> { Pattern.s; p; o }) (triple opt_id opt_id opt_id) in
   let op =
     frequency
-      [
-        (5, map (fun t -> Insert t) gen_triple);
-        (3, map (fun t -> Delete t) gen_triple);
-        (2, map (fun p -> Query p) pattern);
-      ]
+      ([
+         (5, map (fun t -> Insert t) gen_triple);
+         (3, map (fun t -> Delete t) gen_triple);
+         (2, map (fun p -> Query p) pattern);
+       ]
+      @ extra)
   in
   list_size (int_bound max_len) op
+
+let gen_ops ~max_id ~max_len = gen_ops_with ~extra:[] ~max_id ~max_len
+
+let gen_delta_ops ~max_id ~max_len =
+  gen_ops_with
+    ~extra:[ (1, QCheck.Gen.return Flush); (1, QCheck.Gen.return Compact) ]
+    ~max_id ~max_len
 
 let shrink_triple { s; p; o } =
   let open QCheck.Iter in
@@ -120,9 +194,16 @@ let shrink_op op =
       (* A delete often reproduces as the cheaper membership probe. *)
       return (Query (Pattern.of_triple t)) <+> map (fun t -> Delete t) (shrink_triple t)
   | Query p -> map (fun p -> Query p) (shrink_pattern p)
+  | Flush | Compact -> empty
 
 let arb_ops ?(max_id = 3) ?(max_len = 40) () =
   QCheck.make
     ~print:(fun ops -> "[" ^ ops_to_string ops ^ "]")
     ~shrink:(QCheck.Shrink.list ~shrink:shrink_op)
     (gen_ops ~max_id ~max_len)
+
+let arb_delta_ops ?(max_id = 3) ?(max_len = 40) () =
+  QCheck.make
+    ~print:(fun ops -> "[" ^ ops_to_string ops ^ "]")
+    ~shrink:(QCheck.Shrink.list ~shrink:shrink_op)
+    (gen_delta_ops ~max_id ~max_len)

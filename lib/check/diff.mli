@@ -12,6 +12,8 @@ type op =
   | Insert of Dict.Term_dict.id_triple
   | Delete of Dict.Term_dict.id_triple
   | Query of Hexa.Pattern.t
+  | Flush  (** Drain the delta layer's buffers ({!run_delta} only). *)
+  | Compact  (** Drain and force the rebuild path ({!run_delta} only). *)
 
 type divergence = {
   step : int;  (** 0-based index of the diverging operation. *)
@@ -29,7 +31,18 @@ val run : ?validate:bool -> op list -> divergence list
 (** Execute the sequence against both stores.  With [validate] (default
     [true]), {!Invariant.store} runs after every mutation and its
     violations are reported as divergences; queries additionally
-    cross-check [count] and [mem]. *)
+    cross-check [count] and [mem].  [Flush]/[Compact] are no-ops here —
+    a plain Hexastore stages nothing. *)
+
+val run_delta :
+  ?validate:bool -> ?insert_threshold:int -> ?delete_threshold:int -> op list -> divergence list
+(** Like {!run}, but the system under test is a delta-fronted store
+    ({!Hexa.Delta}): every read goes through the merged view, [Flush]
+    and [Compact] drain the buffers (and must leave nothing pending),
+    and auto-flush fires whenever a threshold is crossed — pass small
+    thresholds to exercise it.  With [validate], {!Invariant.delta}
+    (including the flushed-clone cross-check) runs after every mutation,
+    flush and compact. *)
 
 val arb_ops : ?max_id:int -> ?max_len:int -> unit -> op list QCheck.arbitrary
 (** QCheck generator of op sequences with shrinking.  Ids are drawn from
@@ -37,3 +50,7 @@ val arb_ops : ?max_id:int -> ?max_len:int -> unit -> op list QCheck.arbitrary
     terminal-list sharing); sequences have up to [max_len] (default 40)
     operations, biased towards inserts so deletes and queries hit
     populated structures. *)
+
+val arb_delta_ops : ?max_id:int -> ?max_len:int -> unit -> op list QCheck.arbitrary
+(** Same distribution as {!arb_ops} plus low-frequency [Flush] and
+    [Compact] ops, so drains land in the middle of mutation runs. *)

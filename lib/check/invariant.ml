@@ -189,6 +189,81 @@ let store h =
   term_dict_acc acc (Hexa.Hexastore.dict h);
   finish acc
 
+(* --- delta layer -------------------------------------------------------- *)
+
+(* How many merged triples get the full 8-shape pattern cross-check
+   against the flushed clone.  Capped so [delta] stays usable inside the
+   differential checker's per-op validation loop. *)
+let delta_sample_cap = 16
+
+let delta d =
+  let open Hexa in
+  let acc = ref [] in
+  let base = Delta.base d in
+  store_acc acc base;
+  term_dict_acc acc (Hexastore.dict base);
+  let tr_path { Dict.Term_dict.s; p; o } = Printf.sprintf "(%d,%d,%d)" s p o in
+  (* Buffer coherence: inserts ∉ base, deletes ⊆ base, buffers disjoint. *)
+  let deletes = Hashtbl.create 16 in
+  Delta.iter_pending_deletes
+    (fun tr ->
+      Hashtbl.replace deletes tr ();
+      if not (Hexastore.mem_ids base tr) then
+        add acc (V.v V.Delta ~path:(tr_path tr) "tombstone for a triple the base does not hold"))
+    d;
+  Delta.iter_pending_inserts
+    (fun tr ->
+      if Hexastore.mem_ids base tr then
+        add acc (V.v V.Delta ~path:(tr_path tr) "buffered insert already present in base");
+      if Hashtbl.mem deletes tr then
+        add acc (V.v V.Delta ~path:(tr_path tr) "triple buffered as both insert and delete"))
+    d;
+  (* Merged-view fidelity: the delta must be observationally equal — same
+     triples, same per-shape order, same counts — to a clone that has the
+     delta already applied the slow way. *)
+  let clone = Hexastore.create ~dict:(Hexastore.dict base) () in
+  let base_triples = List.rev (Hexastore.fold (fun tr l -> tr :: l) base []) in
+  ignore (Hexastore.add_bulk_ids clone (Array.of_list base_triples));
+  Delta.iter_pending_deletes (fun tr -> ignore (Hexastore.remove_ids clone tr)) d;
+  Delta.iter_pending_inserts (fun tr -> ignore (Hexastore.add_ids clone tr)) d;
+  if Delta.size d <> Hexastore.size clone then
+    add acc
+      (V.v V.Delta ~path:"size" "merged size %d disagrees with flushed clone %d" (Delta.size d)
+         (Hexastore.size clone));
+  let check_pattern pat =
+    let path = Format.asprintf "pattern %a" Pattern.pp pat in
+    let merged = List.of_seq (Delta.lookup d pat) in
+    let flushed = List.of_seq (Hexastore.lookup clone pat) in
+    if merged <> flushed then
+      add acc
+        (V.v V.Delta ~path "merged view disagrees with flushed clone (%d vs %d triples, or order)"
+           (List.length merged) (List.length flushed));
+    if Delta.count d pat <> Hexastore.count clone pat then
+      add acc
+        (V.v V.Delta ~path "merged count %d disagrees with flushed clone %d" (Delta.count d pat)
+           (Hexastore.count clone pat))
+  in
+  check_pattern Pattern.wildcard;
+  let sample = List.rev (Hexastore.fold (fun tr l -> tr :: l) clone []) in
+  let n = List.length sample in
+  let stride = max 1 (n / delta_sample_cap) in
+  List.iteri
+    (fun i ({ Dict.Term_dict.s; p; o } as tr) ->
+      if i mod stride = 0 then begin
+        List.iter check_pattern
+          [
+            Pattern.of_triple tr;
+            Pattern.make ~s ~p ();
+            Pattern.make ~s ~o ();
+            Pattern.make ~p ~o ();
+            Pattern.make ~s ();
+            Pattern.make ~p ();
+            Pattern.make ~o ();
+          ]
+      end)
+    sample;
+  finish acc
+
 (* --- dataset ----------------------------------------------------------- *)
 
 let dataset d =

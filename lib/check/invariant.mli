@@ -40,6 +40,15 @@ val store : Hexa.Hexastore.t -> Violation.t list
     orderings (and with the direct accessor tables), per-index totals
     equal to the store size, and dictionary bijectivity. *)
 
+val delta : Hexa.Delta.t -> Violation.t list
+(** The delta-layer coherence rules on top of the base store's full
+    {!store} check: no buffered insert already present in the base, the
+    delete set a subset of the base, the two buffers disjoint, and the
+    merged view observationally equal — triples, per-shape order, and
+    counts — to a clone with the delta applied triple-by-triple.  The
+    pattern cross-check runs the full wildcard plus all bound shapes of
+    a capped sample of merged triples. *)
+
 val dictionary : Dict.Dictionary.t -> Violation.t list
 (** [decode] then [find] round-trips to the same id for every allocated
     id (string ↔ id bijection). *)

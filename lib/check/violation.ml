@@ -3,6 +3,7 @@ type layer =
   | Pair_vector
   | Index
   | Store
+  | Delta
   | Dictionary
   | Dataset
   | Snapshot
@@ -19,6 +20,7 @@ let layer_name = function
   | Pair_vector -> "pair-vector"
   | Index -> "index"
   | Store -> "store"
+  | Delta -> "delta"
   | Dictionary -> "dictionary"
   | Dataset -> "dataset"
   | Snapshot -> "snapshot"

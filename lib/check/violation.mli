@@ -11,6 +11,7 @@ type layer =
   | Pair_vector  (** Key ordering / total accounting of a pair vector. *)
   | Index  (** One of the six orderings. *)
   | Store  (** Cross-index Hexastore consistency. *)
+  | Delta  (** Delta-layer buffer coherence and merged-view fidelity. *)
   | Dictionary  (** Term/id bijectivity. *)
   | Dataset  (** Named-graph coherence. *)
   | Snapshot  (** Persistence round-trip fidelity. *)

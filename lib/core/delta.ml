@@ -1,0 +1,319 @@
+open Vectors
+
+type id_triple = Dict.Term_dict.id_triple = {
+  s : int;
+  p : int;
+  o : int;
+}
+
+(* Telemetry: buffered-mutation counters, pending-size gauges, and a
+   flush cost profile.  Every hook is one flag read while telemetry is
+   off. *)
+let m_ins_buf = Telemetry.Metrics.counter "hexastore.delta.insert.buffered"
+let m_del_buf = Telemetry.Metrics.counter "hexastore.delta.delete.buffered"
+let m_resurrect = Telemetry.Metrics.counter "hexastore.delta.insert.resurrected"
+let m_unbuffer = Telemetry.Metrics.counter "hexastore.delta.delete.unbuffered"
+let m_flush = Telemetry.Metrics.counter "hexastore.delta.flush.calls"
+let m_flush_auto = Telemetry.Metrics.counter "hexastore.delta.flush.auto"
+let m_flush_rebuild = Telemetry.Metrics.counter "hexastore.delta.flush.rebuild"
+let m_compact = Telemetry.Metrics.counter "hexastore.delta.compact.calls"
+let m_merged = Telemetry.Metrics.counter "hexastore.delta.lookup.merged"
+let g_pending_ins = Telemetry.Metrics.gauge "hexastore.delta.pending_inserts"
+let g_pending_del = Telemetry.Metrics.gauge "hexastore.delta.pending_deletes"
+let m_flush_us = Telemetry.Metrics.histogram "hexastore.delta.flush_duration_us"
+let m_flush_batch = Telemetry.Metrics.histogram "hexastore.delta.flush_batch"
+
+(* Invariants (checked by [Check.Invariant.delta]):
+   - no triple is in both [inserts] and the base store;
+   - [deletes] is a subset of the base store;
+   - [inserts] and [deletes] are disjoint (implied by the two above). *)
+type t = {
+  base : Hexastore.t;
+  inserts : (id_triple, unit) Hashtbl.t;
+  deletes : (id_triple, unit) Hashtbl.t;
+  mutable insert_threshold : int;
+  mutable delete_threshold : int;
+}
+
+let default_insert_threshold = 4096
+let default_delete_threshold = 1024
+
+let clamp_threshold n = max 1 n
+
+let of_base ?(insert_threshold = default_insert_threshold)
+    ?(delete_threshold = default_delete_threshold) base =
+  {
+    base;
+    inserts = Hashtbl.create 64;
+    deletes = Hashtbl.create 16;
+    insert_threshold = clamp_threshold insert_threshold;
+    delete_threshold = clamp_threshold delete_threshold;
+  }
+
+let create ?dict ?insert_threshold ?delete_threshold () =
+  of_base ?insert_threshold ?delete_threshold (Hexastore.create ?dict ())
+
+let base t = t.base
+let dict t = Hexastore.dict t.base
+let pending_inserts t = Hashtbl.length t.inserts
+let pending_deletes t = Hashtbl.length t.deletes
+let insert_threshold t = t.insert_threshold
+let delete_threshold t = t.delete_threshold
+
+let set_thresholds ?insert ?delete t =
+  (match insert with Some n -> t.insert_threshold <- clamp_threshold n | None -> ());
+  match delete with Some n -> t.delete_threshold <- clamp_threshold n | None -> ()
+
+let size t = Hexastore.size t.base + Hashtbl.length t.inserts - Hashtbl.length t.deletes
+
+let note_pending t =
+  if !Telemetry.Config.enabled then begin
+    Telemetry.Metrics.set g_pending_ins (float_of_int (Hashtbl.length t.inserts));
+    Telemetry.Metrics.set g_pending_del (float_of_int (Hashtbl.length t.deletes))
+  end
+
+(* --- flush ------------------------------------------------------------ *)
+
+(* A batch this large relative to the (post-delete) base triggers a full
+   rebuild: the whole merged set is re-loaded into a fresh store through
+   [add_bulk_ids]'s pure-append path, O((N + k) log (N + k)), instead of
+   k in-place binary insertions each moving O(vector) elements. *)
+let rebuild_factor = 8
+
+let drain_pending t =
+  let deletes = Hashtbl.fold (fun tr () acc -> tr :: acc) t.deletes [] in
+  List.iter (fun tr -> ignore (Hexastore.remove_ids t.base tr)) deletes;
+  Hashtbl.reset t.deletes;
+  let batch = Array.make (Hashtbl.length t.inserts) { s = 0; p = 0; o = 0 } in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun tr () ->
+      batch.(!i) <- tr;
+      incr i)
+    t.inserts;
+  Hashtbl.reset t.inserts;
+  batch
+
+let rebuild_base t batch =
+  Telemetry.Metrics.incr m_flush_rebuild;
+  let n = Hexastore.size t.base in
+  let all = Array.make (n + Array.length batch) { s = 0; p = 0; o = 0 } in
+  let i = ref 0 in
+  ignore
+    (Hexastore.fold
+       (fun tr () ->
+         all.(!i) <- tr;
+         incr i)
+       t.base ());
+  Array.blit batch 0 all n (Array.length batch);
+  let fresh = Hexastore.create ~dict:(Hexastore.dict t.base) () in
+  ignore (Hexastore.add_bulk_ids fresh all);
+  (* Adopt in place so aliases to the base (e.g. a dataset graph fronted
+     by this delta) keep seeing the store's contents. *)
+  Hexastore.replace_contents t.base ~from:fresh
+
+let flush_with ~force_rebuild t =
+  let timed = !Telemetry.Config.enabled in
+  let started = if timed then Telemetry.Clock.now () else 0. in
+  let pending = Hashtbl.length t.inserts + Hashtbl.length t.deletes in
+  Telemetry.Metrics.incr m_flush;
+  Telemetry.Metrics.observe m_flush_batch pending;
+  let batch = drain_pending t in
+  if
+    force_rebuild
+    || Array.length batch * rebuild_factor >= Hexastore.size t.base
+  then rebuild_base t batch
+  else ignore (Hexastore.add_bulk_ids t.base batch);
+  note_pending t;
+  if timed then
+    Telemetry.Metrics.observe m_flush_us
+      (int_of_float ((Telemetry.Clock.now () -. started) *. 1e6))
+
+let flush t =
+  if Hashtbl.length t.inserts > 0 || Hashtbl.length t.deletes > 0 then
+    flush_with ~force_rebuild:false t
+
+let compact t =
+  Telemetry.Metrics.incr m_compact;
+  flush_with ~force_rebuild:true t
+
+let maybe_auto_flush t =
+  if
+    Hashtbl.length t.inserts >= t.insert_threshold
+    || Hashtbl.length t.deletes >= t.delete_threshold
+  then begin
+    Telemetry.Metrics.incr m_flush_auto;
+    flush_with ~force_rebuild:false t
+  end
+
+(* --- mutation --------------------------------------------------------- *)
+
+let add_ids t tr =
+  if Hashtbl.mem t.inserts tr then false
+  else if Hexastore.mem_ids t.base tr then
+    if Hashtbl.mem t.deletes tr then begin
+      (* Resurrection: cancel the pending tombstone instead of buffering
+         an insert the base already holds. *)
+      Hashtbl.remove t.deletes tr;
+      Telemetry.Metrics.incr m_resurrect;
+      note_pending t;
+      true
+    end
+    else false
+  else begin
+    Hashtbl.replace t.inserts tr ();
+    Telemetry.Metrics.incr m_ins_buf;
+    note_pending t;
+    maybe_auto_flush t;
+    true
+  end
+
+let remove_ids t tr =
+  if Hashtbl.mem t.inserts tr then begin
+    (* The triple only ever lived in the buffer: dropping the buffered
+       insert deletes it without touching the base. *)
+    Hashtbl.remove t.inserts tr;
+    Telemetry.Metrics.incr m_unbuffer;
+    note_pending t;
+    true
+  end
+  else if Hexastore.mem_ids t.base tr && not (Hashtbl.mem t.deletes tr) then begin
+    Hashtbl.replace t.deletes tr ();
+    Telemetry.Metrics.incr m_del_buf;
+    note_pending t;
+    maybe_auto_flush t;
+    true
+  end
+  else false
+
+let mem_ids t tr =
+  Hashtbl.mem t.inserts tr
+  || (Hexastore.mem_ids t.base tr && not (Hashtbl.mem t.deletes tr))
+
+let add_bulk_ids t batch =
+  (* Pending deletes must land first so a batch re-inserting a tombstoned
+     triple counts it as fresh; then the base's own sort-and-append bulk
+     path takes the whole batch at once. *)
+  flush t;
+  Hexastore.add_bulk_ids t.base batch
+
+(* --- merged lookup ---------------------------------------------------- *)
+
+(* One comparator per index family; a pattern's matches agree on its
+   bound positions, so comparing the full triple in the serving index's
+   significance order ranks them exactly as the base scan emits them. *)
+let cmp_spo (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.p b.p in
+    if c <> 0 then c else Int.compare a.o b.o
+
+let cmp_sop (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.o b.o in
+    if c <> 0 then c else Int.compare a.p b.p
+
+let cmp_pso (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.p b.p in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.s b.s in
+    if c <> 0 then c else Int.compare a.o b.o
+
+let cmp_pos (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.p b.p in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.o b.o in
+    if c <> 0 then c else Int.compare a.s b.s
+
+let cmp_osp (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.o b.o in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.s b.s in
+    if c <> 0 then c else Int.compare a.p b.p
+
+let cmp_for_shape = function
+  | Pattern.All | Pattern.Sp | Pattern.S | Pattern.None_bound -> cmp_spo
+  | Pattern.So -> cmp_sop
+  | Pattern.P -> cmp_pso
+  | Pattern.Po -> cmp_pos
+  | Pattern.O -> cmp_osp
+
+(* Matching buffer entries, materialised and sorted at call time so the
+   lazy merged sequence never reads a mutable hash table. *)
+let pending_matching table cmp pat =
+  let hits = Hashtbl.fold (fun tr () acc -> if Pattern.matches pat tr then tr :: acc else acc) table [] in
+  let arr = Array.of_list hits in
+  Array.sort cmp arr;
+  Array.to_seq arr
+
+let lookup t pat =
+  if Hashtbl.length t.inserts = 0 && Hashtbl.length t.deletes = 0 then
+    Hexastore.lookup t.base pat
+  else begin
+    Telemetry.Metrics.incr m_merged;
+    let cmp = cmp_for_shape (Pattern.shape pat) in
+    let base_seq = Hexastore.lookup t.base pat in
+    let dels = pending_matching t.deletes cmp pat in
+    let inss = pending_matching t.inserts cmp pat in
+    Merge.union_seq_by ~cmp (Merge.diff_seq_by ~cmp base_seq dels) inss
+  end
+
+let count t pat =
+  match Pattern.shape pat with
+  | Pattern.All ->
+      let tr = { s = Option.get pat.s; p = Option.get pat.p; o = Option.get pat.o } in
+      if mem_ids t tr then 1 else 0
+  | _ ->
+      let pending table =
+        Hashtbl.fold (fun tr () acc -> if Pattern.matches pat tr then acc + 1 else acc) table 0
+      in
+      Hexastore.count t.base pat + pending t.inserts - pending t.deletes
+
+let fold f t acc = Seq.fold_left (fun acc tr -> f tr acc) acc (lookup t Pattern.wildcard)
+
+let iter_pending_inserts f t = Hashtbl.iter (fun tr () -> f tr) t.inserts
+let iter_pending_deletes f t = Hashtbl.iter (fun tr () -> f tr) t.deletes
+
+(* --- term-level API --------------------------------------------------- *)
+
+let add t triple = add_ids t (Dict.Term_dict.encode_triple (dict t) triple)
+
+let remove t triple =
+  match Dict.Term_dict.find_triple (dict t) triple with
+  | None -> false
+  | Some ids -> remove_ids t ids
+
+let mem t triple =
+  match Dict.Term_dict.find_triple (dict t) triple with
+  | None -> false
+  | Some ids -> mem_ids t ids
+
+let find t ?s ?p ?o () =
+  let d = dict t in
+  let resolve = function
+    | None -> Some None
+    | Some term -> (
+        match Dict.Term_dict.find_term d term with None -> None | Some id -> Some (Some id))
+  in
+  match (resolve s, resolve p, resolve o) with
+  | Some s, Some p, Some o ->
+      Seq.map (Dict.Term_dict.decode_triple d) (lookup t { Pattern.s; p; o })
+  | _ -> Seq.empty
+
+let to_triples t =
+  List.of_seq (Seq.map (Dict.Term_dict.decode_triple (dict t)) (lookup t Pattern.wildcard))
+
+(* --- accounting ------------------------------------------------------- *)
+
+(* Each pending entry costs a boxed 4-word triple record plus ~4 words of
+   hash-bucket overhead. *)
+let memory_words t =
+  Hexastore.memory_words t.base
+  + (8 * (Hashtbl.length t.inserts + Hashtbl.length t.deletes))
+  + 32

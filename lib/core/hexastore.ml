@@ -37,18 +37,21 @@ let note_probe shape = note_ord (Ordering.for_shape shape)
 let note_mutation family n =
   if !Telemetry.Config.enabled then Array.iter (fun c -> Telemetry.Metrics.add c n) family
 
+(* The structural fields are mutable solely so {!replace_contents} can
+   rebuild a store in place while aliases (datasets, delta layers) keep
+   pointing at the same [t]. *)
 type t = {
   dict : Dict.Term_dict.t;
-  spo : Index.t;
-  sop : Index.t;
-  pso : Index.t;
-  pos : Index.t;
-  osp : Index.t;
-  ops : Index.t;
+  mutable spo : Index.t;
+  mutable sop : Index.t;
+  mutable pso : Index.t;
+  mutable pos : Index.t;
+  mutable osp : Index.t;
+  mutable ops : Index.t;
   (* Shared terminal-list families, keyed by packed id pairs. *)
-  o_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (s,p) -> objects;    spo & pso *)
-  p_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (s,o) -> properties; sop & osp *)
-  s_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (p,o) -> subjects;   pos & ops *)
+  mutable o_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (s,p) -> objects;    spo & pso *)
+  mutable p_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (s,o) -> properties; sop & osp *)
+  mutable s_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (p,o) -> subjects;   pos & ops *)
   mutable size : int;
 }
 
@@ -69,6 +72,26 @@ let create ?dict () =
   }
 
 let dict t = t.dict
+
+(* In-place structural adoption: [dst] takes over [src]'s indices and
+   terminal lists while keeping its own identity, so aliases to [dst]
+   (a dataset's graph table, a delta layer's base) observe the rebuilt
+   contents.  Both stores must share one dictionary — ids are only
+   meaningful relative to it. *)
+let replace_contents dst ~from:src =
+  if dst.dict != src.dict then
+    invalid_arg "Hexastore.replace_contents: stores must share a dictionary";
+  dst.spo <- src.spo;
+  dst.sop <- src.sop;
+  dst.pso <- src.pso;
+  dst.pos <- src.pos;
+  dst.osp <- src.osp;
+  dst.ops <- src.ops;
+  dst.o_lists <- src.o_lists;
+  dst.p_lists <- src.p_lists;
+  dst.s_lists <- src.s_lists;
+  dst.size <- src.size
+
 let size t = t.size
 (* Handing out an index is counted as a probe of it: the benchmark
    query strategies read indices through these accessors, and the

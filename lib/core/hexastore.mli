@@ -34,6 +34,13 @@ val dict : t -> Dict.Term_dict.t
 val size : t -> int
 (** Number of distinct triples. *)
 
+val replace_contents : t -> from:t -> unit
+(** [replace_contents dst ~from:src] makes [dst] adopt [src]'s indices,
+    terminal lists and size in place, preserving [dst]'s identity so any
+    alias to it (a {!Dataset} graph slot, a {!Delta} base) observes the
+    new contents.  Used by the delta layer's rebuild-style flush.
+    @raise Invalid_argument if the two stores do not share a dictionary. *)
+
 (** {1 Id-level API} *)
 
 val add_ids : t -> id_triple -> bool

@@ -184,3 +184,15 @@ let load_channel ic =
 let load path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> load_channel ic)
+
+(* Delta-fronted stores persist flush-on-save: the snapshot format only
+   knows the six-ordering base image, so pending buffers are drained
+   into it first.  Saving is therefore canonicalising — re-saving the
+   loaded store produces byte-identical output. *)
+
+let save_delta d path =
+  Delta.flush d;
+  save (Delta.base d) path
+
+let load_delta ?insert_threshold ?delete_threshold path =
+  Delta.of_base ?insert_threshold ?delete_threshold (load path)

@@ -35,3 +35,11 @@ val load : string -> Hexastore.t
 val save_channel : Hexastore.t -> out_channel -> unit
 
 val load_channel : in_channel -> Hexastore.t
+
+val save_delta : Delta.t -> string -> unit
+(** Flush-on-save: drains the delta's pending buffers into its base,
+    then writes the base image.  A loaded-then-re-saved snapshot is
+    byte-identical. *)
+
+val load_delta : ?insert_threshold:int -> ?delete_threshold:int -> string -> Delta.t
+(** {!load} the base image and front it with an empty delta. *)

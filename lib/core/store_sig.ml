@@ -74,9 +74,24 @@ module Partial_store : S with type t = Partial.t = struct
   let memory_words = Partial.memory_words
 end
 
+module Delta_store : S with type t = Delta.t = struct
+  type t = Delta.t
+
+  let name = "Hexastore+delta"
+  let dict = Delta.dict
+  let size = Delta.size
+  let add_ids = Delta.add_ids
+  let add_bulk_ids = Delta.add_bulk_ids
+  let lookup = Delta.lookup
+  let count = Delta.count
+  let memory_words = Delta.memory_words
+end
+
 type boxed = Boxed : (module S with type t = 'a) * 'a -> boxed
 
 let box_hexastore h = Boxed ((module Hexastore_store), h)
+
+let box_delta d = Boxed ((module Delta_store), d)
 
 let box_partial p = Boxed ((module Partial_store), p)
 

@@ -37,10 +37,17 @@ module Covp2_store : S with type t = Covp.t
 
 module Partial_store : S with type t = Partial.t
 
+module Delta_store : S with type t = Delta.t
+(** The write-optimized delta layer: reads serve the merged
+    [base ∪ inserts − deletes] view, so the planner and executor work
+    over it unchanged. *)
+
 (** A store packed with its operations. *)
 type boxed = Boxed : (module S with type t = 'a) * 'a -> boxed
 
 val box_hexastore : Hexastore.t -> boxed
+
+val box_delta : Delta.t -> boxed
 
 val box_partial : Partial.t -> boxed
 

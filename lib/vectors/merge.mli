@@ -47,6 +47,21 @@ val intersect_seq : int Seq.t -> int Seq.t -> int Seq.t
 val union_seq : int Seq.t -> int Seq.t -> int Seq.t
 (** Lazy merge union (duplicates collapsed) of two ascending sequences. *)
 
+val diff_seq : int Seq.t -> int Seq.t -> int Seq.t
+(** Lazy merge difference of two ascending sequences: elements of the
+    first not present in the second. *)
+
+val union_seq_by : cmp:('a -> 'a -> int) -> 'a Seq.t -> 'a Seq.t -> 'a Seq.t
+(** Lazy merge union of two sequences ascending under [cmp], duplicates
+    (elements comparing equal) collapsed, keeping the left occurrence.
+    The delta layer merges base-index scans with buffered inserts
+    through this kernel. *)
+
+val diff_seq_by : cmp:('a -> 'a -> int) -> 'a Seq.t -> 'a Seq.t -> 'a Seq.t
+(** Lazy merge difference under [cmp]: elements of the first sequence
+    with no equal element in the second.  The delta layer subtracts its
+    delete set from base-index scans through this kernel. *)
+
 val is_strictly_ascending : int Seq.t -> bool
 
 val of_unsorted : int list -> Sorted_ivec.t

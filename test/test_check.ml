@@ -219,6 +219,130 @@ let prop_differential_wide =
             (String.concat "\n" (List.map C.Diff.divergence_to_string ds)))
 
 (* ------------------------------------------------------------------ *)
+(* Delta layer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A store frozen mid-delta: populated base, pending inserts AND pending
+   tombstones, thresholds high enough that nothing auto-flushes. *)
+let mid_delta () =
+  let d = Delta.create ~insert_threshold:1000 ~delete_threshold:1000 () in
+  ignore
+    (Delta.add_bulk_ids d
+       (Array.of_list (List.map (fun (s, p, o) -> t3 s p o) [ (0, 1, 2); (0, 1, 3); (1, 1, 2); (3, 4, 5) ])));
+  check_bool "buffered insert" true (Delta.add_ids d (t3 2 1 0));
+  check_bool "buffered insert 2" true (Delta.add_ids d (t3 0 2 2));
+  check_bool "tombstone" true (Delta.remove_ids d (t3 3 4 5));
+  d
+
+let test_delta_semantics () =
+  let d = mid_delta () in
+  check_int "pending inserts" 2 (Delta.pending_inserts d);
+  check_int "pending deletes" 1 (Delta.pending_deletes d);
+  check_int "merged size" 5 (Delta.size d);
+  check_bool "merged mem: base triple" true (Delta.mem_ids d (t3 0 1 2));
+  check_bool "merged mem: buffered triple" true (Delta.mem_ids d (t3 2 1 0));
+  check_bool "merged mem: tombstoned triple" false (Delta.mem_ids d (t3 3 4 5));
+  check_bool "duplicate of buffered insert" false (Delta.add_ids d (t3 2 1 0));
+  check_bool "duplicate of base triple" false (Delta.add_ids d (t3 0 1 2));
+  check_bool "delete of buffered insert" true (Delta.remove_ids d (t3 2 1 0));
+  check_bool "it is gone" false (Delta.mem_ids d (t3 2 1 0));
+  check_bool "resurrect tombstoned triple" true (Delta.add_ids d (t3 3 4 5));
+  check_bool "tombstone cancelled" true (Delta.mem_ids d (t3 3 4 5));
+  check_int "no tombstones left" 0 (Delta.pending_deletes d);
+  check_bool "double delete" true (Delta.remove_ids d (t3 3 4 5));
+  check_bool "re-delete fails" false (Delta.remove_ids d (t3 3 4 5))
+
+let test_delta_frozen_mid_delta () =
+  (* Acceptance criterion: zero violations on a store frozen mid-delta —
+     both the base's own Check.store and the full delta coherence check. *)
+  let d = mid_delta () in
+  check_bool "delta is non-empty" true (Delta.pending_inserts d + Delta.pending_deletes d > 0);
+  no_violations "Check.store on mid-delta base" (C.store (Delta.base d));
+  no_violations "Check.delta mid-delta" (C.delta d);
+  Delta.flush d;
+  check_int "flush drains" 0 (Delta.pending_inserts d + Delta.pending_deletes d);
+  no_violations "Check.delta after flush" (C.delta d);
+  Delta.compact d;
+  no_violations "Check.delta after compact" (C.delta d)
+
+let test_delta_auto_flush () =
+  let d = Delta.create ~insert_threshold:3 ~delete_threshold:2 () in
+  ignore (Delta.add_ids d (t3 0 0 0));
+  ignore (Delta.add_ids d (t3 0 0 1));
+  check_int "below threshold: still buffered" 2 (Delta.pending_inserts d);
+  ignore (Delta.add_ids d (t3 0 0 2));
+  check_int "threshold crossed: auto-flushed" 0 (Delta.pending_inserts d);
+  check_int "base holds the batch" 3 (Hexastore.size (Delta.base d));
+  ignore (Delta.remove_ids d (t3 0 0 0));
+  check_int "one tombstone buffered" 1 (Delta.pending_deletes d);
+  ignore (Delta.remove_ids d (t3 0 0 1));
+  check_int "delete threshold crossed" 0 (Delta.pending_deletes d);
+  check_int "merged size" 1 (Delta.size d);
+  no_violations "after auto-flushes" (C.delta d)
+
+let test_delta_detects_corruption () =
+  (* Sneak a buffered insert into the base behind the delta's back: the
+     no-triple-in-both rule must fire. *)
+  let d = mid_delta () in
+  Delta.iter_pending_inserts (fun tr -> ignore (Hexastore.add_ids (Delta.base d) tr)) d;
+  some_violation "insert buffered and in base" (C.delta d);
+  (* And a tombstone for a triple the base never held. *)
+  let d2 = mid_delta () in
+  Delta.iter_pending_deletes (fun tr -> ignore (Hexastore.remove_ids (Delta.base d2) tr)) d2;
+  some_violation "tombstone without base triple" (C.delta d2)
+
+let test_delta_diff_deterministic () =
+  let ops =
+    C.Diff.
+      [
+        Insert (t3 0 0 0);
+        Insert (t3 0 0 1);
+        Flush;
+        Insert (t3 0 0 0);
+        Delete (t3 0 0 1);
+        Query Pattern.wildcard;
+        Compact;
+        Insert (t3 1 0 1);
+        Delete (t3 0 0 0);
+        Query (Pattern.make ~p:0 ());
+        Flush;
+        Query Pattern.wildcard;
+      ]
+  in
+  match C.Diff.run_delta ~insert_threshold:2 ~delete_threshold:2 ops with
+  | [] -> ()
+  | ds ->
+      Alcotest.failf "unexpected divergences:@.%s"
+        (String.concat "\n" (List.map C.Diff.divergence_to_string ds))
+
+(* The delta-layer acceptance workhorse: >= 1000 random sequences that
+   interleave flush/compact with mutations and queries, each run with
+   generator-drawn auto-flush thresholds and the full Invariant.delta
+   validation (flushed-clone cross-check included) after every mutation. *)
+let prop_delta_differential =
+  QCheck.Test.make ~name:"delta layer = reference model (flush/compact interleaved)" ~count:1000
+    (QCheck.triple (QCheck.int_range 1 8) (QCheck.int_range 1 6) (C.Diff.arb_delta_ops ()))
+    (fun (insert_threshold, delete_threshold, ops) ->
+      match C.Diff.run_delta ~insert_threshold ~delete_threshold ops with
+      | [] -> true
+      | ds ->
+          QCheck.Test.fail_reportf "thresholds (%d,%d): %s" insert_threshold delete_threshold
+            (String.concat "\n" (List.map C.Diff.divergence_to_string ds)))
+
+(* Wider universe, longer runs, default (never-firing) thresholds, no
+   per-step validation: a pure black-box differential soak that keeps
+   large buffers alive across many queries. *)
+let prop_delta_differential_wide =
+  QCheck.Test.make ~name:"delta differential (wide id universe)" ~count:200
+    (C.Diff.arb_delta_ops ~max_id:12 ~max_len:120 ())
+    (fun ops ->
+      match C.Diff.run_delta ~validate:false ops with
+      | [] -> true
+      | ds ->
+          QCheck.Test.fail_reportf "%s"
+            (String.concat "\n" (List.map C.Diff.divergence_to_string ds)))
+
+(* ------------------------------------------------------------------ *)
 (* Debug assertion hooks                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -350,6 +474,17 @@ let () =
           Alcotest.test_case "deterministic sequence" `Quick test_diff_deterministic;
           qt prop_differential;
           qt prop_differential_wide;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "buffered mutation semantics" `Quick test_delta_semantics;
+          Alcotest.test_case "zero violations frozen mid-delta" `Quick test_delta_frozen_mid_delta;
+          Alcotest.test_case "auto-flush thresholds" `Quick test_delta_auto_flush;
+          Alcotest.test_case "detects buffer corruption" `Quick test_delta_detects_corruption;
+          Alcotest.test_case "deterministic flush/compact sequence" `Quick
+            test_delta_diff_deterministic;
+          qt prop_delta_differential;
+          qt prop_delta_differential_wide;
         ] );
       ( "debug-hooks",
         [

@@ -40,11 +40,37 @@ let fig1_triples =
 let make_store () = Hexa.Hexastore.of_triples fig1_triples
 let boxed () = Hexa.Store_sig.box_hexastore (make_store ())
 
+(* A delta-fronted store whose *merged* view equals fig1: part of the
+   graph bulk-loaded into the base, the rest left pending in the insert
+   buffer, plus a tombstoned decoy — so every generic executor/planner
+   test below also proves the query layer reads base ∪ delta − deletes. *)
+let make_delta_store () =
+  let d = Hexa.Delta.create () in
+  let rec split n = function
+    | x :: rest when n > 0 ->
+        let base, pending = split (n - 1) rest in
+        (x :: base, pending)
+    | rest -> ([], rest)
+  in
+  let base, pending = split 12 fig1_triples in
+  let decoy = Triple.make (ex "decoy") (ex "decoyProp") (ex "decoy") in
+  let encode = Dict.Term_dict.encode_triple (Hexa.Delta.dict d) in
+  ignore (Hexa.Delta.add_bulk_ids d (Array.of_list (List.map encode (decoy :: base))));
+  List.iter (fun t -> ignore (Hexa.Delta.add d t)) pending;
+  ignore (Hexa.Delta.remove d decoy);
+  assert (Hexa.Delta.pending_inserts d > 0 && Hexa.Delta.pending_deletes d > 0);
+  d
+
 let all_boxed () =
   let h = make_store () in
   let c1 = Hexa.Covp.of_triples Hexa.Covp.Covp1 fig1_triples in
   let c2 = Hexa.Covp.of_triples Hexa.Covp.Covp2 fig1_triples in
-  [ Hexa.Store_sig.box_hexastore h; Hexa.Store_sig.box_covp c1; Hexa.Store_sig.box_covp c2 ]
+  [
+    Hexa.Store_sig.box_hexastore h;
+    Hexa.Store_sig.box_covp c1;
+    Hexa.Store_sig.box_covp c2;
+    Hexa.Store_sig.box_delta (make_delta_store ());
+  ]
 
 let get_iri store sol var =
   match Binding.get sol var with
@@ -262,7 +288,7 @@ let gen_atom =
 let gen_tp = QCheck.Gen.(map3 Algebra.tp gen_atom gen_atom gen_atom)
 
 let prop_bgp_matches_brute_force =
-  QCheck.Test.make ~name:"executor = brute force on random BGPs (3 stores)" ~count:200
+  QCheck.Test.make ~name:"executor = brute force on random BGPs (4 stores, incl. delta)" ~count:200
     (QCheck.make QCheck.Gen.(list_size (int_range 1 3) gen_tp))
     (fun tps ->
       let vars = List.sort_uniq compare (List.concat_map Algebra.vars_of_tp tps) in

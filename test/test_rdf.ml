@@ -191,6 +191,35 @@ let test_nt_file_io () =
       Ntriples.save_file path triples;
       Alcotest.(check (list triple_t)) "file roundtrip" triples (Ntriples.load_file path))
 
+(* Literal values drawn to stress the escaping path: every character the
+   N-Triples grammar forces an escape for (quote, backslash, newline, CR,
+   tab), plain printables, and raw multi-byte UTF-8 (passed through
+   unescaped by the serializers). *)
+let gen_literal_value =
+  let open QCheck.Gen in
+  let nasty =
+    oneofl [ "\""; "\\"; "\n"; "\r"; "\t"; "\\n"; "a\"b\\c"; "é"; "𝄞"; "mixé\td"; "" ]
+  in
+  frequency
+    [
+      (3, string_size ~gen:printable (int_bound 12));
+      (2, map (String.concat "") (list_size (int_bound 4) nasty));
+      (1, return "tricky\"\\\n\tvalue");
+    ]
+
+(* Parsers lowercase language tags (BCP 47 tags are case-insensitive), so
+   only lowercase spellings round-trip bit-for-bit. *)
+let gen_lang = QCheck.Gen.oneofl [ "en"; "en-us"; "fr"; "de-ch"; "zh-hans"; "x-a-very-long-tag" ]
+
+let gen_datatype =
+  QCheck.Gen.oneofl
+    [
+      "http://www.w3.org/2001/XMLSchema#string";
+      "http://www.w3.org/2001/XMLSchema#token";
+      "http://example.org/dt#custom";
+      "urn:example:datatype";
+    ]
+
 let gen_term =
   let open QCheck.Gen in
   let name = map (fun n -> Printf.sprintf "n%d" n) (int_bound 20) in
@@ -198,10 +227,10 @@ let gen_term =
     [
       (4, map (fun n -> Term.iri ("http://example.org/" ^ n)) name);
       (1, map Term.blank name);
-      (2, map Term.string_literal (string_size ~gen:printable (int_bound 12)));
-      (1, map (fun n -> Term.literal ~lang:"en" n) name);
+      (3, map Term.string_literal gen_literal_value);
+      (2, map2 (fun lang v -> Term.literal ~lang v) gen_lang gen_literal_value);
+      (2, map2 (fun dt v -> Term.typed_literal v ~datatype:dt) gen_datatype gen_literal_value);
       (1, map Term.int_literal (int_bound 1000));
-      (1, return (Term.string_literal "tricky\"\\\n\tvalue"));
     ]
 
 let gen_triple =
@@ -210,6 +239,18 @@ let gen_triple =
       (frequency [ (3, map (fun n -> Term.iri ("http://example.org/s" ^ string_of_int n)) (int_bound 20)); (1, map (fun n -> Term.blank ("b" ^ string_of_int n)) (int_bound 5)) ])
       (map (fun n -> Term.iri ("http://example.org/p" ^ string_of_int n)) (int_bound 10))
       gen_term)
+
+(* Term-level round-trip: [Ntriples.parse_term] documents itself as the
+   inverse of [Term.to_string]; hold it to that over the full generator,
+   escapes, language tags and typed literals included. *)
+let prop_term_roundtrip =
+  QCheck.Test.make ~name:"parse_term (to_string t) = t" ~count:500
+    (QCheck.make ~print:Term.to_string gen_term)
+    (fun t ->
+      match Ntriples.parse_term (Term.to_string t) with
+      | t' -> Term.equal t t'
+      | exception Ntriples.Parse_error (_, msg) ->
+          QCheck.Test.fail_reportf "%S failed to reparse: %s" (Term.to_string t) msg)
 
 let arbitrary_triples = QCheck.make ~print:(fun l -> Ntriples.print_string l) QCheck.Gen.(list_size (int_bound 30) gen_triple)
 
@@ -463,6 +504,7 @@ let () =
           Alcotest.test_case "doc_roundtrip" `Quick test_nt_roundtrip_doc;
           Alcotest.test_case "file_io" `Quick test_nt_file_io;
           Alcotest.test_case "parse_term" `Quick test_ntriples_parse_term;
+          qt prop_term_roundtrip;
           qt prop_nt_roundtrip;
           qt prop_ntriples_fuzz;
         ] );

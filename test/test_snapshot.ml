@@ -185,6 +185,58 @@ let prop_fuzz_never_crashes =
                  Accept only if it decodes to an empty store. *)
               false))
 
+(* --- delta-aware snapshots --------------------------------------------- *)
+
+let file_contents path = In_channel.with_open_bin path In_channel.input_all
+
+(* [save_delta] flushes pending work before writing, so a store saved
+   mid-delta round-trips to the fully merged view, and an immediate
+   re-save is byte-identical (nothing left to flush). *)
+let test_delta_flush_on_save () =
+  with_tmp (fun path ->
+      let dl = Delta.of_base ~insert_threshold:1000 ~delete_threshold:1000 (sample_store ()) in
+      let open Rdf in
+      check_bool "buffered insert" true
+        (Delta.add dl
+           (Triple.make (Term.iri "http://x/s9") (Term.iri "http://x/p1") (Term.iri "http://x/o9")));
+      check_bool "buffered delete" true
+        (Delta.remove dl
+           (Triple.make (Term.iri "http://x/s1") (Term.iri "http://x/p1") (Term.iri "http://x/o1")));
+      check_bool "non-empty insert buffer" true (Delta.pending_inserts dl > 0);
+      check_bool "non-empty delete set" true (Delta.pending_deletes dl > 0);
+      let merged_before = List.of_seq (Delta.lookup dl Pattern.wildcard) in
+      Snapshot.save_delta dl path;
+      (* Saving drained the buffers into the base... *)
+      check_int "nothing pending after save" 0
+        (Delta.pending_inserts dl + Delta.pending_deletes dl);
+      (* ...and the file holds exactly the merged view. *)
+      let h' = Snapshot.load path in
+      check_int "size" 5 (Hexastore.size h');
+      check_bool "merged view saved" true
+        (merged_before = List.of_seq (Hexastore.lookup h' Pattern.wildcard));
+      Hexastore.check_invariant h';
+      (* Re-saving the now-quiescent delta is byte-identical. *)
+      let first = file_contents path in
+      Snapshot.save_delta dl path;
+      check_bool "re-save byte-identical" true (String.equal first (file_contents path)))
+
+let test_delta_load_roundtrip () =
+  with_tmp (fun path ->
+      let dl = Delta.of_base (sample_store ()) in
+      ignore
+        (Delta.add dl
+           (Rdf.Triple.make (Rdf.Term.iri "http://x/s9") (Rdf.Term.iri "http://x/p9")
+              (Rdf.Term.iri "http://x/o9")));
+      Snapshot.save_delta dl path;
+      let dl' = Snapshot.load_delta ~insert_threshold:7 ~delete_threshold:5 path in
+      check_int "threshold carried" 7 (Delta.insert_threshold dl');
+      check_int "sizes agree" (Delta.size dl) (Delta.size dl');
+      check_bool "contents agree" true
+        (List.of_seq (Delta.lookup dl Pattern.wildcard)
+        = List.of_seq (Delta.lookup dl' Pattern.wildcard));
+      check_bool "loaded delta starts quiescent" true
+        (Delta.pending_inserts dl' = 0 && Delta.pending_deletes dl' = 0))
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -196,6 +248,8 @@ let () =
           Alcotest.test_case "empty" `Quick test_roundtrip_empty;
           Alcotest.test_case "ghost_terms" `Quick test_roundtrip_dict_only_terms;
           Alcotest.test_case "channels" `Quick test_channel_api;
+          Alcotest.test_case "delta_flush_on_save" `Quick test_delta_flush_on_save;
+          Alcotest.test_case "delta_load" `Quick test_delta_load_roundtrip;
           qt prop_roundtrip;
         ] );
       ( "corruption",

@@ -376,6 +376,73 @@ let prop_merge_diff_oracle =
       Sorted_ivec.to_list (Merge.diff (Sorted_ivec.of_list xs) (Sorted_ivec.of_list ys))
       = List.filter (fun x -> not (Iset.mem x sy)) (Iset.elements (Iset.of_list xs)))
 
+(* The lazy delta-layer kernels: diff over int sequences, and the
+   polymorphic union/diff used to merge base scans with buffered
+   inserts and subtract tombstones. *)
+
+let dedup_sorted l = Iset.elements (Iset.of_list l)
+
+let prop_diff_seq_oracle =
+  QCheck.Test.make ~name:"diff_seq = Set.diff" ~count:500 set_ops_gen
+    (fun (xs, ys) ->
+      let sx = List.to_seq (dedup_sorted xs) and sy = List.to_seq (dedup_sorted ys) in
+      List.of_seq (Merge.diff_seq sx sy)
+      = Iset.elements (Iset.diff (Iset.of_list xs) (Iset.of_list ys)))
+
+(* Exercise the [~cmp] kernels with a non-trivial ordering: pairs under
+   reversed-lexicographic compare, mimicking the per-shape triple
+   comparators the delta layer feeds in. *)
+let pair_ops_gen =
+  QCheck.(
+    pair
+      (list (pair (int_bound 6) (int_bound 6)))
+      (list (pair (int_bound 6) (int_bound 6))))
+
+let cmp_rev (a1, a2) (b1, b2) =
+  match compare a2 b2 with 0 -> compare a1 b1 | c -> c
+
+module Pset = Set.Make (struct
+  type t = int * int
+
+  let compare = cmp_rev
+end)
+
+let prop_union_seq_by_oracle =
+  QCheck.Test.make ~name:"union_seq_by ~cmp = Set.union (custom order)" ~count:500
+    pair_ops_gen
+    (fun (xs, ys) ->
+      let sx = List.to_seq (Pset.elements (Pset.of_list xs))
+      and sy = List.to_seq (Pset.elements (Pset.of_list ys)) in
+      List.of_seq (Merge.union_seq_by ~cmp:cmp_rev sx sy)
+      = Pset.elements (Pset.union (Pset.of_list xs) (Pset.of_list ys)))
+
+let prop_diff_seq_by_oracle =
+  QCheck.Test.make ~name:"diff_seq_by ~cmp = Set.diff (custom order)" ~count:500
+    pair_ops_gen
+    (fun (xs, ys) ->
+      let sx = List.to_seq (Pset.elements (Pset.of_list xs))
+      and sy = List.to_seq (Pset.elements (Pset.of_list ys)) in
+      List.of_seq (Merge.diff_seq_by ~cmp:cmp_rev sx sy)
+      = Pset.elements (Pset.diff (Pset.of_list xs) (Pset.of_list ys)))
+
+let test_seq_by_laziness () =
+  (* The merged sequence must not force its inputs beyond what the
+     consumer demands — the delta layer relies on this to keep lookups
+     on huge stores cheap when only a prefix is read. *)
+  let forced = ref 0 in
+  let counting n : int Seq.t =
+    Seq.map
+      (fun i ->
+        incr forced;
+        i)
+      (Seq.init n (fun i -> i * 2))
+  in
+  let merged = Merge.union_seq_by ~cmp:compare (counting 1000) (counting 1000) in
+  (match merged () with
+  | Seq.Cons (x, _) -> check_int "first element" 0 x
+  | Seq.Nil -> Alcotest.fail "unexpected empty merge");
+  check_bool "inputs barely forced" true (!forced <= 4)
+
 (* ------------------------------------------------------------------ *)
 (* Pair_key                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -458,6 +525,10 @@ let () =
           qt prop_intersect_count_oracle;
           qt prop_merge_seq_oracle;
           qt prop_merge_diff_oracle;
+          Alcotest.test_case "seq_by_laziness" `Quick test_seq_by_laziness;
+          qt prop_diff_seq_oracle;
+          qt prop_union_seq_by_oracle;
+          qt prop_diff_seq_by_oracle;
         ] );
       ( "pair_key",
         [
