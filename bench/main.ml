@@ -329,9 +329,9 @@ let abl_load _env =
          update_k)
     points
 
-(* abl-join: first-step pairwise join kernels on real s-lists — linear
-   merge vs galloping vs hash probe (§4.2's merge-join claim). *)
-let abl_join env =
+(* abl-join-kernel: first-step pairwise join kernels on real s-lists —
+   linear merge vs galloping vs hash probe (§4.2's merge-join claim). *)
+let abl_join_kernel env =
   match List.rev (Lazy.force env.barton) with
   | [] -> ()
   | { Harness.stores; dict; n_triples } :: _ -> (
@@ -367,9 +367,138 @@ let abl_join env =
               bench "hash-join" (fun () -> hash_join text french);
             ]
           in
-          print_series ~figure:"abl-join"
+          print_series ~figure:"abl-join-kernel"
             ~title:"First-step pairwise join kernels on Text x French subject lists" points
       | _ -> ())
+
+(* abl-join: the planner's per-step join strategies end to end — each
+   BQ-class BGP runs through the generic executor twice, once with
+   [Planner.nested_loop_only] forcing per-row index probes and once with
+   the planner free to pick merge/hash steps.  Wall time comes from a
+   telemetry-off timing loop; the index-probe count is the
+   hexastore.probe.* counter delta of one traced run. *)
+type join_arm = { arm_seconds : float; arm_probes : int }
+
+type join_result = {
+  jq : string;
+  jq_triples : int;
+  jq_rows : int;
+  nested : join_arm;
+  planned : join_arm;
+}
+
+let join_queries =
+  let v n = Query.Algebra.Var n in
+  let t term = Query.Algebra.Term term in
+  let iri = Rdf.Term.iri in
+  let tp = Query.Algebra.tp in
+  [
+    (* BQ2-class (restricted form): the Type:Text anchor joined with one
+       property fetch, as BQ2's 28-property restriction issues per
+       property (?s merge-joins against the pso scan of Language). *)
+    ( "BQ2J",
+      [
+        tp (v "s") (t (iri Barton.type_p)) (t (iri Barton.text_type));
+        tp (v "s") (t (iri Barton.language_p)) (v "l");
+      ] );
+    (* BQ4-class: a 3-arm star of fully-bound predicates over ?s. *)
+    ( "BQ4J",
+      [
+        tp (v "s") (t (iri Barton.type_p)) (t (iri Barton.text_type));
+        tp (v "s") (t (iri Barton.language_p)) (t (Rdf.Term.string_literal Barton.french));
+        tp (v "s") (t (iri Barton.origin_p)) (t (iri Barton.dlc));
+      ] );
+    (* BQ7-class: selective anchor, then two property fetches with a
+       free object each (?s merge-joins against pso scans). *)
+    ( "BQ7J",
+      [
+        tp (v "s") (t (iri Barton.point_p)) (t (Rdf.Term.string_literal "end"));
+        tp (v "s") (t (iri Barton.encoding_p)) (v "e");
+        tp (v "s") (t (iri Barton.type_p)) (v "t");
+      ] );
+  ]
+
+let join_cache : join_result list option ref = ref None
+
+let join_results env =
+  match !join_cache with
+  | Some r -> r
+  | None ->
+      let results =
+        match List.rev (Lazy.force env.barton) with
+        | [] -> []
+        | { Harness.stores; dict; n_triples } :: _ -> (
+            let hexa =
+              List.find_map (function Stores.Hexa h -> Some h | Stores.Covp _ -> None) stores
+            in
+            match (hexa, Queries_barton.resolve_ids dict) with
+            | Some h, Some _ ->
+                let store = Hexa.Store_sig.box_hexastore h in
+                List.map
+                  (fun (name, tps) ->
+                    let body () = Query.Exec.count store (Query.Algebra.Bgp tps) in
+                    let arm forced =
+                      Query.Planner.nested_loop_only := forced;
+                      Fun.protect
+                        ~finally:(fun () -> Query.Planner.nested_loop_only := false)
+                        (fun () ->
+                          let seconds, rows =
+                            Telemetry.with_enabled false (fun () ->
+                                Harness.time ~warmup:1 ~repeats:timing_repeats body)
+                          in
+                          let sum_probes () =
+                            List.fold_left
+                              (fun acc (_, v) -> acc + v)
+                              0
+                              (Telemetry.Metrics.snapshot_counters
+                                 ~prefix:"hexastore.probe." ())
+                          in
+                          let probes =
+                            Telemetry.with_enabled true (fun () ->
+                                let before = sum_probes () in
+                                ignore (body ());
+                                sum_probes () - before)
+                          in
+                          (rows, { arm_seconds = seconds; arm_probes = probes }))
+                    in
+                    let rows_nested, nested = arm true in
+                    let rows_planned, planned = arm false in
+                    assert (rows_nested = rows_planned);
+                    { jq = name; jq_triples = n_triples; jq_rows = rows_planned; nested; planned })
+                  join_queries
+            | _ -> [])
+      in
+      join_cache := Some results;
+      results
+
+let abl_join env =
+  match join_results env with
+  | [] -> ()
+  | results ->
+      let points =
+        List.concat_map
+          (fun r ->
+            [
+              { Harness.size = r.jq_triples; method_ = r.jq ^ "-nested"; seconds = r.nested.arm_seconds };
+              { Harness.size = r.jq_triples; method_ = r.jq ^ "-planned"; seconds = r.planned.arm_seconds };
+              {
+                Harness.size = r.jq_triples;
+                method_ = r.jq ^ "-nested-probes";
+                seconds = float_of_int r.nested.arm_probes;
+              };
+              {
+                Harness.size = r.jq_triples;
+                method_ = r.jq ^ "-planned-probes";
+                seconds = float_of_int r.planned.arm_probes;
+              };
+            ])
+          results
+      in
+      print_series ~figure:"abl-join"
+        ~title:
+          "Executor join strategies on BQ-class BGPs: nested-loop ablation vs planned \
+           merge/hash (-probes series are index-probe counts, not seconds)"
+        points
 
 (* abl-dict: id-level pattern count vs term-level lookup (strings through
    the dictionary) — the per-query cost §4.1's dictionary encoding keeps
@@ -814,14 +943,43 @@ let figure_json (figure, title, points) =
              points) );
     ]
 
+let join_json env =
+  match join_results env with
+  | [] -> Telemetry.Json.Null
+  | results ->
+      let arm a =
+        Telemetry.Json.Obj
+          [
+            ("seconds", Telemetry.Json.Float a.arm_seconds);
+            ("probes", Telemetry.Json.Int a.arm_probes);
+          ]
+      in
+      Telemetry.Json.Obj
+        [
+          ("triples", Telemetry.Json.Int (List.hd results).jq_triples);
+          ( "queries",
+            Telemetry.Json.Obj
+              (List.map
+                 (fun r ->
+                   ( r.jq,
+                     Telemetry.Json.Obj
+                       [
+                         ("rows", Telemetry.Json.Int r.jq_rows);
+                         ("nested", arm r.nested);
+                         ("planned", arm r.planned);
+                       ] ))
+                 results) );
+        ]
+
 let emit_json ~mode ~path env =
   let overhead_triples, off_s, on_s = telemetry_overhead () in
   let json =
     Telemetry.Json.Obj
       [
         ("schema", Telemetry.Json.String "hexastore-bench/v1");
-        ("pr", Telemetry.Json.Int 3);
+        ("pr", Telemetry.Json.Int 5);
         ("mode", Telemetry.Json.String (mode_name mode));
+        ("join", join_json env);
         ( "workloads",
           Telemetry.Json.Obj
             [
@@ -912,7 +1070,8 @@ let figures =
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11); ("fig12", fig12);
     ("fig13", fig13); ("fig14", fig14); ("fig15", fig15);
-    ("abl-load", abl_load); ("abl-join", abl_join); ("abl-dict", abl_dict);
+    ("abl-load", abl_load); ("abl-join", abl_join); ("abl-join-kernel", abl_join_kernel);
+    ("abl-dict", abl_dict);
     ("abl-share", abl_share); ("abl-star", abl_star); ("abl-partial", abl_partial);
     ("abl-cyclic", abl_cyclic); ("abl-usage", abl_usage); ("abl-telemetry", abl_telemetry);
   ]

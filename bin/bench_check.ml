@@ -38,27 +38,142 @@ let check_workload name json =
         queries
   | _ -> fail "%s.queries is not an object" ctx
 
+(* The executor join ablation (top-level "join" section, emitted since
+   PR 5): for every BQ-class query the planner's merge/hash picks must
+   probe the indices at least 5x less often than the forced nested-loop
+   ablation, and — outside the noise-dominated smoke mode — win
+   aggregate wall time too. *)
+let check_join ~mode json =
+  match Telemetry.Json.member "join" json with
+  | None | Some Telemetry.Json.Null -> ()
+  | Some join -> (
+      let ctx = "join" in
+      ignore (require_number ~ctx join "triples");
+      match require ~ctx join "queries" with
+      | Telemetry.Json.Obj [] -> fail "join.queries is empty"
+      | Telemetry.Json.Obj queries ->
+          let totals =
+            List.map
+              (fun (qname, q) ->
+                let ctx = "join.queries." ^ qname in
+                ignore (require_number ~ctx q "rows");
+                let arm name =
+                  let a = require ~ctx q name in
+                  let ctx = ctx ^ "." ^ name in
+                  (require_number ~ctx a "seconds", require_number ~ctx a "probes")
+                in
+                let n_s, n_p = arm "nested" and p_s, p_p = arm "planned" in
+                if p_p <= 0. then fail "%s: planned arm made no index probes" ctx;
+                if n_p < 5. *. p_p then
+                  fail "%s: planned probes (%g) not 5x under nested-loop probes (%g)" ctx
+                    p_p n_p;
+                Printf.printf "bench-check: %s probe reduction %.1fx (rows unchanged)\n"
+                  ctx (n_p /. p_p);
+                (n_s, p_s))
+              queries
+          in
+          let nested_s = List.fold_left (fun a (n, _) -> a +. n) 0. totals
+          and planned_s = List.fold_left (fun a (_, p) -> a +. p) 0. totals in
+          if (not (String.equal mode "smoke")) && planned_s >= nested_s then
+            fail "join: planned strategies (%gs) not faster than nested-loop (%gs) overall"
+              planned_s nested_s;
+          Printf.printf "bench-check: join wall time nested %.4gs vs planned %.4gs\n"
+            nested_s planned_s
+      | _ -> fail "join.queries is not an object")
+
+let parse_file path =
+  match Telemetry.Json.of_string (read_file path) with
+  | Ok j -> j
+  | Error msg -> fail "%s does not parse: %s" path msg
+
+(* --compare OLD NEW: flag >2x wall-time or probe-count regressions on
+   every query the two artifacts share (workload queries by total probe
+   count, join queries per arm). *)
+let compare_files old_path new_path =
+  let old_json = parse_file old_path and new_json = parse_file new_path in
+  let regressions = ref [] in
+  let flag what old_v new_v =
+    if old_v > 0. && new_v > 2. *. old_v then
+      regressions := Printf.sprintf "%s: %g -> %g (%.1fx)" what old_v new_v (new_v /. old_v) :: !regressions
+  in
+  let queries_of ctx json path =
+    match
+      List.fold_left
+        (fun acc key -> Option.bind acc (Telemetry.Json.member key))
+        (Some json) path
+    with
+    | Some (Telemetry.Json.Obj qs) -> qs
+    | _ ->
+        ignore ctx;
+        []
+  in
+  let probe_total q =
+    match Telemetry.Json.member "probes" q with
+    | Some (Telemetry.Json.Obj probes) ->
+        List.fold_left
+          (fun acc (_, v) -> acc +. Option.value ~default:0. (Telemetry.Json.to_float_opt v))
+          0. probes
+    | Some v -> Option.value ~default:0. (Telemetry.Json.to_float_opt v)
+    | None -> 0.
+  in
+  let seconds q = Option.value ~default:0. (Option.bind (Telemetry.Json.member "seconds" q) Telemetry.Json.to_float_opt) in
+  List.iter
+    (fun workload ->
+      let olds = queries_of workload old_json [ "workloads"; workload; "queries" ]
+      and news = queries_of workload new_json [ "workloads"; workload; "queries" ] in
+      List.iter
+        (fun (qname, oq) ->
+          match List.assoc_opt qname news with
+          | None -> ()
+          | Some nq ->
+              flag (workload ^ "." ^ qname ^ ".seconds") (seconds oq) (seconds nq);
+              flag (workload ^ "." ^ qname ^ ".probes") (probe_total oq) (probe_total nq))
+        olds)
+    [ "lubm"; "barton" ];
+  let old_join = queries_of "join" old_json [ "join"; "queries" ]
+  and new_join = queries_of "join" new_json [ "join"; "queries" ] in
+  List.iter
+    (fun (qname, oq) ->
+      match List.assoc_opt qname new_join with
+      | None -> ()
+      | Some nq ->
+          List.iter
+            (fun arm ->
+              match (Telemetry.Json.member arm oq, Telemetry.Json.member arm nq) with
+              | Some oa, Some na ->
+                  flag ("join." ^ qname ^ "." ^ arm ^ ".seconds") (seconds oa) (seconds na);
+                  flag ("join." ^ qname ^ "." ^ arm ^ ".probes") (probe_total oa) (probe_total na)
+              | _ -> ())
+            [ "nested"; "planned" ])
+    old_join;
+  match List.rev !regressions with
+  | [] -> Printf.printf "bench-check: no >2x regressions from %s to %s\n" old_path new_path
+  | regs ->
+      List.iter (fun r -> prerr_endline ("bench-check: regression " ^ r)) regs;
+      fail "%d regression(s) from %s to %s" (List.length regs) old_path new_path
+
 let () =
   let path =
     match Sys.argv with
     | [| _; path |] -> path
-    | _ -> fail "usage: bench_check FILE.json"
+    | [| _; "--compare"; old_path; new_path |] ->
+        compare_files old_path new_path;
+        exit 0
+    | _ -> fail "usage: bench_check FILE.json | bench_check --compare OLD.json NEW.json"
   in
-  let json =
-    match Telemetry.Json.of_string (read_file path) with
-    | Ok json -> Ok json
-    | Error msg -> Error msg
-  in
-  let json = match json with Ok j -> j | Error msg -> fail "%s does not parse: %s" path msg in
+  let json = parse_file path in
   (match require ~ctx:"root" json "schema" with
   | Telemetry.Json.String "hexastore-bench/v1" -> ()
   | _ -> fail "schema is not \"hexastore-bench/v1\"");
-  (match require ~ctx:"root" json "mode" with
-  | Telemetry.Json.String _ -> ()
-  | _ -> fail "mode is not a string");
+  let mode =
+    match require ~ctx:"root" json "mode" with
+    | Telemetry.Json.String m -> m
+    | _ -> fail "mode is not a string"
+  in
   let workloads = require ~ctx:"root" json "workloads" in
   check_workload "lubm" (require ~ctx:"workloads" workloads "lubm");
   check_workload "barton" (require ~ctx:"workloads" workloads "barton");
+  check_join ~mode json;
   let overhead = require ~ctx:"root" json "telemetry_overhead" in
   let off = require_number ~ctx:"telemetry_overhead" overhead "disabled_seconds" in
   let on = require_number ~ctx:"telemetry_overhead" overhead "enabled_seconds" in

@@ -6,6 +6,7 @@ type rule =
   | Printf_in_lib
   | Catch_all
   | Raw_clock
+  | Query_probe
 
 let rule_name = function
   | Missing_mli -> "missing-mli"
@@ -13,18 +14,39 @@ let rule_name = function
   | Printf_in_lib -> "printf-in-lib"
   | Catch_all -> "catch-all"
   | Raw_clock -> "raw-clock"
+  | Query_probe -> "query-probe"
 
 (* The patterns are assembled at runtime so this file does not flag
    itself when the linter scans lib/check. *)
 let pat_obj_magic = "Obj." ^ "magic"
 let pats_printf = [ "Printf." ^ "printf"; "Format." ^ "printf"; "print_" ^ "endline" ]
 let pats_clock = [ "Unix." ^ "gettimeofday"; "Sys." ^ "time" ]
+let pat_query_probe = "Sorted_ivec." ^ "mem"
 
 (* lib/telemetry wraps the system clock; everyone else must go through
    it (Telemetry.Clock), so tests can inject a deterministic source. *)
 let clock_exempt path =
   let dir = Filename.dirname path in
   Filename.basename dir = "telemetry" || Filename.basename path = "telemetry"
+
+(* The query-probe rule only applies to the query layer: point-probe
+   membership tests there bypass the planner's merge/hash operators. *)
+let query_scoped path = Filename.basename (Filename.dirname path) = "query"
+
+(* A violation of [rule] on some line is waived when that line, or the
+   line directly above it, carries the marker comment in the raw
+   source.  Assembled at runtime like the patterns above. *)
+let allow_marker rule = "lint: allow " ^ rule_name rule
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let allowed_lines contents marker =
+  String.split_on_char '\n' contents
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (ln, line) -> if contains line marker then Some ln else None)
 
 (* --- comment/string stripping ------------------------------------------ *)
 
@@ -171,6 +193,17 @@ let scan_source ~path contents =
              (pat ^ " reads the system clock directly; use Telemetry.Clock so tests can inject time")
              (find_token src pat))
          pats_clock)
+  @ (if not (query_scoped path) then []
+     else
+       let allowed = allowed_lines contents (allow_marker Query_probe) in
+       find_token src pat_query_probe
+       |> List.filter (fun i ->
+              let ln = line_of src i in
+              not (List.mem ln allowed || List.mem (ln - 1) allowed))
+       |> of_rule Query_probe
+            (pat_query_probe
+           ^ " is a point probe; query operators must join through the planner's \
+              merge/hash kernels (annotate the line to waive)"))
 
 (* --- directory walking -------------------------------------------------- *)
 

@@ -18,6 +18,12 @@
       EXPLAIN ANALYZE can inject a deterministic source.  Files under a
       [telemetry] directory are exempt — that is where the clock is
       wrapped.
+    - {b query-probe}: no direct [Sorted_ivec.mem] in files under a
+      [query] directory — a point-probe membership test there bypasses
+      the planner's merge/hash join operators (the very probes PR 5's
+      merge-join execution exists to eliminate).  A deliberate probe is
+      waived by putting [lint: allow query-probe] in a comment on the
+      same line or the line directly above.
 
     Occurrences inside comments and string literals are ignored (sources
     are scanned with comments/strings blanked out). *)
@@ -28,6 +34,7 @@ type rule =
   | Printf_in_lib
   | Catch_all
   | Raw_clock
+  | Query_probe
 
 val rule_name : rule -> string
 

@@ -237,12 +237,27 @@ let cmp_osp (a : id_triple) (b : id_triple) =
     let c = Int.compare a.s b.s in
     if c <> 0 then c else Int.compare a.p b.p
 
+let cmp_ops (a : id_triple) (b : id_triple) =
+  let c = Int.compare a.o b.o in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.p b.p in
+    if c <> 0 then c else Int.compare a.s b.s
+
 let cmp_for_shape = function
   | Pattern.All | Pattern.Sp | Pattern.S | Pattern.None_bound -> cmp_spo
   | Pattern.So -> cmp_sop
   | Pattern.P -> cmp_pso
   | Pattern.Po -> cmp_pos
   | Pattern.O -> cmp_osp
+
+let cmp_for_ordering = function
+  | Ordering.Spo -> cmp_spo
+  | Ordering.Sop -> cmp_sop
+  | Ordering.Pso -> cmp_pso
+  | Ordering.Pos -> cmp_pos
+  | Ordering.Osp -> cmp_osp
+  | Ordering.Ops -> cmp_ops
 
 (* Matching buffer entries, materialised and sorted at call time so the
    lazy merged sequence never reads a mutable hash table. *)
@@ -276,6 +291,51 @@ let count t pat =
       Hexastore.count t.base pat + pending t.inserts - pending t.deletes
 
 let fold f t acc = Seq.fold_left (fun acc tr -> f tr acc) acc (lookup t Pattern.wildcard)
+
+(* Merged sorted scans: the base's seekable scan stays the backbone;
+   buffered inserts are snapshot-sorted under the serving ordering's
+   comparator and merged in, tombstones filtered out (an order-preserving
+   filter, so the merged stream stays sorted on the scan position). *)
+let scan_sorted t pat pos =
+  match Hexastore.scan_sorted t.base pat pos with
+  | None -> None
+  | Some (ord, base_seek) ->
+      if Hashtbl.length t.inserts = 0 && Hashtbl.length t.deletes = 0 then Some (ord, base_seek)
+      else begin
+        Telemetry.Metrics.incr m_merged;
+        let cmp = cmp_for_ordering ord in
+        let value_of (tr : id_triple) =
+          match pos with Pattern.Subj -> tr.s | Pattern.Pred -> tr.p | Pattern.Obj -> tr.o
+        in
+        let ins =
+          let hits =
+            Hashtbl.fold
+              (fun tr () acc -> if Pattern.matches pat tr then tr :: acc else acc)
+              t.inserts []
+          in
+          let arr = Array.of_list hits in
+          Array.sort cmp arr;
+          arr
+        in
+        let n_ins = Array.length ins in
+        (* Matches agree on the bound positions (a prefix of the serving
+           ordering before [pos]), so [cmp] order is [pos]-value order:
+           a binary search by scan value finds the merge suffix. *)
+        let ins_from k =
+          let lo = ref 0 and hi = ref n_ins in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if value_of ins.(mid) < k then lo := mid + 1 else hi := mid
+          done;
+          let rec aux i () = if i >= n_ins then Seq.Nil else Seq.Cons (ins.(i), aux (i + 1)) in
+          aux !lo
+        in
+        let seek k =
+          let base = Seq.filter (fun tr -> not (Hashtbl.mem t.deletes tr)) (base_seek k) in
+          Merge.union_seq_by ~cmp base (ins_from k)
+        in
+        Some (ord, seek)
+      end
 
 let iter_pending_inserts f t = Hashtbl.iter (fun tr () -> f tr) t.inserts
 let iter_pending_deletes f t = Hashtbl.iter (fun tr () -> f tr) t.deletes

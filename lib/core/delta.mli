@@ -98,6 +98,13 @@ val count : t -> Pattern.t -> int
 val fold : (id_triple -> 'a -> 'a) -> t -> 'a -> 'a
 (** Over the merged view in (s, p, o) order. *)
 
+val scan_sorted : t -> Pattern.t -> Pattern.position -> (Ordering.t * (int -> id_triple Seq.t)) option
+(** Merged counterpart of {!Hexastore.scan_sorted}: the base's seekable
+    sorted scan with snapshot-sorted buffered inserts merged in and
+    tombstones filtered out, still ascending on the scan position — so a
+    delta-fronted store stays merge-joinable under the same strategy
+    rules as its base. *)
+
 val iter_pending_inserts : (id_triple -> unit) -> t -> unit
 (** Buffered inserts, in hash order.  Invariant checking and tests. *)
 

@@ -376,6 +376,124 @@ let count t (pat : Pattern.t) =
 
 let fold f t acc = Seq.fold_left (fun acc tr -> f tr acc) acc (full_scan t)
 
+(* --- sorted merge scans ---------------------------------------------- *)
+
+let index_of t = function
+  | Ordering.Spo -> t.spo
+  | Ordering.Sop -> t.sop
+  | Ordering.Pso -> t.pso
+  | Ordering.Pos -> t.pos
+  | Ordering.Osp -> t.osp
+  | Ordering.Ops -> t.ops
+
+(* Triple from an ordering's (first, second, third) priority values. *)
+let builder = function
+  | Ordering.Spo -> fun a b c -> { s = a; p = b; o = c }
+  | Ordering.Sop -> fun a b c -> { s = a; p = c; o = b }
+  | Ordering.Pso -> fun a b c -> { s = b; p = a; o = c }
+  | Ordering.Pos -> fun a b c -> { s = c; p = a; o = b }
+  | Ordering.Osp -> fun a b c -> { s = b; p = c; o = a }
+  | Ordering.Ops -> fun a b c -> { s = c; p = b; o = a }
+
+(* The ordering that lists [pat]'s bound positions first (in some
+   order), then [pos], then only free positions — i.e. the ordering
+   under which [pat]'s matches stream sorted on the value at [pos].
+   Because all 3! orderings exist, some ordering always qualifies for a
+   constants-only pattern with [pos] free. *)
+let serving_ordering (pat : Pattern.t) (pos : Pattern.position) =
+  let bound q = Pattern.value_at pat q <> None in
+  if bound pos then None
+  else
+    List.find_opt
+      (fun ord ->
+        let rec check = function
+          | [] -> false
+          | q :: rest -> if q = pos then List.for_all (fun r -> not (bound r)) rest else bound q && check rest
+        in
+        check (Ordering.positions ord))
+      Ordering.all
+
+(* A seek function over a sorted terminal list: [seek k] streams the
+   suffix of elements [>= k].  The cursor resumes from the last hit
+   (galloping), resetting defensively when a re-traversed sequence seeks
+   backwards. *)
+let seek_list l of_elt =
+  let n = Sorted_ivec.length l in
+  let last_k = ref min_int and last_i = ref 0 in
+  fun k ->
+    let from = if k < !last_k then 0 else !last_i in
+    let i = Sorted_ivec.search_from l ~from k in
+    last_k := k;
+    last_i := i;
+    let rec aux i () =
+      if i >= n then Seq.Nil else Seq.Cons (of_elt (Sorted_ivec.get l i), aux (i + 1))
+    in
+    aux i
+
+let scan_sorted t (pat : Pattern.t) (pos : Pattern.position) =
+  match serving_ordering pat pos with
+  | None -> None
+  | Some ord ->
+      note_ord ord;
+      let index = index_of t ord in
+      let build = builder ord in
+      let value q = Pattern.value_at pat q in
+      let seek =
+        match List.map value (Ordering.positions ord) with
+        | [ Some first; Some second; None ] -> (
+            (* Both prefix levels bound: the matches are one shared
+               terminal list, keyed directly by the scan position. *)
+            match Index.find_list index first second with
+            | None -> fun _ -> Seq.empty
+            | Some l ->
+                Telemetry.Metrics.observe m_scan_len (Sorted_ivec.length l);
+                seek_list l (fun third -> build first second third))
+        | [ Some first; None; None ] -> (
+            (* One bound level: seek over the header's pair vector keys,
+               expanding each payload list lazily. *)
+            match Index.find_vector index first with
+            | None -> fun _ -> Seq.empty
+            | Some v ->
+                Telemetry.Metrics.observe m_scan_len (Pair_vector.total v);
+                let n = Pair_vector.length v in
+                let last_k = ref min_int and last_i = ref 0 in
+                fun k ->
+                  let from = if k < !last_k then 0 else !last_i in
+                  let i = Pair_vector.search_from v ~from k in
+                  last_k := k;
+                  last_i := i;
+                  let rec aux i () =
+                    if i >= n then Seq.Nil
+                    else
+                      let second = Pair_vector.key_at v i in
+                      let l = Pair_vector.payload_at v i in
+                      Seq.append
+                        (Seq.map (fun third -> build first second third) (Sorted_ivec.to_seq l))
+                        (aux (i + 1))
+                        ()
+                  in
+                  aux i)
+        | [ None; None; None ] ->
+            (* Fully free: seek over the maintained sorted header vector,
+               expanding each header's whole subtree lazily. *)
+            let hs = Index.headers_view index in
+            let expand first =
+              match Index.find_vector index first with
+              | None -> Seq.empty
+              | Some v ->
+                  Seq.concat_map
+                    (fun (second, l) ->
+                      Seq.map (fun third -> build first second third) (Sorted_ivec.to_seq l))
+                    (Pair_vector.to_seq v)
+            in
+            let seek_headers = seek_list hs (fun h -> h) in
+            fun k -> Seq.concat_map expand (seek_headers k)
+        | _ ->
+            (* serving_ordering guarantees bound-prefix shapes only. *)
+            assert false
+      in
+      Some (ord, seek)
+
 (* --- direct accessors ------------------------------------------------ *)
 
 let probe_lists ord table key =

@@ -70,6 +70,18 @@ val count : t -> Pattern.t -> int
 val fold : (id_triple -> 'a -> 'a) -> t -> 'a -> 'a
 (** Over all triples in (s, p, o) order. *)
 
+val scan_sorted : t -> Pattern.t -> Pattern.position -> (Ordering.t * (int -> id_triple Seq.t)) option
+(** [scan_sorted t pat pos] is the seekable sorted scan behind the
+    executor's merge joins: when [pos] is free in [pat], returns the
+    ordering serving it plus a seek function — [seek k] streams the
+    matching triples whose value at [pos] is [>= k], ascending on that
+    value.  Seeks gallop forward from the previous hit
+    ({!Vectors.Sorted_ivec.search_from}), so an ascending probe sequence
+    costs the distance it covers.  On a Hexastore some ordering always
+    serves a constants-only pattern, so this returns [None] only when
+    [pos] is itself bound.  Counts as one probe of the serving
+    ordering. *)
+
 (** {1 Direct vector/list accessors (the paper's notation)} *)
 
 val objects_of_sp : t -> s:int -> p:int -> Vectors.Sorted_ivec.t option

@@ -1,8 +1,13 @@
 type t = {
   headers : (int, Pair_vector.t) Hashtbl.t;
+  sorted : Vectors.Sorted_ivec.t;
+      (* Header ids, maintained sorted on every add/remove so that
+         merge-scans over a whole ordering can stream headers without
+         re-sorting the hash keys (O(h log h)) per call. *)
 }
 
-let create ?(initial_headers = 64) () = { headers = Hashtbl.create initial_headers }
+let create ?(initial_headers = 64) () =
+  { headers = Hashtbl.create initial_headers; sorted = Vectors.Sorted_ivec.create () }
 
 let header_count t = Hashtbl.length t.headers
 
@@ -14,6 +19,7 @@ let get_or_create_vector t h =
   | None ->
       let v = Pair_vector.create () in
       Hashtbl.add t.headers h v;
+      ignore (Vectors.Sorted_ivec.add t.sorted h);
       v
 
 let find_list t first second =
@@ -22,6 +28,7 @@ let find_list t first second =
 let remove_header t h =
   if Hashtbl.mem t.headers h then begin
     Hashtbl.remove t.headers h;
+    ignore (Vectors.Sorted_ivec.remove t.sorted h);
     true
   end
   else false
@@ -29,18 +36,20 @@ let remove_header t h =
 let iter f t = Hashtbl.iter f t.headers
 
 let iter_sorted f t =
-  let hs = Hashtbl.fold (fun h _ acc -> h :: acc) t.headers [] in
-  List.iter (fun h -> f h (Hashtbl.find t.headers h)) (List.sort compare hs)
+  Vectors.Sorted_ivec.iter (fun h -> f h (Hashtbl.find t.headers h)) t.sorted
 
-let headers t =
-  let v = Vectors.Dynarray_int.create ~capacity:(max 1 (header_count t)) () in
-  Hashtbl.iter (fun h _ -> Vectors.Dynarray_int.push v h) t.headers;
-  Vectors.Dynarray_int.sort_uniq v;
-  Vectors.Sorted_ivec.of_sorted_array (Vectors.Dynarray_int.to_array v)
+let headers t = Vectors.Sorted_ivec.copy t.sorted
+
+let headers_view t = t.sorted
 
 let total t = Hashtbl.fold (fun _ v acc -> acc + Pair_vector.total v) t.headers 0
 
 let memory_words t =
   Hashtbl.fold (fun _ v acc -> acc + 3 + Pair_vector.memory_words v) t.headers 16
+  + Vectors.Sorted_ivec.memory_words t.sorted
 
-let check_invariant t = iter (fun _ v -> Pair_vector.check_invariant v) t
+let check_invariant t =
+  iter (fun _ v -> Pair_vector.check_invariant v) t;
+  Vectors.Sorted_ivec.check_invariant t.sorted;
+  assert (Vectors.Sorted_ivec.length t.sorted = Hashtbl.length t.headers);
+  Vectors.Sorted_ivec.iter (fun h -> assert (Hashtbl.mem t.headers h)) t.sorted

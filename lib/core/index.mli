@@ -27,10 +27,15 @@ val iter : (int -> Pair_vector.t -> unit) -> t -> unit
 (** Over headers in unspecified order (hash order). *)
 
 val iter_sorted : (int -> Pair_vector.t -> unit) -> t -> unit
-(** Over headers in ascending id order (sorts; O(h log h)). *)
+(** Over headers in ascending id order (streams the maintained sorted
+    header vector; O(h)). *)
 
 val headers : t -> Vectors.Sorted_ivec.t
-(** Fresh sorted vector of header ids. *)
+(** Fresh sorted vector of header ids (a copy; safe to mutate). *)
+
+val headers_view : t -> Vectors.Sorted_ivec.t
+(** The index's own maintained sorted header vector — zero-copy, shared:
+    callers must not mutate it.  Merge-scans seek into this directly. *)
 
 val total : t -> int
 (** Number of triples reachable through this index (sum of vector

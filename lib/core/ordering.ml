@@ -35,6 +35,14 @@ let for_shape = function
   | Pattern.O -> Osp
   | Pattern.None_bound -> Spo
 
+let positions = function
+  | Spo -> [ Pattern.Subj; Pattern.Pred; Pattern.Obj ]
+  | Sop -> [ Pattern.Subj; Pattern.Obj; Pattern.Pred ]
+  | Pso -> [ Pattern.Pred; Pattern.Subj; Pattern.Obj ]
+  | Pos -> [ Pattern.Pred; Pattern.Obj; Pattern.Subj ]
+  | Osp -> [ Pattern.Obj; Pattern.Subj; Pattern.Pred ]
+  | Ops -> [ Pattern.Obj; Pattern.Pred; Pattern.Subj ]
+
 let twin = function
   | Spo -> Pso
   | Pso -> Spo

@@ -25,6 +25,10 @@ val of_name : string -> t option
     {!Hexastore.lookup} uses). *)
 val for_shape : Pattern.shape -> t
 
+val positions : t -> Pattern.position list
+(** The three triple positions in this ordering's priority order,
+    e.g. [positions Pos = [Pred; Obj; Subj]]. *)
+
 val twin : t -> t
 (** The ordering sharing this one's terminal lists (§4.1):
     spo↔pso, sop↔osp, pos↔ops. *)

@@ -31,6 +31,31 @@ let find v key =
   let i = index_geq v key in
   if i < length v && Dynarray_int.unsafe_get v.keys i = key then Some v.payloads.(i) else None
 
+(* Galloping lower bound over the keys, resuming at [from] — the same
+   exponential bracket-then-bisect as {!Vectors.Sorted_ivec.search_from},
+   so a merge-scan's repeated seeks pay for distance covered, not log n
+   each. *)
+let search_from v ~from x =
+  let n = length v in
+  let from = if from < 0 then 0 else from in
+  if from >= n then n
+  else if Dynarray_int.unsafe_get v.keys from >= x then from
+  else begin
+    let step = ref 1 in
+    let lo = ref from in
+    while !lo + !step < n && Dynarray_int.unsafe_get v.keys (!lo + !step) < x do
+      lo := !lo + !step;
+      step := !step * 2
+    done;
+    let hi = ref (min n (!lo + !step + 1)) in
+    incr lo;
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Dynarray_int.unsafe_get v.keys mid < x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
 let ensure_payload_capacity v n =
   if n > Array.length v.payloads then begin
     let bigger = Array.make (max n (2 * Array.length v.payloads)) dummy in

@@ -49,6 +49,11 @@ val to_seq : t -> (int * Vectors.Sorted_ivec.t) Seq.t
 
 val index_geq : t -> int -> int
 
+val search_from : t -> from:int -> int -> int
+(** [search_from v ~from k] is the index of the smallest key [>= k] at
+    position [>= from] — a galloping lower bound, O(log gap).  The
+    resumable-cursor primitive behind the store's sorted merge scans. *)
+
 val memory_words : t -> int
 (** Words for keys and payload *references* (payload contents are counted
     once, via the store's shared list tables). *)

@@ -14,6 +14,11 @@ type shape =
   | O
   | None_bound
 
+type position =
+  | Subj
+  | Pred
+  | Obj
+
 let make ?s ?p ?o () = { s; p; o }
 
 let wildcard = { s = None; p = None; o = None }
@@ -29,6 +34,10 @@ let shape = function
   | { s = None; p = Some _; o = None } -> P
   | { s = None; p = None; o = Some _ } -> O
   | { s = None; p = None; o = None } -> None_bound
+
+let value_at pat = function Subj -> pat.s | Pred -> pat.p | Obj -> pat.o
+
+let position_name = function Subj -> "s" | Pred -> "p" | Obj -> "o"
 
 let bound_count pat =
   let b = function Some _ -> 1 | None -> 0 in

@@ -22,6 +22,14 @@ type shape =
   | O            (** (?, ?, o) *)
   | None_bound   (** (?, ?, ?) — full scan *)
 
+(** A single triple position, by role.  (Named [Subj]/[Pred]/[Obj]
+    rather than [S]/[P]/[O] to avoid clashing with the {!shape}
+    constructors.) *)
+type position =
+  | Subj
+  | Pred
+  | Obj
+
 val make : ?s:int -> ?p:int -> ?o:int -> unit -> t
 
 val wildcard : t
@@ -30,6 +38,12 @@ val of_triple : Dict.Term_dict.id_triple -> t
 (** Fully bound pattern. *)
 
 val shape : t -> shape
+
+val value_at : t -> position -> int option
+(** The binding at one position. *)
+
+val position_name : position -> string
+(** ["s"], ["p"] or ["o"]. *)
 
 val bound_count : t -> int
 (** Number of bound positions (0–3). *)

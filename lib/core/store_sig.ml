@@ -26,6 +26,12 @@ module type S = sig
   (** Exact cardinality of [lookup t pat]; may cost a scan on shapes the
       store has no index for. *)
 
+  val scan_sorted : t -> Pattern.t -> Pattern.position -> (Ordering.t * (int -> Dict.Term_dict.id_triple Seq.t)) option
+  (** Seekable sorted scan of a constants-only pattern keyed on one free
+      position (see {!Hexastore.scan_sorted}).  [None] when the store
+      cannot stream the matches sorted on that position — the planner
+      then falls back to hash or nested-loop joins. *)
+
   val memory_words : t -> int
 end
 
@@ -39,6 +45,7 @@ module Hexastore_store : S with type t = Hexastore.t = struct
   let add_bulk_ids = Hexastore.add_bulk_ids
   let lookup = Hexastore.lookup
   let count = Hexastore.count
+  let scan_sorted = Hexastore.scan_sorted
   let memory_words = Hexastore.memory_words
 end
 
@@ -52,6 +59,10 @@ module Covp1_store : S with type t = Covp.t = struct
   let add_bulk_ids = Covp.add_bulk_ids
   let lookup = Covp.lookup
   let count = Covp.count
+
+  (* The COVP baselines keep only per-property tables; they cannot
+     stream an arbitrary pattern sorted on a chosen position. *)
+  let scan_sorted _ _ _ = None
   let memory_words = Covp.memory_words
 end
 
@@ -71,6 +82,10 @@ module Partial_store : S with type t = Partial.t = struct
   let add_bulk_ids = Partial.add_bulk_ids
   let lookup = Partial.lookup
   let count = Partial.count
+
+  (* A partial store may be missing the ordering a sorted scan needs;
+     stay conservative and let the planner fall back. *)
+  let scan_sorted _ _ _ = None
   let memory_words = Partial.memory_words
 end
 
@@ -84,6 +99,7 @@ module Delta_store : S with type t = Delta.t = struct
   let add_bulk_ids = Delta.add_bulk_ids
   let lookup = Delta.lookup
   let count = Delta.count
+  let scan_sorted = Delta.scan_sorted
   let memory_words = Delta.memory_words
 end
 
@@ -107,6 +123,7 @@ let add_ids (Boxed ((module M), store)) tr = M.add_ids store tr
 let add_bulk_ids (Boxed ((module M), store)) trs = M.add_bulk_ids store trs
 let lookup (Boxed ((module M), store)) pat = M.lookup store pat
 let count (Boxed ((module M), store)) pat = M.count store pat
+let scan_sorted (Boxed ((module M), store)) pat pos = M.scan_sorted store pat pos
 let memory_words (Boxed ((module M), store)) = M.memory_words store
 
 let add_triple b triple =

@@ -26,6 +26,15 @@ module type S = sig
   (** Exact cardinality of [lookup t pat]; may cost a scan on shapes the
       store has no index for. *)
 
+  val scan_sorted : t -> Pattern.t -> Pattern.position -> (Ordering.t * (int -> Dict.Term_dict.id_triple Seq.t)) option
+  (** Seekable sorted scan of a constants-only pattern keyed on one free
+      position (see {!Hexastore.scan_sorted}): [seek k] streams matches
+      whose value at the position is [>= k], ascending on that value.
+      [None] when the store cannot serve the matches in that order — the
+      planner then falls back to hash or nested-loop joins.  A Hexastore
+      always serves it; the COVP baselines and the partial store never
+      do; a delta layer merges its buffers into the base's scan. *)
+
   val memory_words : t -> int
 end
 
@@ -63,6 +72,9 @@ val add_ids : boxed -> Dict.Term_dict.id_triple -> bool
 val add_bulk_ids : boxed -> Dict.Term_dict.id_triple array -> int
 val lookup : boxed -> Pattern.t -> Dict.Term_dict.id_triple Seq.t
 val count : boxed -> Pattern.t -> int
+
+val scan_sorted :
+  boxed -> Pattern.t -> Pattern.position -> (Ordering.t * (int -> Dict.Term_dict.id_triple Seq.t)) option
 val memory_words : boxed -> int
 
 val add_triple : boxed -> Rdf.Triple.t -> bool

@@ -17,6 +17,13 @@ let m_rows_group = Telemetry.Metrics.counter "query.rows.group"
 let m_rows_order = Telemetry.Metrics.counter "query.rows.order_by"
 let m_rows_slice = Telemetry.Metrics.counter "query.rows.slice"
 
+(* Join-strategy counters: one bump per BGP step executed under each
+   strategy (at pipeline construction, so EXPLAIN-only planning does not
+   count). *)
+let m_join_merge = Telemetry.Metrics.counter "query.join.merge"
+let m_join_hash = Telemetry.Metrics.counter "query.join.hash"
+let m_join_nested = Telemetry.Metrics.counter "query.join.nested"
+
 let counted c seq =
   if !Telemetry.Config.enabled then
     Seq.map
@@ -130,16 +137,6 @@ let eval_tp store (tp : tp) binding =
       |> counted m_rows_scan
   | _ -> Seq.empty
 
-(* Nested-loop join over an already-planned pattern order; EXPLAIN
-   ANALYZE reuses this on plan prefixes so its per-operator cardinalities
-   come from exactly the executed order. *)
-let eval_ordered store ordered =
-  List.fold_left
-    (fun sols tp -> Seq.concat_map (eval_tp store tp) sols)
-    (Seq.return Binding.empty) ordered
-
-let eval_bgp store tps = eval_ordered store (Planner.order_bgp store tps)
-
 (* --- joins ------------------------------------------------------------ *)
 
 let merge_bindings a b =
@@ -149,6 +146,114 @@ let merge_bindings a b =
         if Binding.compatible acc v x then loop (Binding.bind acc v x) rest else None
   in
   loop a (Binding.to_list b)
+
+(* --- BGP join operators ------------------------------------------------ *)
+
+(* Merge join: the accumulated bindings stream sorted on [var] (the
+   planner guarantees it — every step operator preserves the first
+   scan's order), and [Store_sig.scan_sorted] serves the pattern's
+   matches sorted on [var]'s position with galloping seeks.  The
+   equal-key run under the cursor is buffered once per distinct left
+   key so that duplicate left keys — the common case after an earlier
+   one-to-many step — replay the run without re-seeking the store. *)
+let eval_merge store (tp : tp) var pos sols =
+  let dict = Hexa.Store_sig.dict store in
+  match (resolve dict Binding.empty tp.s, resolve dict Binding.empty tp.p, resolve dict Binding.empty tp.o) with
+  | Some s, Some p, Some o -> (
+      match Hexa.Store_sig.scan_sorted store { Hexa.Pattern.s; p; o } pos with
+      | None ->
+          (* The planner only picks merge when the store offered the
+             scan; a concurrent store change could in principle retract
+             it, so degrade to the nested loop rather than fail. *)
+          Seq.concat_map (eval_tp store tp) sols
+      | Some (_ord, seek) ->
+          let value_at (tr : Dict.Term_dict.id_triple) =
+            match pos with
+            | Hexa.Pattern.Subj -> tr.s
+            | Hexa.Pattern.Pred -> tr.p
+            | Hexa.Pattern.Obj -> tr.o
+          in
+          let collect_run k =
+            let rec aux acc seq =
+              match seq () with
+              | Seq.Cons (tr, tl) when value_at tr = k -> aux (tr :: acc) tl
+              | _ -> List.rev acc
+            in
+            aux [] (seek k)
+          in
+          let rec go sols last () =
+            match sols () with
+            | Seq.Nil -> Seq.Nil
+            | Seq.Cons (sol, rest) -> (
+                match Binding.get sol var with
+                | Some (Binding.Id k) ->
+                    let run =
+                      match last with
+                      | Some (k', run) when k' = k -> run
+                      | _ -> collect_run k
+                    in
+                    let matched = List.filter_map (extend_with sol tp) run in
+                    Seq.append (List.to_seq matched) (go rest (Some (k, run))) ()
+                | Some (Binding.Int _) | None ->
+                    (* A non-term value (aggregate) joins no triple. *)
+                    go rest last ())
+          in
+          counted m_rows_scan (go sols None))
+  | _ -> Seq.empty
+
+(* Hash join: enumerate the pattern's matches once, independently of the
+   accumulated bindings, key them by the shared variables, then probe
+   per binding.  The build is deferred into the sequence so EXPLAIN
+   without ANALYZE never pays for it. *)
+let eval_hash store (tp : tp) shared sols =
+  let dict = Hexa.Store_sig.dict store in
+  match (resolve dict Binding.empty tp.s, resolve dict Binding.empty tp.p, resolve dict Binding.empty tp.o) with
+  | Some s, Some p, Some o ->
+      let build () =
+        Telemetry.Trace.with_span "exec.bgp.hash_build" @@ fun () ->
+        let table = Hashtbl.create 256 in
+        Seq.iter
+          (fun tr ->
+            match extend_with Binding.empty tp tr with
+            | Some b -> Hashtbl.add table (List.map (Binding.get b) shared) b
+            | None -> ())
+          (Hexa.Store_sig.lookup store { Hexa.Pattern.s; p; o });
+        table
+      in
+      let joined () =
+        let table = build () in
+        Seq.concat_map
+          (fun sol ->
+            let key = List.map (Binding.get sol) shared in
+            (* find_all returns most-recent-first; reverse back to build
+               (index) order so results stream deterministically. *)
+            List.to_seq (List.rev (Hashtbl.find_all table key))
+            |> Seq.filter_map (merge_bindings sol))
+          sols ()
+      in
+      counted m_rows_scan joined
+  | _ -> Seq.empty
+
+let eval_choice store sols (c : Planner.choice) =
+  match c.Planner.strategy with
+  | Planner.Scan -> Seq.concat_map (eval_tp store c.Planner.tp) sols
+  | Planner.Nested_loop ->
+      Telemetry.Metrics.incr m_join_nested;
+      Seq.concat_map (eval_tp store c.Planner.tp) sols
+  | Planner.Merge_join { var; pos } ->
+      Telemetry.Metrics.incr m_join_merge;
+      eval_merge store c.Planner.tp var pos sols
+  | Planner.Hash_join { vars } ->
+      Telemetry.Metrics.incr m_join_hash;
+      eval_hash store c.Planner.tp vars sols
+
+(* Strategy-aware pipeline over an already-planned choice list; EXPLAIN
+   ANALYZE reuses this on plan prefixes so its per-operator cardinalities
+   come from exactly the executed operators. *)
+let eval_plan store choices =
+  List.fold_left (eval_choice store) (Seq.return Binding.empty) choices
+
+let eval_bgp store tps = eval_plan store (Planner.plan store tps)
 
 (* --- grouping --------------------------------------------------------- *)
 
@@ -373,13 +478,11 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
       let scans =
         List.mapi
           (fun i (c : Planner.choice) ->
-            let prefix =
-              List.filteri (fun j _ -> j <= i) choices |> List.map (fun c -> c.Planner.tp)
-            in
+            let prefix = List.filteri (fun j _ -> j <= i) choices in
             let actual_rows, time_s =
               if analyze then begin
                 let t0 = Telemetry.Clock.now () in
-                let n = Seq.length (eval_ordered store prefix) in
+                let n = Seq.length (eval_plan store prefix) in
                 (Some n, Some (Telemetry.Clock.now () -. t0))
               end
               else (None, None)
@@ -387,8 +490,8 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
             {
               op = "scan";
               detail =
-                Format.asprintf "%a index=%s" Algebra.pp_tp c.Planner.tp
-                  (Hexa.Ordering.name c.Planner.index);
+                Format.asprintf "%a index=%s strategy=%a" Algebra.pp_tp c.Planner.tp
+                  (Hexa.Ordering.name c.Planner.index) Planner.pp_strategy c.Planner.strategy;
               estimate = Some c.Planner.estimate;
               selectivity = Some c.Planner.selectivity;
               actual_rows;
@@ -397,7 +500,16 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
             })
           choices
       in
-      node "bgp" (Printf.sprintf "%d patterns, index nested-loop" (List.length tps)) scans
+      let summary =
+        let count s = List.length (List.filter (fun c -> Planner.strategy_name c.Planner.strategy = s) choices) in
+        let joins =
+          List.filter_map
+            (fun s -> match count s with 0 -> None | n -> Some (Printf.sprintf "%d %s" n s))
+            [ "merge"; "hash"; "nested-loop" ]
+        in
+        if joins = [] then "" else ", joins: " ^ String.concat " + " joins
+      in
+      node "bgp" (Printf.sprintf "%d patterns%s" (List.length tps) summary) scans
   | Join (a, b) -> node "join" "" [ sub a; sub b ]
   | Left_join (a, b) -> node "left-join" "OPTIONAL" [ sub a; sub b ]
   | Union (a, b) -> node "union" "" [ sub a; sub b ]

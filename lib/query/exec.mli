@@ -1,9 +1,16 @@
 (** Query evaluation over any {!Hexa.Store_sig.boxed} store.
 
-    BGPs run as index nested-loop joins: patterns are ordered by
-    {!Planner.order_bgp}, then each solution drives a pattern lookup in
-    the store's best index for that shape — on the Hexastore every such
-    step streams from a sorted vector or list. *)
+    BGPs execute as a pipeline of lazily streaming join steps, one per
+    planned pattern ({!Planner.plan}), each under the strategy the
+    planner picked: merge joins leapfrog the accumulated bindings
+    against a store-served sorted scan with galloping seeks
+    ({!Hexa.Store_sig.scan_sorted}); hash joins buffer a small pattern's
+    matches keyed on the shared variables; nested-loop steps drive a
+    pattern lookup in the store's best index per solution.  Every
+    operator preserves its left input's order, which is what keeps the
+    merge strategy sound downstream of the first scan.  Executed steps
+    are tallied in the [query.join.merge]/[query.join.hash]/
+    [query.join.nested] counters. *)
 
 val run_seq : Hexa.Store_sig.boxed -> Algebra.t -> Binding.t Seq.t
 (** Lazy evaluation; blocking operators (group, order) materialise

@@ -28,12 +28,42 @@ let estimate store (tp : Algebra.tp) =
   | Some s, Some p, Some o -> Hexa.Store_sig.count store { Hexa.Pattern.s; p; o }
   | _ -> 0
 
+type strategy =
+  | Scan
+  | Nested_loop
+  | Merge_join of {
+      var : string;
+      pos : Hexa.Pattern.position;
+    }
+  | Hash_join of { vars : string list }
+
 type choice = {
   tp : Algebra.tp;
   estimate : int;
   selectivity : float;
   index : Hexa.Ordering.t;
+  strategy : strategy;
 }
+
+let nested_loop_only = ref false
+
+(* Largest independent right-side cardinality a hash join will buffer.
+   Beyond this the build side no longer looks "small" and the
+   output-sensitive nested loop is the safer default. *)
+let hash_build_limit = 65536
+
+let strategy_name = function
+  | Scan -> "scan"
+  | Nested_loop -> "nested-loop"
+  | Merge_join _ -> "merge"
+  | Hash_join _ -> "hash"
+
+let pp_strategy ppf = function
+  | Scan -> Format.pp_print_string ppf "scan"
+  | Nested_loop -> Format.pp_print_string ppf "nested-loop"
+  | Merge_join { var; _ } -> Format.fprintf ppf "merge(?%s)" var
+  | Hash_join { vars } ->
+      Format.fprintf ppf "hash(%s)" (String.concat "," (List.map (( ^ ) "?") vars))
 
 (* The shape a pattern will present at execution time, given the
    variables bound by the choices before it: a position is bound if it
@@ -45,14 +75,51 @@ let runtime_shape bound (tp : Algebra.tp) =
   in
   Hexa.Pattern.shape { Hexa.Pattern.s = b tp.s; p = b tp.p; o = b tp.o }
 
+(* The constants-only pattern of a tp: variables free, constants
+   resolved.  [None] when a constant is unknown to the dictionary (the
+   pattern matches nothing). *)
+let pattern_of_tp dict (tp : Algebra.tp) =
+  match (id_of_atom dict tp.s, id_of_atom dict tp.p, id_of_atom dict tp.o) with
+  | Some s, Some p, Some o -> Some { Hexa.Pattern.s; p; o }
+  | _ -> None
+
+let atom_at (tp : Algebra.tp) = function
+  | Hexa.Pattern.Subj -> tp.s
+  | Hexa.Pattern.Pred -> tp.p
+  | Hexa.Pattern.Obj -> tp.o
+
+(* The position where variable [v] occurs in [tp], when it occurs at
+   exactly one position (a repeated variable needs post-filtering the
+   merge kernel does not do). *)
+let sole_position_of v tp =
+  let occs =
+    List.filter
+      (fun pos -> atom_at tp pos = Algebra.Var v)
+      [ Hexa.Pattern.Subj; Hexa.Pattern.Pred; Hexa.Pattern.Obj ]
+  in
+  match occs with [ pos ] -> Some pos | _ -> None
+
+(* The variable a fresh scan of [tp] through [ord] streams sorted on:
+   the first priority position holding an unbound variable.  Every BGP
+   step operator is left-order-preserving, so whatever the first scan
+   establishes holds for the whole pipeline. *)
+let first_free_var ord tp bound =
+  List.find_map
+    (fun pos ->
+      match atom_at tp pos with
+      | Algebra.Var v when not (List.mem v bound) -> Some v
+      | _ -> None)
+    (Hexa.Ordering.positions ord)
+
 let plan store tps =
   Telemetry.Metrics.incr m_plans;
+  let dict = Hexa.Store_sig.dict store in
   let n = Hexa.Store_sig.size store in
   let numbered = List.mapi (fun i tp -> (i, tp, estimate store tp)) tps in
   let shares_var bound tp =
     List.exists (fun v -> List.mem v bound) (Algebra.vars_of_tp tp)
   in
-  let rec pick bound remaining acc =
+  let rec pick bound sorted_on remaining acc =
     match remaining with
     | [] -> List.rev acc
     | _ ->
@@ -72,7 +139,37 @@ let plan store tps =
         (match best with
         | None -> List.rev acc
         | Some (i, tp, est) ->
-            let index = Hexa.Ordering.for_shape (runtime_shape bound tp) in
+            let nested_index = Hexa.Ordering.for_shape (runtime_shape bound tp) in
+            let hash_or_nested shared =
+              if est > 0 && est <= hash_build_limit then
+                (Hash_join { vars = shared }, nested_index)
+              else (Nested_loop, nested_index)
+            in
+            let strategy, index =
+              if acc = [] then (Scan, nested_index)
+              else if !nested_loop_only then (Nested_loop, nested_index)
+              else
+                match List.filter (fun v -> List.mem v bound) (Algebra.vars_of_tp tp) with
+                | [] -> (Nested_loop, nested_index)
+                | [ v ] when sorted_on = Some v -> (
+                    (* Both sides stream sorted on [v]: the accumulated
+                       bindings by the first scan's order, the pattern by
+                       a store-served sorted scan — a merge join. *)
+                    match (sole_position_of v tp, pattern_of_tp dict tp) with
+                    | Some pos, Some pat
+                      when pat.Hexa.Pattern.s <> None || pat.p <> None
+                           || pat.o <> None -> (
+                        (* At least one constant must narrow the scan: a
+                           sorted scan of a fully-free pattern walks
+                           every header bucket — the nested loop's probe
+                           pattern with seek overhead on top — so merge
+                           never wins there. *)
+                        match Hexa.Store_sig.scan_sorted store pat pos with
+                        | Some (ord, _) -> (Merge_join { var = v; pos }, ord)
+                        | None -> hash_or_nested [ v ])
+                    | _ -> hash_or_nested [ v ])
+                | shared -> hash_or_nested shared
+            in
             Telemetry.Metrics.incr m_scan_index.(ord_index index);
             let choice =
               {
@@ -80,16 +177,20 @@ let plan store tps =
                 estimate = est;
                 selectivity = (if n = 0 then 0. else float_of_int est /. float_of_int n);
                 index;
+                strategy;
               }
+            in
+            let sorted_on =
+              if acc = [] then first_free_var index tp bound else sorted_on
             in
             let remaining = List.filter (fun (j, _, _) -> j <> i) remaining in
             let bound = List.sort_uniq compare (bound @ Algebra.vars_of_tp tp) in
-            pick bound remaining (choice :: acc))
+            pick bound sorted_on remaining (choice :: acc))
   in
-  pick [] numbered []
+  pick [] None numbered []
 
 let order_bgp store tps = List.map (fun c -> c.tp) (plan store tps)
 
 let pp_choice ppf c =
-  Format.fprintf ppf "%a  [index=%s est=%d sel=%.2e]" Algebra.pp_tp c.tp
-    (Hexa.Ordering.name c.index) c.estimate c.selectivity
+  Format.fprintf ppf "%a  [index=%s strategy=%a est=%d sel=%.2e]" Algebra.pp_tp c.tp
+    (Hexa.Ordering.name c.index) pp_strategy c.strategy c.estimate c.selectivity

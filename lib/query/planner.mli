@@ -1,4 +1,5 @@
-(** Greedy selectivity-based join ordering for basic graph patterns.
+(** Greedy selectivity-based join ordering for basic graph patterns,
+    plus per-step join-strategy selection.
 
     The Hexastore answers any pattern shape with exact cardinalities in
     O(log) time ({!Hexa.Hexastore.count}), which makes the textbook greedy
@@ -6,16 +7,46 @@
     the smallest estimated result, preferring patterns that share an
     already-bound variable (so every step is a join, not a product).
 
-    {!plan} additionally records what the strategy decided — the chosen
-    order, the cardinality estimates it compared, and the index each
-    lookup will resolve to at execution time — both as the returned
-    {!choice} list (which EXPLAIN renders) and, when telemetry is
-    enabled, as [query.planner.*] counters. *)
+    Each picked step also carries {e how} it will join with the bindings
+    accumulated so far (§4.2's claim that sorted vectors make pairwise
+    joins fast merge-joins):
+
+    - {!Merge_join} when the accumulated bindings stream sorted on the
+      single shared variable (all step operators preserve the first
+      scan's order) {e and} the store can serve the pattern's matches
+      sorted on that variable's position ({!Hexa.Store_sig.scan_sorted}).
+      A Hexastore — and a delta view over one — always can; the COVP
+      baselines never can.
+    - {!Hash_join} when variables are shared but the sorted-merge
+      conditions fail and the pattern's independent cardinality is small
+      enough to buffer.
+    - {!Nested_loop} otherwise (disconnected patterns, oversized build
+      sides, unknown constants).
+
+    {!plan} records what the strategy decided — the chosen order, the
+    cardinality estimates it compared, the index each lookup resolves to
+    and the join strategy — both as the returned {!choice} list (which
+    EXPLAIN renders) and, when telemetry is enabled, as
+    [query.planner.*] counters. *)
 
 val estimate : Hexa.Store_sig.boxed -> Algebra.tp -> int
 (** Upper-bound cardinality of a pattern evaluated with no bindings:
     constants resolve through the dictionary (an unknown constant gives
     0), variables are wildcards. *)
+
+(** How a planned step joins with the bindings accumulated before it. *)
+type strategy =
+  | Scan  (** first step: plain index scan, no join *)
+  | Nested_loop
+      (** per-binding index probe of the refined pattern (also the
+          deliberate fallback for disconnected patterns) *)
+  | Merge_join of {
+      var : string;  (** the single shared (join) variable *)
+      pos : Hexa.Pattern.position;  (** where [var] sits in the pattern *)
+    }  (** both sides sorted on [var]: leapfrog with galloping seeks *)
+  | Hash_join of { vars : string list (** shared variables, the key *) }
+      (** buffer the pattern's independent matches keyed on the shared
+          variables, probe per binding *)
 
 (** One planned scan, in execution order. *)
 type choice = {
@@ -23,9 +54,24 @@ type choice = {
   estimate : int;       (** {!estimate} at planning time *)
   selectivity : float;  (** estimate / store size (0 on an empty store) *)
   index : Hexa.Ordering.t;
-      (** the ordering that will serve the pattern, given the variables
-          bound by the choices before it *)
+      (** the ordering serving the step: the sorted scan's ordering for a
+          merge join, the refined pattern's serving ordering otherwise *)
+  strategy : strategy;
 }
+
+val nested_loop_only : bool ref
+(** When set, every join strategy degrades to {!Nested_loop} (first step
+    stays {!Scan}).  The ablation switch behind the join benchmark and
+    the merge/hash ≡ nested-loop equivalence properties. *)
+
+val hash_build_limit : int
+(** Largest independent right-side estimate a {!Hash_join} will buffer. *)
+
+val strategy_name : strategy -> string
+(** ["scan"], ["nested-loop"], ["merge"] or ["hash"]. *)
+
+val pp_strategy : Format.formatter -> strategy -> unit
+(** Compact form with join variables: [merge(?x)], [hash(?x,?y)]. *)
 
 val plan : Hexa.Store_sig.boxed -> Algebra.tp list -> choice list
 (** Execution order for the patterns of a BGP, with the evidence behind

@@ -208,6 +208,8 @@ let eval_from h ~start path = step ~inverted:false h path (Sorted_ivec.singleton
 
 let eval_into h path ~target = step ~inverted:true h path (Sorted_ivec.singleton target)
 
+(* ASK-style point check over an already-materialised closure: the probe
+   is the algorithm here, not a join.  lint: allow query-probe *)
 let holds h path ~s ~o = Sorted_ivec.mem (eval_from h ~start:s path) o
 
 (* Source candidates: nodes that can possibly start the path (subjects of

@@ -74,19 +74,9 @@ let intersect_count_adaptive a b =
     let cursor = ref 0 in
     Sorted_ivec.iter
       (fun x ->
-        let step = ref 1 in
-        let lo = ref !cursor in
-        while !lo + !step < nl && Sorted_ivec.get large (!lo + !step) < x do
-          lo := !lo + !step;
-          step := !step * 2
-        done;
-        let hi = ref (min nl (!lo + !step + 1)) in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          if Sorted_ivec.get large mid < x then lo := mid + 1 else hi := mid
-        done;
-        cursor := !lo;
-        if !lo < nl && Sorted_ivec.get large !lo = x then incr count)
+        let lo = Sorted_ivec.search_from large ~from:!cursor x in
+        cursor := lo;
+        if lo < nl && Sorted_ivec.get large lo = x then incr count)
       small;
     !count
   end
@@ -103,21 +93,9 @@ let intersect_gallop small large =
   let nl = Sorted_ivec.length large in
   Sorted_ivec.iter
     (fun x ->
-      (* Gallop from !cursor to find the first position with value >= x. *)
-      let step = ref 1 in
-      let lo = ref !cursor in
-      while !lo + !step < nl && Sorted_ivec.get large (!lo + !step) < x do
-        lo := !lo + !step;
-        step := !step * 2
-      done;
-      let hi = min nl (!lo + !step + 1) in
-      let lo = ref !lo and hi = ref hi in
-      while !lo < !hi do
-        let mid = (!lo + !hi) / 2 in
-        if Sorted_ivec.get large mid < x then lo := mid + 1 else hi := mid
-      done;
-      cursor := !lo;
-      if !lo < nl && Sorted_ivec.get large !lo = x then ignore (Sorted_ivec.add out x))
+      let lo = Sorted_ivec.search_from large ~from:!cursor x in
+      cursor := lo;
+      if lo < nl && Sorted_ivec.get large lo = x then ignore (Sorted_ivec.add out x))
     small;
   note m_intersect
     ~input:(Sorted_ivec.length small + nl)
@@ -202,6 +180,28 @@ let merge_join f a b =
   done;
   note m_join ~input:(na + nb) ~output:!hits
 
+let merge_join_gallop f a b =
+  (* Leapfrog variant: whichever side is behind gallops forward to the
+     other's current value, so long mismatching runs cost log(run)
+     instead of run.  Degrades gracefully to the linear kernel on dense
+     overlap (the first gallop step is a plain +1 probe). *)
+  let na = Sorted_ivec.length a and nb = Sorted_ivec.length b in
+  let hits = ref 0 in
+  let rec loop i j =
+    if i < na && j < nb then begin
+      let x = Sorted_ivec.get a i and y = Sorted_ivec.get b j in
+      if x = y then begin
+        f x;
+        incr hits;
+        loop (i + 1) (j + 1)
+      end
+      else if x < y then loop (Sorted_ivec.search_from a ~from:i y) j
+      else loop i (Sorted_ivec.search_from b ~from:j x)
+    end
+  in
+  loop 0 0;
+  note m_join ~input:(na + nb) ~output:!hits
+
 let rec intersect_seq sa sb () =
   match (sa (), sb ()) with
   | Seq.Nil, _ | _, Seq.Nil -> Seq.Nil
@@ -249,6 +249,15 @@ let rec diff_seq_by ~cmp sa sb () =
           if c = 0 then diff_seq_by ~cmp sa' sb' ()
           else if c < 0 then Seq.Cons (x, diff_seq_by ~cmp sa' (fun () -> Seq.Cons (y, sb')))
           else diff_seq_by ~cmp (fun () -> Seq.Cons (x, sa')) sb' ())
+
+let rec inter_seq_by ~cmp sa sb () =
+  match (sa (), sb ()) with
+  | Seq.Nil, _ | _, Seq.Nil -> Seq.Nil
+  | Seq.Cons (x, sa'), Seq.Cons (y, sb') ->
+      let c = cmp x y in
+      if c = 0 then Seq.Cons (x, inter_seq_by ~cmp sa' sb')
+      else if c < 0 then inter_seq_by ~cmp sa' (fun () -> Seq.Cons (y, sb')) ()
+      else inter_seq_by ~cmp (fun () -> Seq.Cons (x, sa')) sb' ()
 
 let is_strictly_ascending s =
   let rec loop prev s =

@@ -41,6 +41,12 @@ val merge_join : (int -> unit) -> Sorted_ivec.t -> Sorted_ivec.t -> unit
 (** [merge_join f a b] calls [f] on every common element, in order,
     without materialising the intersection. *)
 
+val merge_join_gallop : (int -> unit) -> Sorted_ivec.t -> Sorted_ivec.t -> unit
+(** Skip-aware variant of {!merge_join}: whichever operand is behind
+    gallops ({!Sorted_ivec.search_from}) to the other's current value,
+    so long mismatching runs cost O(log run) rather than O(run).  Same
+    callback contract as {!merge_join}. *)
+
 val intersect_seq : int Seq.t -> int Seq.t -> int Seq.t
 (** Lazy merge intersection of two ascending sequences. *)
 
@@ -61,6 +67,12 @@ val diff_seq_by : cmp:('a -> 'a -> int) -> 'a Seq.t -> 'a Seq.t -> 'a Seq.t
 (** Lazy merge difference under [cmp]: elements of the first sequence
     with no equal element in the second.  The delta layer subtracts its
     delete set from base-index scans through this kernel. *)
+
+val inter_seq_by : cmp:('a -> 'a -> int) -> 'a Seq.t -> 'a Seq.t -> 'a Seq.t
+(** Lazy merge intersection of two sequences ascending under [cmp]
+    (elements comparing equal are kept once, left occurrence wins).
+    The [Seq]-level counterpart of {!intersect} for operands that are
+    streamed rather than materialised — e.g. delta-layer merged views. *)
 
 val is_strictly_ascending : int Seq.t -> bool
 

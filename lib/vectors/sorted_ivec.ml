@@ -1,9 +1,12 @@
 type t = Dynarray_int.t
 
 (* Telemetry: one counter per binary-search call, one per comparison
-   step.  Both are single-flag-read no-ops while telemetry is off. *)
+   step.  Both are single-flag-read no-ops while telemetry is off.
+   [m_gallop_skip] records, per galloping seek, how many elements the
+   seek jumped over — large values mean the gallop is earning its keep. *)
 let m_bsearch = Telemetry.Metrics.counter "vectors.bsearch.probes"
 let m_bsearch_steps = Telemetry.Metrics.counter "vectors.bsearch.steps"
+let m_gallop_skip = Telemetry.Metrics.histogram "vectors.gallop.skip"
 
 let create ?capacity () = Dynarray_int.create ?capacity ()
 
@@ -32,6 +35,37 @@ let index_geq v x =
   !lo
 
 let rank = index_geq
+
+(* Exponential (galloping) search for the first element >= x, starting
+   at index [from].  The doubling phase brackets the answer in
+   O(log(skip)) steps, then a binary search pins it down inside the
+   bracket, so resuming from the previous hit makes a whole ascending
+   probe sequence cost O(n_probes · log(gap)) instead of
+   O(n_probes · log n). *)
+let search_from v ~from x =
+  let n = length v in
+  let from = if from < 0 then 0 else from in
+  if from >= n then n
+  else begin
+    let step = ref 1 in
+    let lo = ref from in
+    if Dynarray_int.unsafe_get v !lo >= x then !lo
+    else begin
+      while !lo + !step < n && Dynarray_int.unsafe_get v (!lo + !step) < x do
+        lo := !lo + !step;
+        step := !step * 2
+      done;
+      let hi = ref (min n (!lo + !step + 1)) in
+      (* lo points at an element < x, so the answer is in (lo, hi]. *)
+      incr lo;
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Dynarray_int.unsafe_get v mid < x then lo := mid + 1 else hi := mid
+      done;
+      if !Telemetry.Config.enabled then Telemetry.Metrics.observe m_gallop_skip (!lo - from);
+      !lo
+    end
+  end
 
 let mem v x =
   let i = index_geq v x in

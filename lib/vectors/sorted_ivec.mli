@@ -52,6 +52,16 @@ val index_geq : t -> int -> int
 (** [index_geq v x] is the index of the smallest element [>= x], or
     [length v] when every element is smaller. *)
 
+val search_from : t -> from:int -> int -> int
+(** [search_from v ~from x] is the index of the smallest element [>= x]
+    at position [>= from], or [length v] when there is none — an
+    exponential (galloping) search that costs O(log(gap)) where [gap] is
+    the distance advanced from [from].  Repeated ascending probes that
+    resume from the previous hit therefore pay for the distance they
+    cover, not for [log n] each: the resumable cursor behind the
+    executor's merge joins.  Observes the [vectors.gallop.skip]
+    histogram with the distance skipped. *)
+
 val add : t -> int -> bool
 (** [add v x] inserts [x] keeping order; returns [false] if already
     present.  O(1) amortised when [x > max_elt v]. *)

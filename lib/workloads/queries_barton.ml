@@ -54,37 +54,43 @@ let covp_scan_props c restrict =
   match restrict with Some l -> l | None -> Covp.properties c
 
 (* Restrictions are normalised to sorted vectors once per query so the
-   membership probe in the aggregation loops is O(log 28), not O(28). *)
+   per-property phases can iterate them directly in sorted order. *)
 let restrict_sv restrict = Option.map SV.of_list restrict
 
-let in_restriction restrict p =
-  match restrict with None -> true | Some l -> SV.mem l p
-
 (* Iterate a property's subject-sorted table restricted to subjects in
-   [t], merge-join style (both sides sorted).  When [t] is much smaller
-   than the table the join seeks instead of scanning — O(|t| log |v|) —
-   which is what keeps selective second phases (BQ7) selection-bound. *)
+   [t], merge-join style (both sides sorted): a double-galloping merge
+   in which whichever side is behind seeks forward with a resumable
+   exponential search.  Degenerates to a linear merge when the sides
+   interleave densely and to O(min log max) when one side is sparse, so
+   it replaces the old fixed density-ratio heuristic. *)
 let iter_table_join v t f =
   let nv = Pair_vector.length v and nt = SV.length t in
-  if nt > 0 && nv / nt >= 16 then
-    SV.iter
-      (fun x ->
-        let i = Pair_vector.index_geq v x in
-        if i < nv && Pair_vector.key_at v i = x then f x (Pair_vector.payload_at v i))
-      t
-  else begin
-    let i = ref 0 and j = ref 0 in
-    while !i < nv && !j < nt do
-      let s = Pair_vector.key_at v !i and x = SV.get t !j in
+  let rec loop i j =
+    if i < nv && j < nt then begin
+      let s = Pair_vector.key_at v i and x = SV.get t j in
       if s = x then begin
-        f s (Pair_vector.payload_at v !i);
-        incr i;
-        incr j
+        f s (Pair_vector.payload_at v i);
+        loop (i + 1) (j + 1)
       end
-      else if s < x then incr i
-      else incr j
-    done
-  end
+      else if s < x then loop (Pair_vector.search_from v ~from:(i + 1) x) j
+      else loop i (SV.search_from t ~from:(j + 1) s)
+    end
+  in
+  loop 0 0
+
+(* Does the table share at least one subject with [t]?  The same
+   double-galloping walk, stopping at the first hit. *)
+let table_intersects v t =
+  let nv = Pair_vector.length v and nt = SV.length t in
+  let rec loop i j =
+    i < nv && j < nt
+    &&
+    let s = Pair_vector.key_at v i and x = SV.get t j in
+    if s = x then true
+    else if s < x then loop (Pair_vector.search_from v ~from:(i + 1) x) j
+    else loop i (SV.search_from t ~from:(j + 1) s)
+  in
+  loop 0 0
 
 (* --- BQ1: counts of each Type object ---------------------------------- *)
 
@@ -142,24 +148,27 @@ let covp_property_frequencies c restrict t =
     (covp_scan_props c restrict);
   List.rev !out
 
-(* Hexastore phase 2: merge the subjects' property vectors in spo
-   indexing — no iteration over the property universe. *)
+(* Hexastore phase 2, merge-join formulation: one probe of the pso
+   index, then for each property (its sorted header view, or the
+   restriction) gallop-intersect the property's subject vector with the
+   sorted [t], summing matched o-list lengths.  The earlier spo
+   formulation probed the subject index once per Text subject — 12,674
+   point probes at full Barton scale — where this one's probe count is
+   independent of |t|. *)
 let hexa_property_frequencies h restrict t =
-  let counts = Hashtbl.create 64 in
+  let pso = Hexastore.pso h in
+  let props = match restrict with Some l -> l | None -> Index.headers_view pso in
+  let out = ref [] in
   SV.iter
-    (fun s ->
-      match Index.find_vector (Hexastore.spo h) s with
+    (fun p ->
+      match Index.find_vector pso p with
       | None -> ()
       | Some v ->
-          Pair_vector.iter
-            (fun p ol ->
-              if in_restriction restrict p then
-                Hashtbl.replace counts p
-                  (SV.length ol + Option.value ~default:0 (Hashtbl.find_opt counts p)))
-            v)
-    t;
-  Hashtbl.fold (fun p n acc -> (p, n) :: acc) counts []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+          let freq = ref 0 in
+          iter_table_join v t (fun _s ol -> freq := !freq + SV.length ol);
+          if !freq > 0 then out := (p, !freq) :: !out)
+    props;
+  List.rev !out
 
 let bq2 ?restrict store ids =
   let restrict = restrict_sv restrict in
@@ -170,25 +179,22 @@ let bq2 ?restrict store ids =
 
 (* --- BQ3: popular objects per property over Text subjects -------------- *)
 
-(* Hexastore: find the relevant property set from spo, then use pos for
-   the per-object counts (as §5.2 says it must for this aggregation). *)
+(* Hexastore: find the relevant property set, then use pos for the
+   per-object counts (as §5.2 says it must for this aggregation).  A
+   property is relevant when its pso subject vector intersects [t] —
+   decided by an early-exit galloping probe, not a per-subject spo
+   walk. *)
 let hexa_relevant_properties h restrict t =
-  let props = ref [] in
-  let seen = Hashtbl.create 64 in
+  let pso = Hexastore.pso h in
+  let props = match restrict with Some l -> l | None -> Index.headers_view pso in
+  let out = ref [] in
   SV.iter
-    (fun s ->
-      match Index.find_vector (Hexastore.spo h) s with
+    (fun p ->
+      match Index.find_vector pso p with
       | None -> ()
-      | Some v ->
-          Pair_vector.iter
-            (fun p _ ->
-              if in_restriction restrict p && not (Hashtbl.mem seen p) then begin
-                Hashtbl.add seen p ();
-                props := p :: !props
-              end)
-            v)
-    t;
-  List.sort compare !props
+      | Some v -> if table_intersects v t then out := p :: !out)
+    props;
+  List.rev !out
 
 let popular_via_pos find_object_vector props t =
   List.filter_map
@@ -231,7 +237,8 @@ let bq3_over restrict store t =
   match store with
   | Stores.Hexa h ->
       let props = hexa_relevant_properties h restrict t in
-      popular_via_pos (fun p -> Index.find_vector (Hexastore.pos h) p) props t
+      let pos = Hexastore.pos h in
+      popular_via_pos (fun p -> Index.find_vector pos p) props t
   | Stores.Covp c -> (
       match Covp.kind c with
       | Covp.Covp2 ->

@@ -407,6 +407,31 @@ let test_lint_raw_clock () =
   check_int "clock in comment ignored" 0
     (count_rule (C.Lint.scan_source ~path:"x.ml" ("(* Unix." ^ "gettimeofday *)\nlet x = 1\n")))
 
+let bad_probe = "let f v o = Sorted_ivec." ^ "mem v o\n"
+let probe_waiver = "(* lint: " ^ "allow query-probe *)"
+
+let test_lint_query_probe () =
+  check_int "probe in query dir" 1
+    (count_rule (C.Lint.scan_source ~path:"lib/query/x.ml" bad_probe));
+  (* The rule is scoped: the same probe elsewhere is the normal API. *)
+  check_int "probe outside query dir" 0
+    (count_rule (C.Lint.scan_source ~path:"lib/core/x.ml" bad_probe));
+  check_int "same-line waiver" 0
+    (count_rule
+       (C.Lint.scan_source ~path:"lib/query/x.ml"
+          ("let f v o = Sorted_ivec." ^ "mem v o  " ^ probe_waiver ^ "\n")));
+  check_int "line-above waiver" 0
+    (count_rule
+       (C.Lint.scan_source ~path:"lib/query/x.ml" (probe_waiver ^ "\n" ^ bad_probe)));
+  check_int "waiver does not reach later lines" 1
+    (count_rule
+       (C.Lint.scan_source ~path:"lib/query/x.ml"
+          (probe_waiver ^ "\nlet a = 1\n" ^ bad_probe)));
+  check_int "probe in comment ignored" 0
+    (count_rule
+       (C.Lint.scan_source ~path:"lib/query/x.ml"
+          ("(* Sorted_ivec." ^ "mem *)\nlet x = 1\n")))
+
 let test_lint_clean_sources () =
   let clean =
     "let f x = x + 1\n"
@@ -495,6 +520,7 @@ let () =
         [
           Alcotest.test_case "seeded violations" `Quick test_lint_seeded_violations;
           Alcotest.test_case "raw clock" `Quick test_lint_raw_clock;
+          Alcotest.test_case "query probe" `Quick test_lint_query_probe;
           Alcotest.test_case "clean sources" `Quick test_lint_clean_sources;
           Alcotest.test_case "missing mli" `Quick test_lint_missing_mli;
           Alcotest.test_case "repo tree clean" `Quick test_lint_repo_tree_is_clean;

@@ -152,6 +152,40 @@ let test_planner_unknown_constant () =
   let tp = Algebra.tp (Algebra.Var "x") (Algebra.Term (ex "noSuchProperty")) (Algebra.Var "o") in
   check_int "unknown constant is free" 0 (Planner.estimate store tp)
 
+(* Per-step join strategies.  [?a worksFor ?u] seeds the plan (smallest
+   estimate) streaming sorted on ?a through pso; [?s advisor ?a] then
+   merge-joins on a Hexastore or delta view (both serve sorted scans)
+   but degrades to a hash join on the COVP baselines, which cannot. *)
+let test_planner_strategies () =
+  let adv = Algebra.tp (Algebra.Var "s") (Algebra.Term (ex "advisor")) (Algebra.Var "a") in
+  let works = Algebra.tp (Algebra.Var "a") (Algebra.Term (ex "worksFor")) (Algebra.Var "u") in
+  let second_strategy store tps =
+    match Planner.plan store tps with
+    | [ first; second ] ->
+        check_string
+          (Hexa.Store_sig.name store ^ " first step")
+          "scan"
+          (Planner.strategy_name first.Planner.strategy);
+        Planner.strategy_name second.Planner.strategy
+    | _ -> Alcotest.fail "wrong plan size"
+  in
+  (match all_boxed () with
+  | [ hexa; covp1; covp2; delta ] ->
+      check_string "hexastore merges" "merge" (second_strategy hexa [ adv; works ]);
+      check_string "covp1 hashes" "hash" (second_strategy covp1 [ adv; works ]);
+      check_string "covp2 hashes" "hash" (second_strategy covp2 [ adv; works ]);
+      check_string "delta merges" "merge" (second_strategy delta [ adv; works ])
+  | _ -> Alcotest.fail "expected four stores");
+  (* A disconnected pattern is a deliberate nested-loop product. *)
+  let disco = Algebra.tp (Algebra.Var "z") (Algebra.Term (ex "type")) (Algebra.Var "w") in
+  check_string "disconnected nests" "nested-loop" (second_strategy (boxed ()) [ adv; disco ]);
+  (* The ablation switch forces every join back to nested loops. *)
+  Planner.nested_loop_only := true;
+  Fun.protect
+    ~finally:(fun () -> Planner.nested_loop_only := false)
+    (fun () ->
+      check_string "ablation nests" "nested-loop" (second_strategy (boxed ()) [ adv; works ]))
+
 (* ------------------------------------------------------------------ *)
 (* Exec: BGPs                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -296,6 +330,31 @@ let prop_bgp_matches_brute_force =
       List.for_all
         (fun store ->
           canon_solutions store vars (Exec.run store (Algebra.Bgp tps)) = expected)
+        (all_boxed ()))
+
+(* Join-strategy equivalence: whatever mix of merge-, hash- and
+   nested-loop steps the planner picks must produce exactly the
+   nested-loop-only results, on every store kind — the delta store keeps
+   pending insert and delete buffers so its merged sorted scans get
+   exercised too.  1-4 patterns over three variables gives plenty of
+   multi-step plans where merge and hash steps actually fire. *)
+let prop_join_strategy_equivalence =
+  QCheck.Test.make
+    ~name:"merge/hash join strategies = nested-loop on random BGPs (4 stores)" ~count:1000
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 4) gen_tp))
+    (fun tps ->
+      let vars = List.sort_uniq compare (List.concat_map Algebra.vars_of_tp tps) in
+      let run store = canon_solutions store vars (Exec.run store (Algebra.Bgp tps)) in
+      List.for_all
+        (fun store ->
+          let with_strategies = run store in
+          Planner.nested_loop_only := true;
+          let baseline =
+            Fun.protect
+              ~finally:(fun () -> Planner.nested_loop_only := false)
+              (fun () -> run store)
+          in
+          with_strategies = baseline)
         (all_boxed ()))
 
 (* ------------------------------------------------------------------ *)
@@ -773,6 +832,7 @@ let () =
           Alcotest.test_case "selectivity" `Quick test_planner_orders_by_selectivity;
           Alcotest.test_case "connected" `Quick test_planner_prefers_connected;
           Alcotest.test_case "unknown_constant" `Quick test_planner_unknown_constant;
+          Alcotest.test_case "strategies" `Quick test_planner_strategies;
         ] );
       ( "exec_bgp",
         [
@@ -783,6 +843,7 @@ let () =
           Alcotest.test_case "figure1_query2" `Quick test_exec_figure1_query2;
           Alcotest.test_case "unknown_term" `Quick test_exec_unknown_term_empty;
           qt prop_bgp_matches_brute_force;
+          qt prop_join_strategy_equivalence;
         ] );
       ( "exec_ops",
         [

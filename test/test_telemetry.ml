@@ -221,11 +221,32 @@ let test_explain_golden_single () =
   in
   let expected =
     "project [?x]\n"
-    ^ "└─ bgp 1 patterns, index nested-loop\n"
+    ^ "└─ bgp 1 patterns\n"
     ^ "   └─ scan ?x <" ^ rdf_type ^ "> <" ^ ub
-    ^ "GraduateStudent> . index=pos  (est=96 sel=2.53e-02)"
+    ^ "GraduateStudent> . index=pos strategy=scan  (est=96 sel=2.53e-02)"
   in
   check_string "single-pattern plan" expected (render plan)
+
+let test_explain_golden_hash () =
+  (* The third step shares only ?x while the pipeline streams sorted on
+     ?y (established by the FullProfessor scan), so the planner must
+     fall back from merge to a hash join there. *)
+  let plan =
+    Query.Exec.explain (lubm_boxed ())
+      (parse
+         "SELECT ?x ?y WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:advisor ?y . ?y rdf:type \
+          ub:FullProfessor . }")
+  in
+  let expected =
+    "project [?x ?y]\n"
+    ^ "└─ bgp 3 patterns, joins: 1 merge + 1 hash\n"
+    ^ "   ├─ scan ?y <" ^ rdf_type ^ "> <" ^ ub
+    ^ "FullProfessor> . index=pos strategy=scan  (est=7 sel=1.84e-03)\n"
+    ^ "   ├─ scan ?x <" ^ ub ^ "advisor> ?y . index=pos strategy=merge(?y)  (est=96 sel=2.53e-02)\n"
+    ^ "   └─ scan ?x <" ^ rdf_type ^ "> <" ^ ub
+    ^ "GraduateStudent> . index=spo strategy=hash(?x)  (est=96 sel=2.53e-02)"
+  in
+  check_string "hash-join plan" expected (render plan)
 
 let test_explain_golden_analyze () =
   (* A ticking clock makes every ANALYZE timing exactly one step
@@ -241,13 +262,14 @@ let test_explain_golden_analyze () =
   in
   let expected =
     "project [?x ?y]  rows=23 time=0.500ms\n"
-    ^ "└─ bgp 3 patterns, index nested-loop  rows=23 time=0.500ms\n"
+    ^ "└─ bgp 3 patterns, joins: 1 merge + 1 hash  rows=23 time=0.500ms\n"
     ^ "   ├─ scan ?y <" ^ rdf_type ^ "> <" ^ ub
-    ^ "FullProfessor> . index=pos  (est=7 sel=1.84e-03)  rows=7 time=0.500ms\n"
-    ^ "   ├─ scan ?x <" ^ ub ^ "advisor> ?y . index=pos  (est=96 sel=2.53e-02)  rows=23 \
-       time=0.500ms\n"
+    ^ "FullProfessor> . index=pos strategy=scan  (est=7 sel=1.84e-03)  rows=7 time=0.500ms\n"
+    ^ "   ├─ scan ?x <" ^ ub ^ "advisor> ?y . index=pos strategy=merge(?y)  (est=96 \
+       sel=2.53e-02)  rows=23 time=0.500ms\n"
     ^ "   └─ scan ?x <" ^ rdf_type ^ "> <" ^ ub
-    ^ "GraduateStudent> . index=spo  (est=96 sel=2.53e-02)  rows=23 time=0.500ms"
+    ^ "GraduateStudent> . index=spo strategy=hash(?x)  (est=96 sel=2.53e-02)  rows=23 \
+       time=0.500ms"
   in
   check_string "3-pattern ANALYZE plan" expected (render plan)
 
@@ -383,6 +405,7 @@ let () =
       ( "explain",
         [
           Alcotest.test_case "golden single pattern" `Quick test_explain_golden_single;
+          Alcotest.test_case "golden hash join" `Quick test_explain_golden_hash;
           Alcotest.test_case "golden analyze join" `Quick test_explain_golden_analyze;
           Alcotest.test_case "analyze matches count" `Quick test_explain_analyze_matches_count;
           Alcotest.test_case "json shape" `Quick test_explain_json_shape;

@@ -444,6 +444,118 @@ let test_seq_by_laziness () =
   check_bool "inputs barely forced" true (!forced <= 4)
 
 (* ------------------------------------------------------------------ *)
+(* Galloping kernels (merge-join execution substrate)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [search_from v ~from x] is the resumable lower bound behind the
+   merge-join seeks: the first index >= from whose element is >= x. *)
+let oracle_search_from xs ~from x =
+  let elements = Array.of_list (dedup_sorted xs) in
+  let n = Array.length elements in
+  let from = if from < 0 then 0 else from in
+  let rec scan i = if i >= n then n else if elements.(i) >= x then i else scan (i + 1) in
+  scan from
+
+let prop_search_from_oracle =
+  QCheck.Test.make ~name:"search_from = suffix lower bound oracle" ~count:500
+    QCheck.(triple (list (int_bound 60)) (int_bound 20) (int_bound 70))
+    (fun (xs, from, x) ->
+      let v = Sorted_ivec.of_list xs in
+      Sorted_ivec.search_from v ~from x = oracle_search_from xs ~from x
+      (* anchored at the start it coincides with the plain lower bound *)
+      && Sorted_ivec.search_from v ~from:0 x = Sorted_ivec.index_geq v x)
+
+let test_search_from_edges () =
+  let empty = Sorted_ivec.create () in
+  check_int "empty" 0 (Sorted_ivec.search_from empty ~from:0 7);
+  let v = sv [ 10; 20; 30; 40 ] in
+  check_int "negative from clamps" 0 (Sorted_ivec.search_from v ~from:(-3) 5);
+  check_int "from past end" 4 (Sorted_ivec.search_from v ~from:9 5);
+  check_int "from at end" 4 (Sorted_ivec.search_from v ~from:4 5);
+  check_int "already satisfied at from" 1 (Sorted_ivec.search_from v ~from:1 15);
+  check_int "exact hit" 2 (Sorted_ivec.search_from v ~from:0 30);
+  check_int "exact hit at from" 2 (Sorted_ivec.search_from v ~from:2 30);
+  check_int "beyond max" 4 (Sorted_ivec.search_from v ~from:0 41);
+  (* ascending resumable probes — the cursor pattern the seeks rely on *)
+  let big = sv (List.init 10000 (fun i -> i * 3)) in
+  let cursor = ref 0 in
+  List.iter
+    (fun x ->
+      cursor := Sorted_ivec.search_from big ~from:!cursor x;
+      check_int
+        (Printf.sprintf "resumed probe %d" x)
+        (Sorted_ivec.index_geq big x) !cursor)
+    [ 0; 1; 299; 300; 8999; 29997; 29998; 50000 ]
+
+let prop_merge_join_gallop_oracle =
+  QCheck.Test.make ~name:"merge_join_gallop visits exactly the intersection, in order"
+    ~count:500 set_ops_gen
+    (fun (xs, ys) ->
+      let acc = ref [] in
+      Merge.merge_join_gallop
+        (fun x -> acc := x :: !acc)
+        (Sorted_ivec.of_list xs) (Sorted_ivec.of_list ys);
+      List.rev !acc = oracle_inter xs ys)
+
+let prop_inter_seq_by_oracle =
+  QCheck.Test.make ~name:"inter_seq_by ~cmp = Set.inter (custom order)" ~count:500
+    pair_ops_gen
+    (fun (xs, ys) ->
+      let sx = List.to_seq (Pset.elements (Pset.of_list xs))
+      and sy = List.to_seq (Pset.elements (Pset.of_list ys)) in
+      List.of_seq (Merge.inter_seq_by ~cmp:cmp_rev sx sy)
+      = Pset.elements (Pset.inter (Pset.of_list xs) (Pset.of_list ys)))
+
+(* Adversarial shapes for the galloping kernels: a tiny side against a
+   huge one (the doubling bracket must overshoot and recover), in both
+   argument orders. *)
+let test_gallop_one_side_tiny () =
+  let tiny = sv [ 3; 14000; 29997 ] in
+  let huge = sv (List.init 10000 (fun i -> i * 3)) in
+  let expected = [ 3; 29997 ] in
+  check_int_list "intersect_gallop tiny-first" expected
+    (Sorted_ivec.to_list (Merge.intersect_gallop tiny huge));
+  check_int_list "intersect_gallop huge-first" expected
+    (Sorted_ivec.to_list (Merge.intersect_gallop huge tiny));
+  let run f a b =
+    let acc = ref [] in
+    f (fun x -> acc := x :: !acc) a b;
+    List.rev !acc
+  in
+  check_int_list "merge_join_gallop tiny-first" expected (run Merge.merge_join_gallop tiny huge);
+  check_int_list "merge_join_gallop huge-first" expected (run Merge.merge_join_gallop huge tiny);
+  (* single-element operands: the degenerate bracket *)
+  let one = sv [ 29997 ] in
+  check_int_list "singleton hit" [ 29997 ] (run Merge.merge_join_gallop one huge);
+  check_int_list "singleton miss" [] (run Merge.merge_join_gallop (sv [ 29998 ]) huge)
+
+(* Interleaved runs: each side holds alternating blocks of 100, so the
+   kernels must keep leapfrogging block-by-block with nothing in
+   common, then agree fully when one side covers both phases. *)
+let test_gallop_interleaved_runs () =
+  let block base = List.init 100 (fun i -> base + i) in
+  let evens = sv (List.concat_map block [ 0; 200; 400; 600 ])
+  and odds = sv (List.concat_map block [ 100; 300; 500; 700 ]) in
+  check_int_list "disjoint interleaved runs" []
+    (Sorted_ivec.to_list (Merge.intersect_gallop evens odds));
+  let acc = ref 0 in
+  Merge.merge_join_gallop (fun _ -> incr acc) evens odds;
+  check_int "merge_join_gallop disjoint runs" 0 !acc;
+  let all = sv (List.concat_map block [ 0; 100; 200; 300; 400; 500; 600; 700 ]) in
+  check_int_list "runs subset full" (Sorted_ivec.to_list evens)
+    (Sorted_ivec.to_list (Merge.intersect_gallop evens all));
+  Merge.merge_join_gallop (fun _ -> incr acc) odds all;
+  check_int "merge_join_gallop runs subset" 400 !acc;
+  (* search_from hopping across the run boundaries *)
+  let cursor = ref 0 in
+  List.iter
+    (fun x ->
+      cursor := Sorted_ivec.search_from evens ~from:!cursor x;
+      check_int (Printf.sprintf "run-boundary probe %d" x) (Sorted_ivec.index_geq evens x)
+        !cursor)
+    [ 50; 100; 199; 250; 399; 650; 699; 701 ]
+
+(* ------------------------------------------------------------------ *)
 (* Pair_key                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -502,9 +614,11 @@ let () =
           Alcotest.test_case "iter_from" `Quick test_sivec_iter_from;
           Alcotest.test_case "subset" `Quick test_sivec_subset;
           Alcotest.test_case "search bounds audit" `Quick test_sivec_search_bounds_audit;
+          Alcotest.test_case "search_from edges" `Quick test_search_from_edges;
           qt prop_sivec_index_geq_oracle;
           qt prop_sivec_set_model;
           qt prop_sivec_ascending_adds_fast_path;
+          qt prop_search_from_oracle;
         ] );
       ( "merge",
         [
@@ -529,6 +643,10 @@ let () =
           qt prop_diff_seq_oracle;
           qt prop_union_seq_by_oracle;
           qt prop_diff_seq_by_oracle;
+          Alcotest.test_case "gallop_one_side_tiny" `Quick test_gallop_one_side_tiny;
+          Alcotest.test_case "gallop_interleaved_runs" `Quick test_gallop_interleaved_runs;
+          qt prop_merge_join_gallop_oracle;
+          qt prop_inter_seq_by_oracle;
         ] );
       ( "pair_key",
         [
