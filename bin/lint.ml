@@ -1,20 +1,44 @@
 (* The repo's source lint gate, run as [dune build @lint].
 
-   Scans the given directory trees (default: lib) with [Check.Lint] and
-   exits non-zero when any rule fires: a library .ml without a .mli,
-   Obj.magic, stdout printing from library code, or a catch-all
-   [with _ ->] handler.  See lib/check/lint.mli for the rationale. *)
+   Modes:
+
+   - [lint.exe ROOTS..] (default root: lib) — scan the trees with
+     [Check.Lint] and exit non-zero when any rule fires: a library .ml
+     without a .mli, Obj.magic, stdout printing from library code, a
+     catch-all [with _ ->] handler, a raw clock read, a query-layer
+     point probe, or a module-global mutable binding without a
+     [domain-safety:] attestation.  See lib/check/lint.mli.
+
+   - [lint.exe --domain-report ROOTS..] — print the DOMAIN_SAFETY.md
+     markdown inventory ([Check.Mutability]) to stdout; the @check
+     freshness gate diffs it against the checked-in file.
+
+   - [lint.exe --json ROOTS..] — the same inventory as JSON
+     (Telemetry.Json) for CI diffing. *)
 
 let () =
-  let roots =
+  let mode, roots =
     match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as roots) -> roots
-    | _ -> [ "lib" ]
+    | _ :: "--domain-report" :: rest -> (`Report, rest)
+    | _ :: "--json" :: rest -> (`Json, rest)
+    | _ :: rest -> (`Lint, rest)
+    | [] -> (`Lint, [])
   in
-  let violations = List.concat_map Check.Lint.scan_dir roots in
-  match violations with
-  | [] -> Printf.printf "lint: OK (%s clean)\n" (String.concat ", " roots)
-  | vs ->
-      List.iter (fun v -> prerr_endline (Check.Violation.to_string v)) vs;
-      Printf.eprintf "lint: %d violation(s) in %s\n" (List.length vs) (String.concat ", " roots);
-      exit 1
+  let roots = if roots = [] then [ "lib" ] else roots in
+  match mode with
+  | `Report -> print_string (Check.Mutability.to_markdown (Check.Mutability.analyze_dirs roots))
+  | `Json ->
+      print_endline
+        (Telemetry.Json.to_string (Check.Mutability.to_json (Check.Mutability.analyze_dirs roots)))
+  | `Lint -> (
+      let violations = List.concat_map Check.Lint.scan_dir roots in
+      (* Surface the check.lint.* counters when telemetry is on, same
+         shape as the query CLI's registry dump. *)
+      if !Telemetry.enabled then Format.eprintf "%a@." Telemetry.report ();
+      match violations with
+      | [] -> Printf.printf "lint: OK (%s clean)\n" (String.concat ", " roots)
+      | vs ->
+          List.iter (fun v -> prerr_endline (Check.Violation.to_string v)) vs;
+          Printf.eprintf "lint: %d violation(s) in %s\n" (List.length vs)
+            (String.concat ", " roots);
+          exit 1)

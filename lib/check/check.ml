@@ -2,6 +2,8 @@ module Violation = Violation
 module Invariant = Invariant
 module Model = Model
 module Diff = Diff
+module Lexer = Lexer
+module Mutability = Mutability
 module Lint = Lint
 
 let store = Invariant.store

@@ -8,7 +8,10 @@
       model-checker that executes random operation sequences against it
       and the real store, shrinking any disagreement to a minimal
       counterexample.
-    - {!Lint} — the source gate behind [dune build @lint].
+    - {!Lexer}/{!Mutability}/{!Lint} — the static-analysis pass behind
+      [dune build @lint]: a positioned OCaml tokenizer, the
+      mutable-state inventory backing [DOMAIN_SAFETY.md], and the rule
+      engine (including the [domain-unsafe-global] attestation gate).
 
     [debug] re-exports {!Hexa.Debug.enabled}: setting it to [true] makes
     [Hexastore.add_ids]/[remove_ids] re-validate every vector and list
@@ -18,6 +21,8 @@ module Violation = Violation
 module Invariant = Invariant
 module Model = Model
 module Diff = Diff
+module Lexer = Lexer
+module Mutability = Mutability
 module Lint = Lint
 
 val store : Hexa.Hexastore.t -> Violation.t list

@@ -1,0 +1,299 @@
+type kind =
+  | Ident
+  | Uident
+  | Number
+  | Char
+  | String
+  | Comment
+  | Op
+  | Punct
+
+type token = {
+  kind : kind;
+  text : string;
+  pos : int;
+  line : int;
+  col : int;
+}
+
+type t = {
+  src : string;
+  tokens : token array;
+  line_starts : int array;
+}
+
+let keywords =
+  [
+    "and"; "as"; "assert"; "asr"; "begin"; "class"; "constraint"; "do"; "done"; "downto";
+    "else"; "end"; "exception"; "external"; "false"; "for"; "fun"; "function"; "functor";
+    "if"; "in"; "include"; "inherit"; "initializer"; "land"; "lazy"; "let"; "lor"; "lsl";
+    "lsr"; "lxor"; "match"; "method"; "mod"; "module"; "mutable"; "new"; "nonrec";
+    "object"; "of"; "open"; "or"; "private"; "rec"; "sig"; "struct"; "then"; "to";
+    "true"; "try"; "type"; "val"; "virtual"; "when"; "while"; "with";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_digit c = c >= '0' && c <= '9'
+let is_word_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+let is_symbol_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '.' | '/' | ':' | '<' | '=' | '>' | '?' | '@'
+  | '^' | '|' | '~' ->
+      true
+  | _ -> false
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let line_starts_of src =
+  let n = String.length src in
+  let count = ref 1 in
+  for i = 0 to n - 1 do
+    if src.[i] = '\n' then incr count
+  done;
+  let starts = Array.make !count 0 in
+  let next = ref 1 in
+  for i = 0 to n - 1 do
+    if src.[i] = '\n' && !next < !count then begin
+      starts.(!next) <- i + 1;
+      incr next
+    end
+  done;
+  starts
+
+(* Binary search: greatest [l] with [line_starts.(l) <= off]. *)
+let line_slot line_starts off =
+  let lo = ref 0 and hi = ref (Array.length line_starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if line_starts.(mid) <= off then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* --- sub-scanners: each returns the exclusive end offset ---------------- *)
+
+(* ["..."]; a backslash escapes the next byte.  Unterminated: runs to
+   end of input. *)
+let scan_dquote_string src i =
+  let n = String.length src in
+  let j = ref (i + 1) in
+  let closed = ref false in
+  while (not !closed) && !j < n do
+    (match src.[!j] with
+    | '\\' -> incr j
+    | '"' -> closed := true
+    | _ -> ());
+    incr j
+  done;
+  (* A trailing backslash at end of input can push [j] one past [n]. *)
+  min !j n
+
+(* [{id|...|id}] quoted string.  [i] points at '{'; returns [None] when
+   this '{' does not open a quoted string. *)
+let scan_quoted_string src i =
+  let n = String.length src in
+  let j = ref (i + 1) in
+  while !j < n && is_lower src.[!j] do
+    incr j
+  done;
+  if !j >= n || src.[!j] <> '|' then None
+  else begin
+    let id = String.sub src (i + 1) (!j - i - 1) in
+    let close = "|" ^ id ^ "}" in
+    let m = String.length close in
+    let k = ref (!j + 1) in
+    let stop = ref (-1) in
+    while !stop < 0 && !k + m <= n do
+      if String.sub src !k m = close then stop := !k + m else incr k
+    done;
+    Some (if !stop < 0 then n else !stop)
+  end
+
+(* A char literal starting at ['] — [Some end_] for ['c'] and ['\...'],
+   [None] for type variables and stray quotes. *)
+let scan_char src i =
+  let n = String.length src in
+  if i + 2 < n && src.[i + 1] = '\\' then begin
+    (* Escaped body: find the closing quote within the longest escape
+       form ('\xFF', '\255', '\o377' are 5-6 bytes total). *)
+    let stop = ref (-1) in
+    for k = i + 3 to min (n - 1) (i + 6) do
+      if !stop < 0 && src.[k] = '\'' then stop := k + 1
+    done;
+    if !stop < 0 then None else Some !stop
+  end
+  else if i + 2 < n && src.[i + 2] = '\'' && src.[i + 1] <> '\\' && src.[i + 1] <> '\'' then
+    Some (i + 3)
+  else None
+
+(* One whole comment; nested comments and string literals inside are
+   honored, so a comment closer inside a quoted string does not end the
+   comment. *)
+let scan_comment src i =
+  let n = String.length src in
+  let j = ref (i + 2) in
+  let depth = ref 1 in
+  while !depth > 0 && !j < n do
+    if !j + 1 < n && src.[!j] = '(' && src.[!j + 1] = '*' then begin
+      incr depth;
+      j := !j + 2
+    end
+    else if !j + 1 < n && src.[!j] = '*' && src.[!j + 1] = ')' then begin
+      decr depth;
+      j := !j + 2
+    end
+    else if src.[!j] = '"' then j := scan_dquote_string src !j
+    else if src.[!j] = '{' then
+      match scan_quoted_string src !j with Some e -> j := e | None -> incr j
+    else if src.[!j] = '\'' then
+      match scan_char src !j with Some e -> j := e | None -> incr j
+    else incr j
+  done;
+  !j
+
+let scan_number src i =
+  let n = String.length src in
+  let j = ref i in
+  let word () =
+    while
+      !j < n && (is_digit src.[!j] || is_lower src.[!j] || is_upper src.[!j] || src.[!j] = '_')
+    do
+      incr j
+    done
+  in
+  word ();
+  (* Fractional part: a dot only belongs to the number when a digit
+     follows (so [1..2] and [X.y] stay separate tokens). *)
+  if !j + 1 < n && src.[!j] = '.' && is_digit src.[!j + 1] then begin
+    incr j;
+    word ()
+  end
+  else if !j < n && src.[!j] = '.' && (!j + 1 >= n || not (is_symbol_char src.[!j + 1])) then
+    (* Trailing-dot float ([1.]) — but not [1..] (range-style op). *)
+    incr j;
+  !j
+
+let tokenize src =
+  let n = String.length src in
+  let line_starts = line_starts_of src in
+  let tokens = ref [] in
+  let count = ref 0 in
+  let cur_line = ref 0 in
+  (* Tokens are emitted in source order, so the line cursor only moves
+     forward; [position] below still works for arbitrary offsets. *)
+  let emit kind pos stop =
+    while
+      !cur_line + 1 < Array.length line_starts && line_starts.(!cur_line + 1) <= pos
+    do
+      incr cur_line
+    done;
+    tokens :=
+      {
+        kind;
+        text = String.sub src pos (stop - pos);
+        pos;
+        line = !cur_line + 1;
+        col = pos - line_starts.(!cur_line) + 1;
+      }
+      :: !tokens;
+    incr count
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if is_space c then incr i
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let stop = scan_comment src !i in
+      emit Comment !i stop;
+      i := stop
+    end
+    else if c = '"' then begin
+      let stop = scan_dquote_string src !i in
+      emit String !i stop;
+      i := stop
+    end
+    else if c = '{' then begin
+      match scan_quoted_string src !i with
+      | Some stop ->
+          emit String !i stop;
+          i := stop
+      | None ->
+          emit Punct !i (!i + 1);
+          incr i
+    end
+    else if c = '\'' then begin
+      match scan_char src !i with
+      | Some stop ->
+          emit Char !i stop;
+          i := stop
+      | None ->
+          emit Punct !i (!i + 1);
+          incr i
+    end
+    else if is_lower c || is_upper c then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_word_char src.[!j] do
+        incr j
+      done;
+      emit (if is_upper c then Uident else Ident) !i !j;
+      i := !j
+    end
+    else if is_digit c then begin
+      let stop = scan_number src !i in
+      emit Number !i stop;
+      i := stop
+    end
+    else if is_symbol_char c then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_symbol_char src.[!j] do
+        incr j
+      done;
+      emit Op !i !j;
+      i := !j
+    end
+    else begin
+      emit Punct !i (!i + 1);
+      incr i
+    end
+  done;
+  let arr = Array.make !count { kind = Punct; text = ""; pos = 0; line = 1; col = 1 } in
+  List.iteri (fun k tok -> arr.(!count - 1 - k) <- tok) !tokens;
+  { src; tokens = arr; line_starts }
+
+let position t off =
+  let slot = line_slot t.line_starts off in
+  (slot + 1, off - t.line_starts.(slot) + 1)
+
+let line_text t ln =
+  let lines = Array.length t.line_starts in
+  if ln < 1 || ln > lines then ""
+  else
+    let start = t.line_starts.(ln - 1) in
+    let stop = if ln < lines then t.line_starts.(ln) - 1 else String.length t.src in
+    let stop = if stop > start && t.src.[stop - 1] = '\r' then stop - 1 else stop in
+    String.sub t.src start (max 0 (stop - start))
+
+let path_at t i =
+  let n = Array.length t.tokens in
+  if i >= n then None
+  else
+    match t.tokens.(i).kind with
+    | Ident -> Some (t.tokens.(i).text, i + 1)
+    | Uident ->
+        let rec go acc j =
+          (* [acc] covers tokens up to [j] exclusive, ending in a Uident. *)
+          if
+            j + 1 < n
+            && t.tokens.(j).kind = Op
+            && String.equal t.tokens.(j).text "."
+            && (t.tokens.(j + 1).kind = Ident || t.tokens.(j + 1).kind = Uident)
+          then
+            let next = acc ^ "." ^ t.tokens.(j + 1).text in
+            if t.tokens.(j + 1).kind = Uident then go next (j + 2) else Some (next, j + 2)
+          else Some (acc, j)
+        in
+        go t.tokens.(i).text (i + 1)
+    | _ -> None

@@ -1,0 +1,71 @@
+(** A positioned OCaml tokenizer for the source-analysis passes.
+
+    This is the shared front end of {!Lint} and {!Mutability}: instead
+    of blanking comments/strings out of the raw text and substring-
+    matching (the PR 1 scanner), sources are cut into a flat array of
+    classified tokens, each carrying its exact source slice and its
+    byte/line/column position.  Rules then match on token kinds, which
+    makes comment and string contexts exact — a pattern inside a string
+    literal is a {!String} token, never an {!Ident}.
+
+    The lexer understands the OCaml surface the repo uses: nested
+    [(* *)] comments (with string literals inside them, so a comment
+    closer inside a quoted string does not end the comment), ["..."] strings
+    with escapes, [{id|...|id}] quoted strings, char literals
+    (['a'], ['\n'], ['\xFF'], ['\255']) versus type variables (['a]) and
+    identifier primes ([x']), numbers, and runs of symbolic operator
+    characters (so [:=] and [<-] surface as single {!Op} tokens).
+
+    It is deliberately {e not} a parser: it never fails — any byte it
+    cannot classify becomes a one-byte {!Punct} token — and it makes no
+    grammatical judgements.  Total coverage is an invariant: every
+    non-whitespace byte of the input belongs to exactly one token
+    (tested by a qcheck re-serialization property). *)
+
+type kind =
+  | Ident  (** Lowercase-initial identifier or keyword. *)
+  | Uident  (** Capitalised identifier (module/constructor). *)
+  | Number  (** Integer or float literal, including [_] separators. *)
+  | Char  (** Char literal, delimiters included. *)
+  | String  (** String literal (["..."] or [{id|...|id}]), delimiters included. *)
+  | Comment  (** One whole [(* ... *)] comment, nesting resolved. *)
+  | Op  (** Maximal run of symbolic characters ([!$%&*+-./:<=>?@^|~]). *)
+  | Punct  (** Single punctuation byte: parens, brackets, [;], [,], etc. *)
+
+type token = {
+  kind : kind;
+  text : string;  (** Exact source slice, delimiters included. *)
+  pos : int;  (** Byte offset of [text.[0]] in the source. *)
+  line : int;  (** 1-based line of the token's first byte. *)
+  col : int;  (** 1-based column of the token's first byte. *)
+}
+
+type t = {
+  src : string;  (** The text that was tokenized. *)
+  tokens : token array;  (** All tokens, in source order, non-overlapping. *)
+  line_starts : int array;  (** Byte offset of each line start; [line_starts.(0) = 0]. *)
+}
+
+val tokenize : string -> t
+(** Total: classifies every byte; never raises.  An unterminated string
+    or comment extends to end of input. *)
+
+val position : t -> int -> int * int
+(** [position t off] is the [(line, col)] (both 1-based) of byte offset
+    [off], by binary search over [line_starts] — O(log lines), replacing
+    the PR 1 scanner's per-call O(bytes) rescan. *)
+
+val line_text : t -> int -> string
+(** [line_text t ln] is line [ln] (1-based) without its newline; [""]
+    when out of range. *)
+
+val is_keyword : string -> bool
+(** OCaml keyword table ([let], [mutable], [in], ...). *)
+
+val path_at : t -> int -> (string * int) option
+(** [path_at t i] reassembles a dotted access path starting at token
+    [i]: [Some ("Obj.magic", j)] when tokens [i..j-1] spell
+    [Uident (. Uident)* . ident-or-uident] with no intervening
+    whitespace requirement, [None] when token [i] does not begin such a
+    path.  A lone identifier yields itself ([Some (text, i+1)]).
+    Used by rules that match qualified names. *)

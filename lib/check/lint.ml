@@ -1,4 +1,5 @@
 module V = Violation
+module L = Lexer
 
 type rule =
   | Missing_mli
@@ -7,6 +8,7 @@ type rule =
   | Catch_all
   | Raw_clock
   | Query_probe
+  | Domain_unsafe_global
 
 let rule_name = function
   | Missing_mli -> "missing-mli"
@@ -15,13 +17,16 @@ let rule_name = function
   | Catch_all -> "catch-all"
   | Raw_clock -> "raw-clock"
   | Query_probe -> "query-probe"
+  | Domain_unsafe_global -> "domain-unsafe-global"
 
-(* The patterns are assembled at runtime so this file does not flag
-   itself when the linter scans lib/check. *)
-let pat_obj_magic = "Obj." ^ "magic"
-let pats_printf = [ "Printf." ^ "printf"; "Format." ^ "printf"; "print_" ^ "endline" ]
-let pats_clock = [ "Unix." ^ "gettimeofday"; "Sys." ^ "time" ]
-let pat_query_probe = "Sorted_ivec." ^ "mem"
+(* PR 1's scanner had to assemble these patterns at runtime so the
+   substring search would not flag this very file; the token scanner
+   knows a string literal when it lexes one, so they can be written
+   plainly. *)
+let pats_printf = [ "Printf.printf"; "Format.printf"; "print_endline" ]
+let pats_clock = [ "Unix.gettimeofday"; "Sys.time" ]
+let pat_obj_magic = "Obj.magic"
+let pat_query_probe = "Sorted_ivec.mem"
 
 (* lib/telemetry wraps the system clock; everyone else must go through
    it (Telemetry.Clock), so tests can inject a deterministic source. *)
@@ -33,177 +38,164 @@ let clock_exempt path =
    membership tests there bypass the planner's merge/hash operators. *)
 let query_scoped path = Filename.basename (Filename.dirname path) = "query"
 
-(* A violation of [rule] on some line is waived when that line, or the
-   line directly above it, carries the marker comment in the raw
-   source.  Assembled at runtime like the patterns above. *)
 let allow_marker rule = "lint: allow " ^ rule_name rule
 
-let contains s sub =
+(* --- telemetry ----------------------------------------------------------- *)
+
+let c_files = Telemetry.Metrics.counter "check.lint.files"
+let c_tokens = Telemetry.Metrics.counter "check.lint.tokens"
+
+let c_violations =
+  List.map
+    (fun r -> (r, Telemetry.Metrics.counter ("check.lint.violations." ^ rule_name r)))
+    [
+      Missing_mli; Obj_magic; Printf_in_lib; Catch_all; Raw_clock; Query_probe;
+      Domain_unsafe_global;
+    ]
+
+let count_violation rule =
+  match List.assoc_opt rule c_violations with
+  | Some c -> Telemetry.Metrics.incr c
+  | None -> ()
+
+(* --- token-stream matching ----------------------------------------------- *)
+
+let find_sub s sub =
   let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  go 0
+  let rec go i acc = if i + m > n then List.rev acc
+    else if String.sub s i m = sub then go (i + 1) (i :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
 
-let allowed_lines contents marker =
-  String.split_on_char '\n' contents
-  |> List.mapi (fun i line -> (i + 1, line))
-  |> List.filter_map (fun (ln, line) -> if contains line marker then Some ln else None)
+let is_dot (tok : L.token) = tok.L.kind = L.Op && String.equal tok.L.text "."
 
-(* --- comment/string stripping ------------------------------------------ *)
-
-let is_word_char c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
-
-let strip_comments_and_strings src =
-  let n = String.length src in
-  let out = Bytes.of_string src in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let i = ref 0 in
-  let comment_depth = ref 0 in
-  let in_string = ref false in
-  while !i < n do
-    let c = src.[!i] in
-    if !in_string then begin
-      (* Inside a string literal (also reached from within comments). *)
-      if c = '\\' && !i + 1 < n then begin
-        blank !i;
-        blank (!i + 1);
-        i := !i + 2
-      end
-      else begin
-        if c = '"' then in_string := false;
-        if !comment_depth = 0 && c = '"' then () else blank !i;
-        incr i
-      end
-    end
-    else if !comment_depth > 0 then begin
-      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-        blank !i;
-        blank (!i + 1);
-        incr comment_depth;
-        i := !i + 2
-      end
-      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
-        blank !i;
-        blank (!i + 1);
-        decr comment_depth;
-        i := !i + 2
-      end
-      else begin
-        if c = '"' then in_string := true;
-        blank !i;
-        incr i
-      end
-    end
-    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      blank !i;
-      blank (!i + 1);
-      comment_depth := 1;
-      i := !i + 2
-    end
-    else if c = '"' then begin
-      in_string := true;
-      incr i
-    end
-    else if
-      (* Character literals, so that '"' or '(' do not derail the scan.
-         A quote not matching the literal shape is a type variable. *)
-      c = '\''
-      && !i + 2 < n
-      && (src.[!i + 2] = '\'' && src.[!i + 1] <> '\\')
-    then begin
-      blank (!i + 1);
-      i := !i + 3
-    end
-    else if c = '\'' && !i + 3 < n && src.[!i + 1] = '\\' && src.[!i + 3] = '\'' then begin
-      blank (!i + 1);
-      blank (!i + 2);
-      i := !i + 4
-    end
-    else incr i
-  done;
-  Bytes.to_string out
-
-(* --- scanning ----------------------------------------------------------- *)
-
-let line_of src idx =
-  let line = ref 1 in
-  for k = 0 to idx - 1 do
-    if src.[k] = '\n' then incr line
-  done;
-  !line
-
-(* Occurrences of [pat] in [src] at word boundaries. *)
-let find_token src pat =
-  let n = String.length src and m = String.length pat in
+(* Qualified-name occurrences: for each token that starts a dotted path
+   (not itself a path suffix), the assembled path and the start token.
+   Token boundaries make word boundaries exact — [Sys.timestamp] and
+   [My_sys.time] are different tokens than [Sys]/[time]. *)
+let path_hits (t : L.t) wanted =
+  let toks = t.L.tokens in
   let hits = ref [] in
-  for i = 0 to n - m do
-    if
-      String.sub src i m = pat
-      && (i = 0 || not (is_word_char src.[i - 1]))
-      && (i + m >= n || not (is_word_char src.[i + m]))
-    then hits := i :: !hits
+  Array.iteri
+    (fun i (tok : L.token) ->
+      match tok.L.kind with
+      | L.Ident | L.Uident ->
+          if not (i > 0 && is_dot toks.(i - 1)) then (
+            match L.path_at t i with
+            | Some (p, _) when List.mem p wanted -> hits := (p, tok) :: !hits
+            | _ -> ())
+      | _ -> ())
+    toks;
+  List.rev !hits
+
+(* [with _ ->] possibly spanning lines; a named wildcard ([with _e ->])
+   is a different token, and [with _ as e ->] has no arrow after the
+   wildcard. *)
+let catch_all_hits (t : L.t) =
+  let toks = t.L.tokens in
+  let n = Array.length toks in
+  let next_code j =
+    let j = ref j in
+    while !j < n && toks.(!j).L.kind = L.Comment do
+      incr j
+    done;
+    !j
+  in
+  let hits = ref [] in
+  for i = 0 to n - 1 do
+    if toks.(i).L.kind = L.Ident && String.equal toks.(i).L.text "with" then begin
+      let j = next_code (i + 1) in
+      if j < n && toks.(j).L.kind = L.Ident && String.equal toks.(j).L.text "_" then
+        let k = next_code (j + 1) in
+        if k < n && toks.(k).L.kind = L.Op && String.equal toks.(k).L.text "->" then
+          hits := toks.(i) :: !hits
+    end
   done;
   List.rev !hits
 
-let skip_ws src i =
-  let n = String.length src in
-  let j = ref i in
-  while !j < n && (src.[!j] = ' ' || src.[!j] = '\t' || src.[!j] = '\n' || src.[!j] = '\r') do
-    incr j
-  done;
-  !j
+(* Lines carrying a waiver marker — counted only inside comment tokens,
+   at the marker's exact line within multi-line comments.  (The PR 1
+   scanner matched markers anywhere in the raw source, so a string
+   literal could smuggle a waiver in.) *)
+let marker_lines (t : L.t) marker =
+  Array.to_list t.L.tokens
+  |> List.concat_map (fun (tok : L.token) ->
+         if tok.L.kind <> L.Comment then []
+         else
+           find_sub tok.L.text marker
+           |> List.map (fun off ->
+                  let before = String.sub tok.L.text 0 off in
+                  tok.L.line
+                  + String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 before))
 
-(* [with _ ->] possibly spanning lines; a named wildcard ([with _e ->])
-   does not count, nor does [with _ as e ->] (no arrow directly after). *)
-let catch_all_positions src =
-  List.filter
-    (fun i ->
-      let n = String.length src in
-      let j = skip_ws src (i + 4) in
-      j < n
-      && src.[j] = '_'
-      && (j + 1 >= n || not (is_word_char src.[j + 1]))
-      &&
-      let k = skip_ws src (j + 1) in
-      k + 1 < n && src.[k] = '-' && src.[k + 1] = '>')
-    (find_token src "with")
+(* --- rule driver ---------------------------------------------------------- *)
 
-let violation ~path rule idx src detail =
-  V.v V.Source
-    ~path:(Printf.sprintf "%s:%d" path (line_of src idx))
-    "%s: %s" (rule_name rule) detail
+let violation ~path rule (tok : L.token) detail =
+  count_violation rule;
+  V.v V.Source ~path:(Printf.sprintf "%s:%d" path tok.L.line) "%s: %s" (rule_name rule) detail
+
+let domain_safety_violations ~path (t : L.t) =
+  let fr = Mutability.analyze_tokens ~path t in
+  Mutability.unattested { Mutability.files = [ fr ] }
+  |> List.map (fun (_, (g : Mutability.global)) ->
+         count_violation Domain_unsafe_global;
+         let detail =
+           match g.Mutability.g_attestation with
+           | None ->
+               Printf.sprintf
+                 "module-global mutable binding %s (%s) has no (* domain-safety: <class> — \
+                  <reason> *) attestation; domains will share it"
+                 g.Mutability.g_name g.Mutability.g_ctor
+           | Some (cls, _) when Option.is_none (Mutability.class_of_string cls) ->
+               Printf.sprintf
+                 "domain-safety attestation on %s has unknown class %S (expected \
+                  immutable-after-init | guarded | telemetry-gated | test-only)"
+                 g.Mutability.g_name cls
+           | Some (cls, _) ->
+               Printf.sprintf
+                 "domain-safety attestation on %s needs a reason after the class %S"
+                 g.Mutability.g_name cls
+         in
+         V.v V.Source
+           ~path:(Printf.sprintf "%s:%d" path g.Mutability.g_line)
+           "%s: %s" (rule_name Domain_unsafe_global) detail)
 
 let scan_source ~path contents =
-  let src = strip_comments_and_strings contents in
-  let of_rule rule detail idxs = List.map (fun i -> violation ~path rule i src detail) idxs in
-  of_rule Obj_magic "Obj.magic defeats the type system; no uses allowed in lib/"
-    (find_token src pat_obj_magic)
-  @ List.concat_map
-      (fun pat ->
-        of_rule Printf_in_lib
-          (pat ^ " writes to stdout from library code; take a formatter instead")
-          (find_token src pat))
-      pats_printf
-  @ of_rule Catch_all "catch-all exception handler swallows every failure" (catch_all_positions src)
-  @ (if clock_exempt path then []
-     else
-       List.concat_map
-         (fun pat ->
-           of_rule Raw_clock
-             (pat ^ " reads the system clock directly; use Telemetry.Clock so tests can inject time")
-             (find_token src pat))
-         pats_clock)
-  @ (if not (query_scoped path) then []
-     else
-       let allowed = allowed_lines contents (allow_marker Query_probe) in
-       find_token src pat_query_probe
-       |> List.filter (fun i ->
-              let ln = line_of src i in
-              not (List.mem ln allowed || List.mem (ln - 1) allowed))
-       |> of_rule Query_probe
-            (pat_query_probe
-           ^ " is a point probe; query operators must join through the planner's \
-              merge/hash kernels (annotate the line to waive)"))
+  let t = L.tokenize contents in
+  Telemetry.Metrics.incr c_files;
+  Telemetry.Metrics.add c_tokens (Array.length t.L.tokens);
+  let of_hits rule detail hits = List.map (fun tok -> violation ~path rule tok detail) hits in
+  of_hits Obj_magic "Obj.magic defeats the type system; no uses allowed in lib/"
+      (List.map snd (path_hits t [ pat_obj_magic ]))
+    @ List.concat_map
+        (fun (p, tok) ->
+          of_hits Printf_in_lib
+            (p ^ " writes to stdout from library code; take a formatter instead")
+            [ tok ])
+        (path_hits t pats_printf)
+    @ of_hits Catch_all "catch-all exception handler swallows every failure" (catch_all_hits t)
+    @ (if clock_exempt path then []
+       else
+         List.concat_map
+           (fun (p, tok) ->
+             of_hits Raw_clock
+               (p ^ " reads the system clock directly; use Telemetry.Clock so tests can \
+                     inject time")
+               [ tok ])
+           (path_hits t pats_clock))
+    @ (if not (query_scoped path) then []
+       else
+         let allowed = marker_lines t (allow_marker Query_probe) in
+         path_hits t [ pat_query_probe ]
+         |> List.filter (fun (_, (tok : L.token)) ->
+                not (List.mem tok.L.line allowed || List.mem (tok.L.line - 1) allowed))
+         |> List.map snd
+         |> of_hits Query_probe
+              (pat_query_probe
+             ^ " is a point probe; query operators must join through the planner's \
+                merge/hash kernels (annotate the line to waive)"))
+  @ (if Filename.check_suffix path ".mli" then [] else domain_safety_violations ~path t)
 
 (* --- directory walking -------------------------------------------------- *)
 
@@ -229,11 +221,13 @@ let rec scan_dir dir =
                else if Filename.check_suffix name ".ml" then
                  let missing =
                    if Sys.file_exists (path ^ "i") then []
-                   else
+                   else begin
+                     count_violation Missing_mli;
                      [
                        V.v V.Source ~path "%s: %s has no interface (%si missing)"
                          (rule_name Missing_mli) name name;
                      ]
+                   end
                  in
                  missing @ scan_source ~path (read_file path)
                else if Filename.check_suffix name ".mli" then scan_source ~path (read_file path)

@@ -1,15 +1,14 @@
 (** Source lint for the [lib/] tree, run as [dune build @lint].
 
-    Four rules, all gate-style (any finding fails the build):
+    Rules, all gate-style (any finding fails the build):
 
     - {b missing-mli}: every [.ml] in a library directory must have a
       matching [.mli] — an unconstrained module leaks representation and
       invites invariant-breaking access.
-    - {b obj-magic}: no [Obj.magic] (or any [Obj.] escape hatch) in
-      library code.
-    - {b printf-in-lib}: no [Printf.printf]/[Format.printf] writing to
-      stdout from library code; libraries report through values or
-      formatters the caller supplies.
+    - {b obj-magic}: no [Obj.magic] in library code.
+    - {b printf-in-lib}: no [Printf.printf]/[Format.printf]/
+      [print_endline] writing to stdout from library code; libraries
+      report through values or formatters the caller supplies.
     - {b catch-all}: no [with _ ->] handlers — swallowing every exception
       (including [Out_of_memory] and [Assert_failure]) hides the very
       corruption the {!Invariant} layer exists to surface.
@@ -20,13 +19,27 @@
       wrapped.
     - {b query-probe}: no direct [Sorted_ivec.mem] in files under a
       [query] directory — a point-probe membership test there bypasses
-      the planner's merge/hash join operators (the very probes PR 5's
-      merge-join execution exists to eliminate).  A deliberate probe is
-      waived by putting [lint: allow query-probe] in a comment on the
-      same line or the line directly above.
+      the planner's merge/hash join operators.  A deliberate probe is
+      waived by putting [lint: allow query-probe] in a {e comment} on
+      the same line or the line directly above.
+    - {b domain-unsafe-global}: every module-global mutable binding in a
+      [.ml] file (see {!Mutability}) must carry a
+      [(* domain-safety: <class> — <reason> *)] attestation on its line
+      or the line directly above, with a known class and a non-empty
+      reason.  This is the gate the ROADMAP concurrency item consumes:
+      un-attested shared mutable state cannot reach a multi-domain
+      executor unnoticed.
 
-    Occurrences inside comments and string literals are ignored (sources
-    are scanned with comments/strings blanked out). *)
+    All content rules run over the {!Lexer} token stream, so comment and
+    string contexts are exact: a pattern inside a string literal or
+    comment never fires, and a waiver/attestation marker only counts
+    when it sits inside a comment token (PR 1's substring scanner
+    accepted waivers smuggled in string literals).  Violation positions
+    come straight from token line numbers — no per-violation rescan.
+
+    When telemetry is enabled the scan bumps [check.lint.files],
+    [check.lint.tokens] and [check.lint.violations.<rule>] counters in
+    the shared {!Telemetry.Metrics} registry. *)
 
 type rule =
   | Missing_mli
@@ -35,17 +48,15 @@ type rule =
   | Catch_all
   | Raw_clock
   | Query_probe
+  | Domain_unsafe_global
 
 val rule_name : rule -> string
 
-val strip_comments_and_strings : string -> string
-(** The same source with comment bodies (nested [(* *)]) and string
-    literal contents replaced by spaces; line structure is preserved so
-    reported line numbers match the original. *)
-
 val scan_source : path:string -> string -> Violation.t list
-(** Content rules ({!Obj_magic}, {!Printf_in_lib}, {!Catch_all}) against
-    one file's text.  [path] is used for reporting only. *)
+(** Content rules against one file's text, sorted by line.  [path]
+    selects the scoped rules ([raw-clock] exemption, [query-probe]
+    scope, [domain-unsafe-global] on [.ml] only) and is used for
+    reporting. *)
 
 val scan_dir : string -> Violation.t list
 (** Walk a directory tree (skipping dot- and underscore-prefixed

@@ -1,0 +1,550 @@
+module L = Lexer
+
+type safety_class =
+  | Immutable_after_init
+  | Guarded
+  | Telemetry_gated
+  | Test_only
+
+let class_name = function
+  | Immutable_after_init -> "immutable-after-init"
+  | Guarded -> "guarded"
+  | Telemetry_gated -> "telemetry-gated"
+  | Test_only -> "test-only"
+
+let class_of_string = function
+  | "immutable-after-init" -> Some Immutable_after_init
+  | "guarded" -> Some Guarded
+  | "telemetry-gated" -> Some Telemetry_gated
+  | "test-only" -> Some Test_only
+  | _ -> None
+
+type target =
+  | Global of string
+  | Qualified of string
+  | Local of string
+
+type global = {
+  g_name : string;
+  g_ctor : string;
+  g_line : int;
+  g_attestation : (string * string) option;
+}
+
+type site = {
+  s_what : string;
+  s_line : int;
+}
+
+type file_report = {
+  path : string;
+  layer : string;
+  globals : global list;
+  fields : site list;
+  locals : site list;
+  assigns : (target * site) list;
+}
+
+type report = { files : file_report list }
+
+(* --- mutable-state constructors ----------------------------------------- *)
+
+(* Direct constructions only; state acquired through wrapper functions
+   (Metrics.counter, Dictionary.create) is invisible to this pass. *)
+let ctor_paths =
+  [
+    "Hashtbl.create"; "Buffer.create"; "Dynarray_int.create"; "Dynarray.create";
+    "Queue.create"; "Stack.create"; "Array.make"; "Array.init"; "Array.create_float";
+    "Bytes.create"; "Bytes.make"; "Atomic.make"; "Weak.create";
+  ]
+
+let is_dot (tok : L.token) = tok.L.kind = L.Op && String.equal tok.L.text "."
+
+(* Does the path spelled at token [i] construct mutable state?  [ref] is
+   special: it must head an application ([ref 0], [ref []]) and not sit
+   in a type position ([int ref]) — a following argument-starter plus a
+   non-dot predecessor makes that exact. *)
+let ctor_at (t : L.t) i =
+  let toks = t.L.tokens in
+  if i > 0 && is_dot toks.(i - 1) then None
+  else
+    match L.path_at t i with
+    | None -> None
+    | Some (p, stop) ->
+        if String.equal p "ref" then
+          if
+            stop < Array.length toks
+            &&
+            match toks.(stop).L.kind with
+            | L.Ident | L.Uident | L.Number | L.String | L.Char ->
+                (not (L.is_keyword toks.(stop).L.text))
+                || List.mem toks.(stop).L.text [ "true"; "false"; "begin" ]
+            | L.Punct -> (
+                match toks.(stop).L.text with "(" | "[" | "{" -> true | _ -> false)
+            | _ -> false
+          then Some (p, stop)
+          else None
+        else if
+          List.exists
+            (fun c -> String.equal p c || (String.length p > String.length c
+                                           && String.equal (String.sub p (String.length p - String.length c - 1)
+                                                              (String.length c + 1)) ("." ^ c)))
+            ctor_paths
+        then Some (p, stop)
+        else None
+
+(* --- attestation comments ----------------------------------------------- *)
+
+let attestation_marker = "domain-safety:"
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go from
+
+let newlines s = String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
+
+let trim_attestation s =
+  (* Strip separator punctuation the annotation style puts between the
+     class word and the reason: spaces, ASCII dashes, UTF-8 em/en
+     dashes, colons. *)
+  let n = String.length s in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue && !i < n do
+    match s.[!i] with
+    | ' ' | '\t' | '-' | ':' -> incr i
+    | '\xe2' when !i + 2 < n && s.[!i + 1] = '\x80' && (s.[!i + 2] = '\x94' || s.[!i + 2] = '\x93')
+      ->
+        i := !i + 3
+    | _ -> continue := false
+  done;
+  String.sub s !i (n - !i)
+
+(* Parse [(* domain-safety: <class> — <reason> *)] out of a comment
+   token's text; [Some (class_word, reason)] even when the class word is
+   unknown, so the lint rule can name it. *)
+let parse_attestation text =
+  match find_sub text attestation_marker 0 with
+  | None -> None
+  | Some i ->
+      let n = String.length text in
+      let j = ref (i + String.length attestation_marker) in
+      while !j < n && (text.[!j] = ' ' || text.[!j] = '\t') do
+        incr j
+      done;
+      let k = ref !j in
+      while !k < n && ((text.[!k] >= 'a' && text.[!k] <= 'z') || text.[!k] = '-') do
+        incr k
+      done;
+      let cls = String.sub text !j (!k - !j) in
+      let rest = String.sub text !k (n - !k) in
+      let rest =
+        (* Drop the comment closer and surrounding space from the reason. *)
+        match find_sub rest "*)" 0 with
+        | Some e -> String.sub rest 0 e
+        | None -> rest
+      in
+      (* Collapse the comment's line breaks and indentation so the
+         reason renders as one markdown table cell. *)
+      let words =
+        String.split_on_char '\n' (trim_attestation rest)
+        |> List.concat_map (String.split_on_char ' ')
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> String.length w > 0)
+      in
+      Some (cls, String.concat " " words)
+
+(* The attestation for a binding whose [let] sits on [line]: any comment
+   on that line or ending on the line directly above. *)
+let attestation_for (t : L.t) line =
+  Array.fold_left
+    (fun acc (tok : L.token) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if tok.L.kind <> L.Comment then None
+          else
+            let last = tok.L.line + newlines tok.L.text in
+            if tok.L.line <= line && last >= line - 1 then parse_attestation tok.L.text
+            else None)
+    None t.L.tokens
+
+(* --- structure segmentation --------------------------------------------- *)
+
+let structure_keyword s =
+  match s with
+  | "let" | "module" | "type" | "open" | "include" | "exception" | "external" | "val" | "and"
+  | "class" | "end" ->
+      true
+  | _ -> false
+
+(* Indices of column-1 structure keywords: on this ocamlformat-shaped
+   tree a [let] in column 1 is a structure item, every expression-level
+   [let] is indented. *)
+let segment_starts (t : L.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun i (tok : L.token) ->
+      if tok.L.col = 1 && tok.L.kind = L.Ident && structure_keyword tok.L.text then
+        out := i :: !out)
+    t.L.tokens;
+  Array.of_list (List.rev !out)
+
+(* [Some (name, rhs_start)] when the segment [start..stop) is a
+   structure-level [let] binding a plain value (no parameters; an
+   optional type annotation is allowed between name and [=]). *)
+let value_binding (t : L.t) start stop =
+  let toks = t.L.tokens in
+  let next_code j =
+    let j = ref j in
+    while !j < stop && toks.(!j).L.kind = L.Comment do
+      incr j
+    done;
+    !j
+  in
+  if not (String.equal toks.(start).L.text "let") then None
+  else
+    let j = next_code (start + 1) in
+    if j >= stop || String.equal toks.(j).L.text "rec" then None
+    else if toks.(j).L.kind <> L.Ident || L.is_keyword toks.(j).L.text then None
+    else
+      let name = toks.(j).L.text in
+      let k = next_code (j + 1) in
+      if k >= stop then None
+      else if toks.(k).L.kind = L.Op && String.equal toks.(k).L.text "=" then Some (name, k + 1)
+      else if toks.(k).L.kind = L.Op && String.equal toks.(k).L.text ":" then
+        (* Annotated value: find the [=] at bracket depth 0. *)
+        let rec seek depth m =
+          if m >= stop then None
+          else
+            match toks.(m).L.kind with
+            | L.Punct -> (
+                match toks.(m).L.text with
+                | "(" | "[" | "{" -> seek (depth + 1) (m + 1)
+                | ")" | "]" | "}" -> seek (depth - 1) (m + 1)
+                | _ -> seek depth (m + 1))
+            | L.Op when depth = 0 && String.equal toks.(m).L.text "=" -> Some (m + 1)
+            | _ -> seek depth (m + 1)
+        in
+        Option.map (fun rhs -> (name, rhs)) (seek 0 (k + 1))
+      else None
+
+(* A value RHS that immediately abstracts ([fun], [function], [lazy])
+   builds state per call, not at module init. *)
+let rhs_is_abstraction (t : L.t) rhs stop =
+  let j = ref rhs in
+  while !j < stop && t.L.tokens.(!j).L.kind = L.Comment do
+    incr j
+  done;
+  !j < stop
+  &&
+  match t.L.tokens.(!j).L.text with
+  | "fun" | "function" | "lazy" -> true
+  | _ -> false
+
+(* --- assignment targets ------------------------------------------------- *)
+
+(* Walk left from the token before [:=]/[<-] through [.field] links to
+   the head of the access path. *)
+let assignment_target (t : L.t) i global_names =
+  let toks = t.L.tokens in
+  let prev j =
+    let j = ref (j - 1) in
+    while !j >= 0 && toks.(!j).L.kind = L.Comment do
+      decr j
+    done;
+    !j
+  in
+  let rec head j parts =
+    let p = prev j in
+    if p >= 0 && is_dot toks.(p) then
+      let q = prev p in
+      if q >= 0 && (toks.(q).L.kind = L.Ident || toks.(q).L.kind = L.Uident) then
+        head q (toks.(q).L.text :: "." :: parts)
+      else (j, parts)
+    else (j, parts)
+  in
+  let last = prev i in
+  if last < 0 || toks.(last).L.kind <> L.Ident then Local "?"
+  else
+    let hd, parts = head last [ toks.(last).L.text ] in
+    let name = String.concat "" parts in
+    match toks.(hd).L.kind with
+    | L.Uident -> Qualified name
+    | L.Ident ->
+        if List.mem toks.(hd).L.text global_names then Global name else Local name
+    | _ -> Local name
+
+(* --- per-file analysis --------------------------------------------------- *)
+
+let layer_of path =
+  let dir = Filename.basename (Filename.dirname path) in
+  if String.equal dir "." then "" else dir
+
+let analyze_tokens ~path (t : L.t) =
+  let toks = t.L.tokens in
+  let n = Array.length toks in
+  let starts = segment_starts t in
+  let nseg = Array.length starts in
+  let seg_stop k = if k + 1 < nseg then starts.(k + 1) else n in
+  (* Pass 1: structure-level value bindings whose RHS constructs
+     mutable state. *)
+  let globals = ref [] in
+  let global_ranges = ref [] in
+  for k = 0 to nseg - 1 do
+    let start = starts.(k) and stop = seg_stop k in
+    match value_binding t start stop with
+    | None -> ()
+    | Some (name, rhs) ->
+        if not (rhs_is_abstraction t rhs stop) then begin
+          let found = ref None in
+          let j = ref rhs in
+          while Option.is_none !found && !j < stop do
+            (match ctor_at t !j with
+            | Some (ctor, _) -> found := Some ctor
+            | None -> ());
+            incr j
+          done;
+          match !found with
+          | None -> ()
+          | Some ctor ->
+              let line = toks.(start).L.line in
+              globals :=
+                {
+                  g_name = name;
+                  g_ctor = ctor;
+                  g_line = line;
+                  g_attestation = attestation_for t line;
+                }
+                :: !globals;
+              global_ranges := (rhs, stop) :: !global_ranges
+        end
+  done;
+  let globals = List.rev !globals in
+  let global_names = List.map (fun g -> g.g_name) globals in
+  let in_global_rhs i = List.exists (fun (a, b) -> i >= a && i < b) !global_ranges in
+  (* Pass 2: fields, local creations, assignment sites. *)
+  let fields = ref [] and locals = ref [] and assigns = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let tok = toks.(!i) in
+    (match tok.L.kind with
+    | L.Ident when String.equal tok.L.text "mutable" ->
+        let j = ref (!i + 1) in
+        while !j < n && toks.(!j).L.kind = L.Comment do
+          incr j
+        done;
+        if !j < n && toks.(!j).L.kind = L.Ident then
+          fields := { s_what = toks.(!j).L.text; s_line = tok.L.line } :: !fields
+    | L.Ident
+      when (String.equal tok.L.text "incr" || String.equal tok.L.text "decr")
+           && not (!i > 0 && is_dot toks.(!i - 1)) -> (
+        (* [incr]/[decr] mutate their ref argument just like [:=]. *)
+        let j = ref (!i + 1) in
+        while !j < n && toks.(!j).L.kind = L.Comment do
+          incr j
+        done;
+        let target =
+          if !j >= n then Local "?"
+          else
+            match (toks.(!j).L.kind, L.path_at t !j) with
+            | L.Ident, _ when List.mem toks.(!j).L.text global_names ->
+                Global toks.(!j).L.text
+            | L.Ident, _ -> Local toks.(!j).L.text
+            | L.Uident, Some (p, _) -> Qualified p
+            | _ -> Local "?"
+        in
+        match target with
+        | Global s | Qualified s | Local s ->
+            assigns :=
+              (target, { s_what = tok.L.text ^ " " ^ s; s_line = tok.L.line }) :: !assigns)
+    | L.Ident | L.Uident -> (
+        match ctor_at t !i with
+        | Some (ctor, _) when not (in_global_rhs !i) ->
+            locals := { s_what = ctor; s_line = tok.L.line } :: !locals
+        | _ -> ())
+    | L.Op when String.equal tok.L.text ":=" || String.equal tok.L.text "<-" ->
+        let target = assignment_target t !i global_names in
+        let what =
+          (match target with Global s | Qualified s | Local s -> s) ^ " " ^ tok.L.text
+        in
+        assigns := (target, { s_what = what; s_line = tok.L.line }) :: !assigns
+    | _ -> ());
+    incr i
+  done;
+  {
+    path;
+    layer = layer_of path;
+    globals;
+    fields = List.rev !fields;
+    locals = List.rev !locals;
+    assigns = List.rev !assigns;
+  }
+
+let analyze_source ~path contents = analyze_tokens ~path (L.tokenize contents)
+
+(* --- directory walking --------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let hidden name = String.length name = 0 || name.[0] = '.' || name.[0] = '_'
+
+let rec ml_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.sort compare entries;
+      Array.to_list entries
+      |> List.concat_map (fun name ->
+             if hidden name then []
+             else
+               let path = Filename.concat dir name in
+               if Sys.is_directory path then ml_files path
+               else if Filename.check_suffix name ".ml" then [ path ]
+               else [])
+
+let analyze_dirs roots =
+  let files =
+    List.concat_map ml_files roots
+    |> List.sort compare
+    |> List.map (fun path -> analyze_source ~path (read_file path))
+  in
+  { files }
+
+(* --- consumption --------------------------------------------------------- *)
+
+let attestation_valid = function
+  | None -> false
+  | Some (cls, reason) -> Option.is_some (class_of_string cls) && String.length reason > 0
+
+let unattested report =
+  List.concat_map
+    (fun fr ->
+      List.filter_map
+        (fun g -> if attestation_valid g.g_attestation then None else Some (fr, g))
+        fr.globals)
+    report.files
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let assign_counts fr =
+  List.fold_left
+    (fun (g, q, l) (t, _) ->
+      match t with Global _ -> (g + 1, q, l) | Qualified _ -> (g, q + 1, l) | Local _ -> (g, q, l + 1))
+    (0, 0, 0) fr.assigns
+
+let layers report =
+  List.sort_uniq compare (List.map (fun fr -> fr.layer) report.files)
+
+let to_markdown report =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "# DOMAIN_SAFETY — mutable-state inventory for `lib/`\n\n";
+  pf "Generated by `dune exec bin/lint.exe -- --domain-report lib`; the\n";
+  pf "`@check` alias regenerates it and fails on any diff, so edit the\n";
+  pf "`(* domain-safety: ... *)` attestations in the sources, never this\n";
+  pf "file.  It is the gating evidence for the ROADMAP concurrency item:\n";
+  pf "every module-global mutable binding a future domain could share is\n";
+  pf "listed here with its attested class.\n\n";
+  pf "Classes: `immutable-after-init` (written only during module\n";
+  pf "initialisation), `guarded` (explicit synchronisation),\n";
+  pf "`telemetry-gated` (mutated only behind `Telemetry.enabled`),\n";
+  pf "`test-only` (mutated only by tests/bench/debug tooling).\n\n";
+  pf "## Layer summary\n\n";
+  pf "| layer | globals | mutable fields | local creations | mutation sites |\n";
+  pf "|---|---:|---:|---:|---:|\n";
+  List.iter
+    (fun layer ->
+      let frs = List.filter (fun fr -> String.equal fr.layer layer) report.files in
+      let sum f = List.fold_left (fun acc fr -> acc + f fr) 0 frs in
+      pf "| %s | %d | %d | %d | %d |\n" layer
+        (sum (fun fr -> List.length fr.globals))
+        (sum (fun fr -> List.length fr.fields))
+        (sum (fun fr -> List.length fr.locals))
+        (sum (fun fr -> List.length fr.assigns)))
+    (layers report);
+  pf "\n## Module-global mutable bindings\n\n";
+  let any = ref false in
+  pf "| binding | constructor | class | reason |\n";
+  pf "|---|---|---|---|\n";
+  List.iter
+    (fun fr ->
+      List.iter
+        (fun g ->
+          any := true;
+          let cls, reason =
+            match g.g_attestation with
+            | Some (c, r) -> (c, r)
+            | None -> ("UNATTESTED", "")
+          in
+          pf "| `%s:%d` `%s` | `%s` | `%s` | %s |\n" fr.path g.g_line g.g_name g.g_ctor cls
+            reason)
+        fr.globals)
+    report.files;
+  if not !any then pf "| (none) | | | |\n";
+  pf "\n## Per-file sites\n\n";
+  pf "Assignment targets: G = a global binding above, Q = qualified\n";
+  pf "(another module's state), L = local (parameters, inner lets,\n";
+  pf "record instances).\n\n";
+  pf "| file | globals | mutable fields | local creations | assigns G/Q/L |\n";
+  pf "|---|---:|---:|---:|---|\n";
+  List.iter
+    (fun fr ->
+      let g, q, l = assign_counts fr in
+      if List.length fr.globals + List.length fr.fields + List.length fr.locals + g + q + l > 0
+      then
+        pf "| %s | %d | %d | %d | %d/%d/%d |\n" fr.path (List.length fr.globals)
+          (List.length fr.fields) (List.length fr.locals) g q l)
+    report.files;
+  Buffer.contents b
+
+let to_json report =
+  let module J = Telemetry.Json in
+  let site s = J.Obj [ ("what", J.String s.s_what); ("line", J.Int s.s_line) ] in
+  let file fr =
+    let g, q, l = assign_counts fr in
+    J.Obj
+      [
+        ("path", J.String fr.path);
+        ("layer", J.String fr.layer);
+        ( "globals",
+          J.List
+            (List.map
+               (fun gl ->
+                 J.Obj
+                   [
+                     ("name", J.String gl.g_name);
+                     ("ctor", J.String gl.g_ctor);
+                     ("line", J.Int gl.g_line);
+                     ( "class",
+                       match gl.g_attestation with
+                       | Some (c, _) -> J.String c
+                       | None -> J.Null );
+                     ( "reason",
+                       match gl.g_attestation with
+                       | Some (_, r) -> J.String r
+                       | None -> J.Null );
+                   ])
+               fr.globals) );
+        ("mutable_fields", J.List (List.map site fr.fields));
+        ("local_creations", J.List (List.map site fr.locals));
+        ( "assignments",
+          J.Obj
+            [
+              ("global", J.Int g);
+              ("qualified", J.Int q);
+              ("local", J.Int l);
+              ("sites", J.List (List.map (fun (_, s) -> site s) fr.assigns));
+            ] );
+      ]
+  in
+  J.Obj
+    [
+      ("schema", J.String "hexastore-domain-safety/v1");
+      ("files", J.List (List.map file report.files));
+    ]

@@ -1,0 +1,106 @@
+(** Mutable-state inventory over the [lib/] tree.
+
+    The ROADMAP's concurrency item — snapshot-isolated parallel reads
+    across OCaml 5 domains — needs machine-checked evidence of which
+    mutation sites are domain-safe before readers fan out.  This pass
+    walks the {!Lexer} token stream of every source file and classifies:
+
+    - every [mutable] record-field declaration;
+    - every creation of mutable state ([ref], [Hashtbl.create],
+      [Buffer.create], [Dynarray_int.create], [Array.make], ...),
+      split into {e module-global} bindings (a column-1 [let] binding a
+      plain value whose right-hand side constructs mutable state) and
+      {e function-local} creations (everything else);
+    - every [:=] / [<-] / [incr] / [decr] mutation site, resolved
+      against the file's global bindings ({!Global} when the target is one, {!Qualified}
+      when it is a dotted path into another module, {!Local} otherwise).
+
+    Module-global mutable bindings are the dangerous ones: they are
+    shared by every future domain.  Each must carry an {e attestation}
+    comment on its line or the line directly above:
+
+    {v (* domain-safety: <class> — <reason> *) v}
+
+    where [<class>] is one of {!safety_class} and [<reason>] is free
+    text.  {!Lint}'s [domain-unsafe-global] rule fails the build for
+    any unattested (or unknown-class, or reason-less) global.
+
+    Heuristic boundaries, stated honestly: "module-global" means a [let]
+    whose keyword sits in column 1 — exact on this ocamlformat-shaped
+    tree, where nested [let]s are always indented.  A global that
+    acquires mutable state through a constructor {e function}
+    ([Metrics.counter], [Dictionary.create ()]) is not detected; the
+    inventory catches direct constructions only. *)
+
+(** Attestation vocabulary for module-global mutable bindings. *)
+type safety_class =
+  | Immutable_after_init
+      (** Written only during module initialisation (single-threaded by
+          construction); domains only read it afterwards. *)
+  | Guarded  (** Every access goes through an explicit synchronisation point. *)
+  | Telemetry_gated
+      (** Mutated only on telemetry paths (behind [Telemetry.enabled]);
+          benign or disabled under production parallel reads. *)
+  | Test_only  (** Mutated only by tests, benchmarks or debug tooling. *)
+
+val class_name : safety_class -> string
+(** ["immutable-after-init"], ["guarded"], ["telemetry-gated"],
+    ["test-only"]. *)
+
+val class_of_string : string -> safety_class option
+
+(** How an assignment site's target resolves. *)
+type target =
+  | Global of string  (** A module-global mutable binding of the same file. *)
+  | Qualified of string  (** A dotted path into another module. *)
+  | Local of string  (** Anything else: parameters, inner lets, record args. *)
+
+type global = {
+  g_name : string;  (** The bound name. *)
+  g_ctor : string;  (** Constructor that makes it mutable ([ref], ...). *)
+  g_line : int;
+  g_attestation : (string * string) option;
+      (** [(class-word, reason)] as written; [None] when absent.  The
+          class word is kept raw so {!Lint} can report unknown classes. *)
+}
+
+type site = {
+  s_what : string;  (** Field name, constructor path, or assignment target. *)
+  s_line : int;
+}
+
+type file_report = {
+  path : string;
+  layer : string;  (** Immediate directory name: ["core"], ["telemetry"], ... *)
+  globals : global list;
+  fields : site list;  (** [mutable] field declarations. *)
+  locals : site list;  (** Function-local mutable-state creations. *)
+  assigns : (target * site) list;  (** [:=], [<-], [incr]/[decr] sites. *)
+}
+
+type report = { files : file_report list (* path-sorted *) }
+
+val analyze_source : path:string -> string -> file_report
+(** Tokenize one file's text and classify it.  [path] supplies the
+    layer name and report key only. *)
+
+val analyze_tokens : path:string -> Lexer.t -> file_report
+(** Same, over an already-lexed file (lets {!Lint} share one pass). *)
+
+val analyze_dirs : string list -> report
+(** Walk directory trees (skipping hidden/[_]-prefixed entries) and
+    analyze every [.ml] file.  Interfaces are skipped: a [.mli] cannot
+    create state. *)
+
+val unattested : report -> (file_report * global) list
+(** Globals with no attestation, an unknown class word, or an empty
+    reason — the [domain-unsafe-global] violations, in report order. *)
+
+val to_markdown : report -> string
+(** The checked-in [DOMAIN_SAFETY.md] body: summary table per layer,
+    one row per global binding with its class and reason, per-file site
+    counts.  Deterministic (path-sorted, no timestamps) so the @check
+    freshness gate can byte-compare regenerations. *)
+
+val to_json : report -> Telemetry.Json.t
+(** Full report as JSON for CI diffing ([bin/lint.exe --json]). *)

@@ -1,9 +1,14 @@
+(* domain-safety: test-only — set from the environment at module init;
+   flipped afterwards only by tests and debug tooling, never on
+   production query paths (which merely read it). *)
 let enabled =
   ref
     (match Sys.getenv_opt "HEXASTORE_DEBUG" with
     | Some ("1" | "true" | "on") -> true
     | Some _ | None -> false)
 
+(* domain-safety: test-only — incremented only while [enabled] is on,
+   i.e. under the debug validation hooks; read by tests. *)
 let count = ref 0
 
 let validation_count () = !count

@@ -45,6 +45,9 @@ type choice = {
   strategy : strategy;
 }
 
+(* domain-safety: test-only — ablation switch flipped by the benchmark
+   harness and strategy-equivalence tests around whole runs; production
+   planning never writes it. *)
 let nested_loop_only = ref false
 
 (* Largest independent right-side cardinality a hash join will buffer.

@@ -2,6 +2,9 @@ type source = unit -> float
 
 let wall : source = Unix.gettimeofday
 
+(* domain-safety: test-only — defaults to the wall clock; reassigned
+   only by tests injecting deterministic sources ([set_source] /
+   [with_source]), never on production paths. *)
 let source = ref wall
 
 let now () = !source ()

@@ -1,9 +1,15 @@
+(* domain-safety: immutable-after-init — set from the environment at
+   module init; only tests and the bench overhead figure toggle it, in
+   single-threaded sections. *)
 let enabled =
   ref
     (match Sys.getenv_opt "HEXASTORE_TELEMETRY" with
     | Some ("1" | "true" | "on") -> true
     | Some _ | None -> false)
 
+(* domain-safety: telemetry-gated — bumped only behind [enabled]; a
+   lost increment under racing domains skews a diagnostic count, never
+   query results. *)
 let count = ref 0
 
 let activity_count () = !count

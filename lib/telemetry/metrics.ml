@@ -13,6 +13,9 @@ type metric =
   | Gauge of gauge
   | Histogram of Histogram.t
 
+(* domain-safety: immutable-after-init — populated by the one-time
+   metric registrations at module init of each instrumented layer; the
+   hot path holds direct metric pointers and never touches the table. *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"

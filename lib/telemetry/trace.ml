@@ -7,12 +7,21 @@ type span = {
 
 let max_spans = 8192
 
+(* domain-safety: telemetry-gated — span recording happens only behind
+   [Config.enabled]; the bounded buffer is diagnostic state, not query
+   state. *)
 let buffer : span list ref = ref []
 
+(* domain-safety: telemetry-gated — tracks [buffer]'s length behind the
+   same gate. *)
 let buffered = ref 0
 
+(* domain-safety: telemetry-gated — overflow tally for the span buffer,
+   written only on gated recording paths. *)
 let dropped_count = ref 0
 
+(* domain-safety: telemetry-gated — span nesting depth, balanced by
+   [with_span] behind the gate. *)
 let depth = ref 0
 
 let dropped () = !dropped_count

@@ -1,0 +1,16 @@
+(* Fixture: catch-all.  Two real hits, one spanning lines; named
+   wildcards, [with _ as e ->], and comment contexts are allowed. *)
+
+let ok1 () = try () with Not_found -> ()
+let ok2 () = try () with _e -> ()
+let ok3 () = try () with _ as e -> raise e
+
+(* with _ -> in a comment is fine *)
+
+let bad1 () = try () with _ -> ()
+
+let bad2 () =
+  try ()
+  with
+    _
+    -> ()

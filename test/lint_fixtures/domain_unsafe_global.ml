@@ -1,0 +1,32 @@
+(* Fixture: domain-unsafe-global.  Four bad globals (unattested,
+   unknown class, missing reason, string-smuggled attestation);
+   attested globals, constructor functions, thunks, type annotations
+   and function-local state are all fine. *)
+
+let bad_unattested = ref 0
+
+(* domain-safety: totally-safe — not a real class *)
+let bad_unknown_class = ref []
+
+(* domain-safety: guarded *)
+let bad_missing_reason = Hashtbl.create 16
+
+(* domain-safety: immutable-after-init — built once right here *)
+let ok_attested : (int, int) Hashtbl.t = Hashtbl.create 8
+
+(* domain-safety: test-only — flipped by tests only *)
+let ok_ref = ref false
+
+let ok_function () = ref 0
+
+let ok_thunk = fun () -> Buffer.create 64
+
+let ok_annotation_only : int ref option = None
+
+let ok_local x =
+  let acc = ref x in
+  incr acc;
+  !acc
+
+let smuggled = "domain-safety: test-only — a string is not an attestation"
+let bad_string_attested = ref 0

@@ -1,0 +1,14 @@
+(* Fixture: obj-magic.  One real hit; every other occurrence sits in a
+   string, comment, nested comment, or after a tricky char literal. *)
+
+let doc = "Obj.magic in a string literal must not fire"
+
+(* Obj.magic in a comment must not fire.
+   (* nested: Obj.magic is still inside the comment *) and so is this *)
+
+let quoted = {|Obj.magic in a quoted-string literal|}
+
+let quote_char = '"'
+let after_char = "Obj.magic — still a string even after the quote char literal"
+
+let f x = Obj.magic x

@@ -1,0 +1,16 @@
+(* Fixture: printf-in-lib.  Three real hits (Printf.printf,
+   Format.printf, print_endline); formatter-taking calls and string or
+   comment contexts are inert — including a multiline string literal. *)
+
+let fmt ppf = Format.fprintf ppf "Printf.printf %s" "print_endline"
+
+(* Printf.printf belongs in bin/, not lib/ *)
+
+let multiline =
+  "first string line
+Printf.printf on a later line of the same string literal
+still the same string"
+
+let a () = Printf.printf "%d" 1
+let b () = Format.printf "%d" 2
+let c () = print_endline "x"

@@ -1,0 +1,14 @@
+(* Fixture: query-probe.  Scanned as lib/query/, where the rule
+   applies.  A bare probe fires; waivers only count inside comments, so
+   the string-smuggled waiver before the last probe does not waive it
+   (the PR 1 substring scanner got that wrong). *)
+
+let bad1 v o = Sorted_ivec.mem v o
+
+let ok1 v o = Sorted_ivec.mem v o (* lint: allow query-probe *)
+
+(* lint: allow query-probe *)
+let ok2 v o = Sorted_ivec.mem v o
+
+let smuggled = "lint: allow query-probe"
+let bad2 v o = Sorted_ivec.mem v o

@@ -1,0 +1,13 @@
+(* Fixture: raw-clock.  Two real hits; longer dotted names must not
+   match ([Sys.timestamp_like], [My_sys.time]), nor string or comment
+   occurrences.  Scanned as lib/core/, where the rule applies. *)
+
+let a = "Unix.gettimeofday quoted"
+
+(* Sys.time in a comment *)
+
+let b () = Sys.timestamp_like ()
+let c () = My_sys.time ()
+
+let bad1 () = Unix.gettimeofday ()
+let bad2 () = Sys.time ()
