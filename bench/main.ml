@@ -854,6 +854,112 @@ let abl_telemetry _env =
       { Harness.size = n; method_ = "telemetry-on"; seconds = on_s };
     ]
 
+(* profiling: the PR-7 observability section.  Flight-recorder overhead
+   is the on/off wall-time ratio of a repeated BGP count with the
+   telemetry master gate off in both arms, so the only difference
+   between them is the recorder's per-query emissions (the acceptance
+   bar is < 5%).  One traced run under a zero slow-query threshold then
+   exercises the profiler end to end — slow-log capture with its
+   --analyze plan, an Events.Slow_query in the ring — and populates the
+   scan-size histogram whose p50/p95/p99 the artifact reports. *)
+let with_events flag f =
+  let saved = !Telemetry.Events.enabled in
+  Telemetry.Events.enabled := flag;
+  Fun.protect ~finally:(fun () -> Telemetry.Events.enabled := saved) f
+
+let profiling_json ~mode env =
+  match List.rev (Lazy.force env.barton) with
+  | [] -> Telemetry.Json.Null
+  | { Harness.stores; dict; n_triples } :: _ -> (
+      let hexa =
+        List.find_map (function Stores.Hexa h -> Some h | Stores.Covp _ -> None) stores
+      in
+      match (hexa, Queries_barton.resolve_ids dict) with
+      | Some h, Some _ ->
+          let store = Hexa.Store_sig.box_hexastore h in
+          let q = Query.Algebra.Bgp (List.assoc "BQ4J" join_queries) in
+          let body () = Query.Exec.count store q in
+          (* Per-sample inner loop: amortizes Harness.time's clock reads
+             and gives the median something steadier than a single
+             ~ms-scale count to chew on. *)
+          let iterations = match mode with Smoke -> 10 | Quick | Full -> 30 in
+          let loop () =
+            let acc = ref 0 in
+            for _ = 1 to iterations do
+              acc := !acc + body ()
+            done;
+            !acc
+          in
+          let time_arm events_on =
+            Telemetry.with_enabled false (fun () ->
+                with_events events_on (fun () -> Harness.time ~warmup:2 ~repeats:7 loop))
+          in
+          let off_s, n_off = time_arm false in
+          let recorded_before = Telemetry.Events.recorded () in
+          let on_s, n_on = time_arm true in
+          let recorder_events = Telemetry.Events.recorded () - recorded_before in
+          assert (n_off = n_on);
+          (* One fully-traced run: zero threshold forces a slow-log entry
+             (and its Slow_query ring event) for a query that also feeds
+             the scan-size histogram. *)
+          let slow_before = Telemetry.Profile.slow_count () in
+          let saved_threshold = Telemetry.Profile.slow_threshold_s () in
+          let slow_entry =
+            Telemetry.with_enabled true (fun () ->
+                with_events true (fun () ->
+                    Telemetry.Profile.set_threshold_s 0.;
+                    Fun.protect
+                      ~finally:(fun () -> Telemetry.Profile.set_threshold_s saved_threshold)
+                      (fun () ->
+                        let _, d = Telemetry.Profile.profiled body in
+                        Telemetry.Profile.note ~label:(Query.Exec.query_label q)
+                          ~plan:(fun () ->
+                            Format.asprintf "%a" Query.Exec.pp_explain
+                              (Query.Exec.explain ~analyze:true store q))
+                          d;
+                        d)))
+          in
+          let slow_logged = Telemetry.Profile.slow_count () - slow_before in
+          let scan_h = Telemetry.Metrics.histogram "hexastore.scan.terminal_size" in
+          let quantile qv = Telemetry.Histogram.quantile scan_h qv in
+          Telemetry.Json.Obj
+            [
+              ("triples", Telemetry.Json.Int n_triples);
+              ( "flight_recorder",
+                Telemetry.Json.Obj
+                  [
+                    ("iterations", Telemetry.Json.Int iterations);
+                    ("events_off_seconds", Telemetry.Json.Float off_s);
+                    ("events_on_seconds", Telemetry.Json.Float on_s);
+                    ("overhead_ratio", Telemetry.Json.Float (on_s /. off_s));
+                    ("events_recorded", Telemetry.Json.Int recorder_events);
+                    ("events_dropped", Telemetry.Json.Int (Telemetry.Events.dropped ()));
+                    ("ring_capacity", Telemetry.Json.Int (Telemetry.Events.capacity ()));
+                  ] );
+              ( "slow_query",
+                Telemetry.Json.Obj
+                  [
+                    ("threshold_ms", Telemetry.Json.Float 0.);
+                    ("logged", Telemetry.Json.Int slow_logged);
+                    ("label", Telemetry.Json.String (Query.Exec.query_label q));
+                    ( "wall_ms",
+                      Telemetry.Json.Float (slow_entry.Telemetry.Profile.wall_s *. 1e3) );
+                    ( "probes",
+                      Telemetry.Json.Int
+                        (Telemetry.Profile.counter_total ~prefix:"hexastore.probe."
+                           slow_entry) );
+                  ] );
+              ( "scan_terminal_size_quantiles",
+                Telemetry.Json.Obj
+                  [
+                    ("count", Telemetry.Json.Int (Telemetry.Histogram.count scan_h));
+                    ("p50", Telemetry.Json.Float (quantile 0.5));
+                    ("p95", Telemetry.Json.Float (quantile 0.95));
+                    ("p99", Telemetry.Json.Float (quantile 0.99));
+                  ] );
+            ]
+      | _ -> Telemetry.Json.Null)
+
 (* ------------------------------------------------------------------- *)
 (* Machine-readable emission (--json): the PR-2 benchmark artifact      *)
 (* ------------------------------------------------------------------- *)
@@ -977,9 +1083,10 @@ let emit_json ~mode ~path env =
     Telemetry.Json.Obj
       [
         ("schema", Telemetry.Json.String "hexastore-bench/v1");
-        ("pr", Telemetry.Json.Int 5);
+        ("pr", Telemetry.Json.Int 7);
         ("mode", Telemetry.Json.String (mode_name mode));
         ("join", join_json env);
+        ("profiling", profiling_json ~mode env);
         ( "workloads",
           Telemetry.Json.Obj
             [

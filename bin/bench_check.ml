@@ -81,6 +81,54 @@ let check_join ~mode json =
             nested_s planned_s
       | _ -> fail "join.queries is not an object")
 
+(* The PR-7 observability section: the flight recorder's measured
+   overhead must stay under the 5% acceptance bar, the traced run must
+   actually have recorded events and logged a slow query, and the
+   exported scan-size quantiles must be monotone.  Required from PR 7
+   on; older artifacts may omit it.  Like the join wall-time check, the
+   tight 5% bar only applies outside smoke mode: on the seconds-scale
+   smoke store a single BGP count is a few microseconds, so the
+   recorder's fixed per-query cost (three clock reads and ring stores)
+   is a visible fraction and the bar relaxes to 25%. *)
+let check_profiling ~pr ~mode json =
+  let ratio_bar = if String.equal mode "smoke" then 1.25 else 1.05 in
+  match Telemetry.Json.member "profiling" json with
+  | None | Some Telemetry.Json.Null ->
+      if pr >= 7 then fail "profiling section missing (required since PR 7)"
+  | Some prof ->
+      let ctx = "profiling" in
+      ignore (require_number ~ctx prof "triples");
+      let fr = require ~ctx prof "flight_recorder" in
+      let ctx_fr = "profiling.flight_recorder" in
+      let off = require_number ~ctx:ctx_fr fr "events_off_seconds" in
+      let on = require_number ~ctx:ctx_fr fr "events_on_seconds" in
+      let ratio = require_number ~ctx:ctx_fr fr "overhead_ratio" in
+      if off <= 0. || on <= 0. then fail "%s: timings must be positive" ctx_fr;
+      if ratio >= ratio_bar then
+        fail "%s: recorder overhead %.1f%% breaches the %.0f%% bar" ctx_fr
+          ((ratio -. 1.) *. 100.)
+          ((ratio_bar -. 1.) *. 100.);
+      if require_number ~ctx:ctx_fr fr "events_recorded" <= 0. then
+        fail "%s: traced arm recorded no events" ctx_fr;
+      if require_number ~ctx:ctx_fr fr "events_dropped" < 0. then
+        fail "%s: negative drop count" ctx_fr;
+      let sq = require ~ctx prof "slow_query" in
+      let ctx_sq = "profiling.slow_query" in
+      if require_number ~ctx:ctx_sq sq "logged" < 1. then
+        fail "%s: zero-threshold run did not log a slow query" ctx_sq;
+      let qs = require ~ctx prof "scan_terminal_size_quantiles" in
+      let ctx_q = "profiling.scan_terminal_size_quantiles" in
+      if require_number ~ctx:ctx_q qs "count" <= 0. then
+        fail "%s: histogram has no observations" ctx_q;
+      let p50 = require_number ~ctx:ctx_q qs "p50" in
+      let p95 = require_number ~ctx:ctx_q qs "p95" in
+      let p99 = require_number ~ctx:ctx_q qs "p99" in
+      if not (p50 <= p95 && p95 <= p99) then
+        fail "%s: quantiles not monotone (p50=%g p95=%g p99=%g)" ctx_q p50 p95 p99;
+      Printf.printf
+        "bench-check: profiling recorder overhead %.2f%%, scan-size p50/p95/p99 = %g/%g/%g\n"
+        ((ratio -. 1.) *. 100.) p50 p95 p99
+
 let parse_file path =
   match Telemetry.Json.of_string (read_file path) with
   | Ok j -> j
@@ -170,10 +218,16 @@ let () =
     | Telemetry.Json.String m -> m
     | _ -> fail "mode is not a string"
   in
+  let pr =
+    match Telemetry.Json.member "pr" json with
+    | Some (Telemetry.Json.Int n) -> n
+    | _ -> 0
+  in
   let workloads = require ~ctx:"root" json "workloads" in
   check_workload "lubm" (require ~ctx:"workloads" workloads "lubm");
   check_workload "barton" (require ~ctx:"workloads" workloads "barton");
   check_join ~mode json;
+  check_profiling ~pr ~mode json;
   let overhead = require ~ctx:"root" json "telemetry_overhead" in
   let off = require_number ~ctx:"telemetry_overhead" overhead "disabled_seconds" in
   let on = require_number ~ctx:"telemetry_overhead" overhead "enabled_seconds" in

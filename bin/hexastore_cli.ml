@@ -2,6 +2,11 @@
 
    Subcommands:
      query     load RDF data and run a SPARQL-subset query
+     explain   show the query plan (optionally executed: --analyze)
+     profile   run a query under the profiler: operator-attributed
+               wall/probes/rows/GC, counter deltas, flight recorder
+     metrics   run optional queries and export the registry (Prometheus
+               text exposition or JSON) and Chrome trace spans
      stats     load RDF data and print store statistics
      convert   translate between N-Triples and Turtle
      snapshot  compile RDF data into a binary store snapshot
@@ -50,6 +55,16 @@ let handle_errors f =
       Format.eprintf "error: %s@." msg;
       exit 1
 
+(* Query arguments accept inline text or [@FILE]. *)
+let read_query_arg query_text =
+  if String.length query_text > 0 && query_text.[0] = '@' then (
+    let path = String.sub query_text 1 (String.length query_text - 1) in
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic)))
+  else query_text
+
 let format_arg =
   Arg.(
     value
@@ -70,25 +85,31 @@ let query_cmd =
   let run data format query_text csv =
     handle_errors (fun () ->
         let store = load_store ~format data in
-        let text =
-          if String.length query_text > 0 && query_text.[0] = '@' then (
-            let path = String.sub query_text 1 (String.length query_text - 1) in
-            let ic = open_in path in
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> really_input_string ic (in_channel_length ic)))
-          else query_text
-        in
+        let text = read_query_arg query_text in
         let q = Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) text in
         let boxed = Hexa.Store_sig.box_hexastore store in
-        if q.is_ask then print_endline (if Query.Exec.ask boxed q.algebra then "yes" else "no")
+        (* Every execution goes through the profiler so a run crossing
+           the HEXASTORE_SLOW_MS threshold lands in the slow-query log
+           (and the flight recorder) with its --analyze tree. *)
+        let profiled f =
+          let x, delta = Telemetry.Profile.profiled f in
+          Telemetry.Profile.note
+            ~label:(Query.Exec.query_label q.algebra)
+            ~plan:(fun () ->
+              Format.asprintf "%a" Query.Exec.pp_explain
+                (Query.Exec.explain ~analyze:true boxed q.algebra))
+            delta;
+          x
+        in
+        if q.is_ask then
+          print_endline (if profiled (fun () -> Query.Exec.ask boxed q.algebra) then "yes" else "no")
         else
           match q.template with
           | Some template ->
-              let triples = Query.Exec.construct boxed ~template q.algebra in
+              let triples = profiled (fun () -> Query.Exec.construct boxed ~template q.algebra) in
               List.iter (fun t -> print_endline (Rdf.Triple.to_string t)) triples
           | None -> begin
-          let solutions = Query.Exec.run boxed q.algebra in
+          let solutions = profiled (fun () -> Query.Exec.run boxed q.algebra) in
           let dict = Hexa.Hexastore.dict store in
           if csv then print_string (Query.Results.to_csv dict ~columns:q.projection solutions)
           else
@@ -120,15 +141,7 @@ let explain_cmd =
   let run data format query_text analyze json =
     handle_errors (fun () ->
         let store = load_store ~format data in
-        let text =
-          if String.length query_text > 0 && query_text.[0] = '@' then (
-            let path = String.sub query_text 1 (String.length query_text - 1) in
-            let ic = open_in path in
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> really_input_string ic (in_channel_length ic)))
-          else query_text
-        in
+        let text = read_query_arg query_text in
         let q = Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) text in
         let boxed = Hexa.Store_sig.box_hexastore store in
         let plan = Query.Exec.explain ~analyze boxed q.algebra in
@@ -141,6 +154,139 @@ let explain_cmd =
          "Show the query plan: join order, per-scan index, cardinality estimates; with --analyze, \
           actual row counts and timings.")
     Term.(const run $ data_arg $ format_arg $ query_arg $ analyze_arg $ json_arg)
+
+(* --- profile ---------------------------------------------------------- *)
+
+let profile_cmd =
+  let query_arg =
+    Arg.(
+      required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"SPARQL query text, or @FILE.")
+  in
+  let slow_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Slow-query threshold in milliseconds (default 0: the profiled query always lands \
+                in the slow-query log and the flight recorder).")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the whole profile as JSON.") in
+  let run data format query_text slow_ms json =
+    handle_errors (fun () ->
+        (* Full instrumentation regardless of the environment: counters,
+           spans and per-node probe/GC attribution all need the gate. *)
+        Telemetry.enabled := true;
+        Telemetry.Profile.set_threshold_s (slow_ms /. 1e3);
+        let store = load_store ~format data in
+        let text = read_query_arg query_text in
+        let q = Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) text in
+        let boxed = Hexa.Store_sig.box_hexastore store in
+        let label = Query.Exec.query_label q.algebra in
+        let rows, delta =
+          Telemetry.Profile.profiled (fun () ->
+              if q.is_ask then if Query.Exec.ask boxed q.algebra then 1 else 0
+              else
+                match q.template with
+                | Some template -> List.length (Query.Exec.construct boxed ~template q.algebra)
+                | None -> List.length (Query.Exec.run boxed q.algebra))
+        in
+        let plan = Query.Exec.explain ~analyze:true boxed q.algebra in
+        Telemetry.Profile.note ~label
+          ~plan:(fun () -> Format.asprintf "%a" Query.Exec.pp_explain plan)
+          delta;
+        if json then
+          print_endline
+            (Telemetry.Json.to_string
+               (Telemetry.Json.Obj
+                  [
+                    ("label", Telemetry.Json.String label);
+                    ("rows", Telemetry.Json.Int rows);
+                    ("profile", Telemetry.Profile.delta_to_json delta);
+                    ("plan", Query.Exec.explain_to_json plan);
+                    ("slow_queries", Telemetry.Profile.slow_log_to_json ());
+                    ("events", Telemetry.Events.to_json ());
+                  ]))
+        else begin
+          let probes =
+            Telemetry.Profile.counter_total ~prefix:"hexastore.probe." delta
+          in
+          Format.printf "query: %s@." label;
+          Format.printf "rows=%d wall=%.3fms probes=%d alloc=%.0f words@." rows
+            (delta.Telemetry.Profile.wall_s *. 1e3)
+            probes delta.Telemetry.Profile.alloc_words;
+          Format.printf "@.plan (--analyze, per-node rows/time/probes/gc):@.%a@."
+            Query.Exec.pp_explain plan;
+          Format.printf "@.counter deltas:@.";
+          List.iter
+            (fun (n, v) -> Format.printf "  %-48s %+d@." n v)
+            delta.Telemetry.Profile.counters;
+          Format.printf "@.flight recorder:@.%a@." Telemetry.Events.pp ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a query under the profiler: wall time, index probes, produced rows and GC words \
+          attributed to each plan operator, plus registry counter deltas and the flight-recorder \
+          dump.")
+    Term.(const run $ data_arg $ format_arg $ query_arg $ slow_arg $ json_arg)
+
+(* --- metrics ----------------------------------------------------------- *)
+
+let metrics_cmd =
+  let query_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:"Query (or @FILE) to execute before exporting, so its activity shows up in the \
+                metrics; repeatable.")
+  in
+  let output_arg =
+    Arg.(
+      value & opt string "prometheus"
+      & info [ "output" ] ~docv:"FMT" ~doc:"Export format: prometheus (text exposition) or json.")
+  in
+  let chrome_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:"Also write the recorded spans as Chrome trace-event JSON to FILE (load in \
+                chrome://tracing or Perfetto).")
+  in
+  let run data format queries output chrome =
+    handle_errors (fun () ->
+        Telemetry.enabled := true;
+        let store = load_store ~format data in
+        let boxed = Hexa.Store_sig.box_hexastore store in
+        List.iter
+          (fun query_text ->
+            let q =
+              Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) (read_query_arg query_text)
+            in
+            if q.is_ask then ignore (Query.Exec.ask boxed q.algebra)
+            else ignore (Query.Exec.run boxed q.algebra))
+          queries;
+        (match output with
+        | "prometheus" -> print_string (Telemetry.Export.prometheus ())
+        | "json" -> print_endline (Telemetry.Json.to_string (Telemetry.to_json ()))
+        | f -> failwith (Printf.sprintf "unknown --output %S (expected prometheus or json)" f));
+        match chrome with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc (Telemetry.Json.to_string (Telemetry.Export.chrome_trace ())));
+            Format.eprintf "wrote %d spans to %s@."
+              (List.length (Telemetry.Trace.spans ()))
+              file)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Load data, optionally run queries, and export the telemetry registry as Prometheus \
+          text exposition (with histogram quantiles) or JSON.")
+    Term.(const run $ data_arg $ format_arg $ query_arg $ output_arg $ chrome_arg)
 
 (* --- stats ------------------------------------------------------------ *)
 
@@ -263,4 +409,14 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ query_cmd; explain_cmd; stats_cmd; convert_cmd; snapshot_cmd; advise_cmd ]))
+       (Cmd.group info
+          [
+            query_cmd;
+            explain_cmd;
+            profile_cmd;
+            metrics_cmd;
+            stats_cmd;
+            convert_cmd;
+            snapshot_cmd;
+            advise_cmd;
+          ]))

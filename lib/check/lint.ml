@@ -8,6 +8,7 @@ type rule =
   | Catch_all
   | Raw_clock
   | Query_probe
+  | Span_hygiene
   | Domain_unsafe_global
 
 let rule_name = function
@@ -17,6 +18,7 @@ let rule_name = function
   | Catch_all -> "catch-all"
   | Raw_clock -> "raw-clock"
   | Query_probe -> "query-probe"
+  | Span_hygiene -> "span-hygiene"
   | Domain_unsafe_global -> "domain-unsafe-global"
 
 (* PR 1's scanner had to assemble these patterns at runtime so the
@@ -27,6 +29,14 @@ let pats_printf = [ "Printf.printf"; "Format.printf"; "print_endline" ]
 let pats_clock = [ "Unix.gettimeofday"; "Sys.time" ]
 let pat_obj_magic = "Obj.magic"
 let pat_query_probe = "Sorted_ivec.mem"
+
+let pats_span =
+  [
+    "Trace.enter_span";
+    "Trace.exit_span";
+    "Telemetry.Trace.enter_span";
+    "Telemetry.Trace.exit_span";
+  ]
 
 (* lib/telemetry wraps the system clock; everyone else must go through
    it (Telemetry.Clock), so tests can inject a deterministic source. *)
@@ -50,7 +60,7 @@ let c_violations =
     (fun r -> (r, Telemetry.Metrics.counter ("check.lint.violations." ^ rule_name r)))
     [
       Missing_mli; Obj_magic; Printf_in_lib; Catch_all; Raw_clock; Query_probe;
-      Domain_unsafe_global;
+      Span_hygiene; Domain_unsafe_global;
     ]
 
 let count_violation rule =
@@ -195,6 +205,18 @@ let scan_source ~path contents =
               (pat_query_probe
              ^ " is a point probe; query operators must join through the planner's \
                 merge/hash kernels (annotate the line to waive)"))
+    @ (if clock_exempt path then []
+       else
+         let allowed = marker_lines t (allow_marker Span_hygiene) in
+         path_hits t pats_span
+         |> List.filter (fun (_, (tok : L.token)) ->
+                not (List.mem tok.L.line allowed || List.mem (tok.L.line - 1) allowed))
+         |> List.concat_map (fun (p, tok) ->
+                of_hits Span_hygiene
+                  (p
+                 ^ " is a manual span pair; use Trace.with_span so spans balance on every \
+                    exit path (annotate the line to waive a resource-lifetime span)")
+                  [ tok ]))
   @ (if Filename.check_suffix path ".mli" then [] else domain_safety_violations ~path t)
 
 (* --- directory walking -------------------------------------------------- *)

@@ -22,6 +22,13 @@
       the planner's merge/hash join operators.  A deliberate probe is
       waived by putting [lint: allow query-probe] in a {e comment} on
       the same line or the line directly above.
+    - {b span-hygiene}: no manual [Trace.enter_span]/[Trace.exit_span]
+      pairs in library code — an exception between the two leaks an open
+      span and skews every enclosing depth; [Trace.with_span] closes on
+      every exit path.  Files under a [telemetry] directory are exempt
+      (the handle API lives there); a deliberate resource-lifetime span
+      is waived with [lint: allow span-hygiene] in a comment on the same
+      line or the line directly above.
     - {b domain-unsafe-global}: every module-global mutable binding in a
       [.ml] file (see {!Mutability}) must carry a
       [(* domain-safety: <class> — <reason> *)] attestation on its line
@@ -48,6 +55,7 @@ type rule =
   | Catch_all
   | Raw_clock
   | Query_probe
+  | Span_hygiene
   | Domain_unsafe_global
 
 val rule_name : rule -> string

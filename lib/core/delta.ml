@@ -112,18 +112,18 @@ let rebuild_base t batch =
      by this delta) keep seeing the store's contents. *)
   Hexastore.replace_contents t.base ~from:fresh
 
-let flush_with ~force_rebuild t =
+let flush_with ?(auto = false) ~force_rebuild t =
   let timed = !Telemetry.Config.enabled in
   let started = if timed then Telemetry.Clock.now () else 0. in
   let pending = Hashtbl.length t.inserts + Hashtbl.length t.deletes in
   Telemetry.Metrics.incr m_flush;
   Telemetry.Metrics.observe m_flush_batch pending;
   let batch = drain_pending t in
-  if
-    force_rebuild
-    || Array.length batch * rebuild_factor >= Hexastore.size t.base
-  then rebuild_base t batch
-  else ignore (Hexastore.add_bulk_ids t.base batch);
+  let rebuild =
+    force_rebuild || Array.length batch * rebuild_factor >= Hexastore.size t.base
+  in
+  if rebuild then rebuild_base t batch else ignore (Hexastore.add_bulk_ids t.base batch);
+  Telemetry.Events.emit (Telemetry.Events.Delta_flush { pending; rebuild; auto });
   note_pending t;
   if timed then
     Telemetry.Metrics.observe m_flush_us
@@ -135,6 +135,9 @@ let flush t =
 
 let compact t =
   Telemetry.Metrics.incr m_compact;
+  Telemetry.Events.emit
+    (Telemetry.Events.Delta_compact
+       { pending = Hashtbl.length t.inserts + Hashtbl.length t.deletes });
   flush_with ~force_rebuild:true t
 
 let maybe_auto_flush t =
@@ -143,7 +146,7 @@ let maybe_auto_flush t =
     || Hashtbl.length t.deletes >= t.delete_threshold
   then begin
     Telemetry.Metrics.incr m_flush_auto;
-    flush_with ~force_rebuild:false t
+    flush_with ~auto:true ~force_rebuild:false t
   end
 
 (* --- mutation --------------------------------------------------------- *)

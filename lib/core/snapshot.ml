@@ -120,7 +120,8 @@ let save h path =
      close_out_noerr oc;
      Sys.remove tmp;
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  Telemetry.Events.emit (Telemetry.Events.Snapshot_save { path; triples = Hexastore.size h })
 
 (* --- load -------------------------------------------------------------- *)
 
@@ -183,7 +184,9 @@ let load_channel ic =
 
 let load path =
   let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> load_channel ic)
+  let h = Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> load_channel ic) in
+  Telemetry.Events.emit (Telemetry.Events.Snapshot_load { path; triples = Hexastore.size h });
+  h
 
 (* Delta-fronted stores persist flush-on-save: the snapshot format only
    knows the six-ordering base image, so pending buffers are drained

@@ -253,7 +253,20 @@ let eval_choice store sols (c : Planner.choice) =
 let eval_plan store choices =
   List.fold_left (eval_choice store) (Seq.return Binding.empty) choices
 
-let eval_bgp store tps = eval_plan store (Planner.plan store tps)
+let eval_bgp store tps =
+  let choices = Planner.plan store tps in
+  Telemetry.Events.emit
+    (Telemetry.Events.Plan_choice
+       {
+         label = Printf.sprintf "bgp(%d)" (List.length tps);
+         detail =
+           String.concat ";"
+             (List.map
+                (fun (c : Planner.choice) ->
+                  Format.asprintf "%a" Planner.pp_strategy c.Planner.strategy)
+                choices);
+       });
+  eval_plan store choices
 
 (* --- grouping --------------------------------------------------------- *)
 
@@ -405,15 +418,63 @@ let rec eval store (q : Algebra.t) : Binding.t Seq.t =
       let s = match offset with None -> s | Some n -> Seq.drop n s in
       counted m_rows_slice (match limit with None -> s | Some n -> Seq.take n s)
 
+(* Flight-recorder labels: the root operator plus the total pattern
+   count — compact enough for a ring slot, specific enough to find the
+   query again. *)
+let rec pattern_count (q : Algebra.t) =
+  match q with
+  | Bgp tps -> List.length tps
+  | Join (a, b) | Left_join (a, b) | Union (a, b) -> pattern_count a + pattern_count b
+  | Values _ -> 0
+  | Filter (_, q) | Distinct q | Project (_, q) | Extend_group (_, _, q)
+  | Order_by (_, q)
+  | Slice (_, _, q) ->
+      pattern_count q
+
+let root_op (q : Algebra.t) =
+  match q with
+  | Bgp _ -> "bgp"
+  | Join _ -> "join"
+  | Left_join _ -> "left-join"
+  | Union _ -> "union"
+  | Values _ -> "values"
+  | Filter _ -> "filter"
+  | Distinct _ -> "distinct"
+  | Project _ -> "project"
+  | Extend_group _ -> "group"
+  | Order_by _ -> "order-by"
+  | Slice _ -> "slice"
+
+let query_label q = Printf.sprintf "%s/%dtp" (root_op q) (pattern_count q)
+
+(* Bracket an entry point with flight-recorder events; the end event
+   (and its row count) is only emitted on normal return, so a crash
+   shows up in the dump as an unmatched query.start. *)
+let recorded_entry q rows_of f =
+  let label = query_label q in
+  Telemetry.Events.emit (Telemetry.Events.Query_start { label });
+  let x = f () in
+  Telemetry.Events.emit (Telemetry.Events.Query_end { label; rows = rows_of x });
+  x
+
 let run_seq store q = eval store q
 
-let run store q = Telemetry.Trace.with_span "exec.run" (fun () -> List.of_seq (eval store q))
+let run store q =
+  recorded_entry q List.length (fun () ->
+      Telemetry.Trace.with_span "exec.run" (fun () -> List.of_seq (eval store q)))
 
-let ask store q = Telemetry.Trace.with_span "exec.ask" (fun () -> not (Seq.is_empty (eval store q)))
+let ask store q =
+  recorded_entry q
+    (fun b -> if b then 1 else 0)
+    (fun () ->
+      Telemetry.Trace.with_span "exec.ask" (fun () -> not (Seq.is_empty (eval store q))))
 
-let count store q = Telemetry.Trace.with_span "exec.count" (fun () -> Seq.length (eval store q))
+let count store q =
+  recorded_entry q Fun.id (fun () ->
+      Telemetry.Trace.with_span "exec.count" (fun () -> Seq.length (eval store q)))
 
 let construct store ~template q =
+  recorded_entry q List.length @@ fun () ->
   Telemetry.Trace.with_span "exec.construct" @@ fun () ->
   let dict = Hexa.Store_sig.dict store in
   let term_of_atom sol = function
@@ -451,25 +512,51 @@ type explain_node = {
   selectivity : float option;
   actual_rows : int option;
   time_s : float option;
+  probes : int option;
+  gc_words : float option;
   children : explain_node list;
 }
+
+let probe_total () =
+  List.fold_left
+    (fun acc (_, v) -> acc + v)
+    0
+    (Telemetry.Metrics.snapshot_counters ~prefix:"hexastore.probe." ())
+
+let alloc_words () =
+  let st = Gc.quick_stat () in
+  (* [Gc.minor_words], not [st.minor_words]: quick_stat omits words
+     allocated since the last minor collection, and per-operator windows
+     are usually smaller than a minor heap. *)
+  Gc.minor_words () +. st.Gc.major_words -. st.Gc.promoted_words
+
+(* ANALYZE measurement of one sub-plan evaluation: rows and wall time
+   always; with telemetry enabled also the index-probe counter delta and
+   the GC words allocated, attributing physical cost to the operator. *)
+let measure_eval ~analyze thunk =
+  if not analyze then (None, None, None, None)
+  else begin
+    let profiled = !Telemetry.Config.enabled in
+    let p0 = if profiled then probe_total () else 0 in
+    let g0 = if profiled then alloc_words () else 0. in
+    let t0 = Telemetry.Clock.now () in
+    let n = thunk () in
+    let time_s = Telemetry.Clock.now () -. t0 in
+    let probes = if profiled then Some (probe_total () - p0) else None in
+    let gc = if profiled then Some (alloc_words () -. g0) else None in
+    (Some n, Some time_s, probes, gc)
+  end
 
 let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
   (* ANALYZE evaluates each node's sub-plan independently (and plan
      prefixes for BGP scans), so a node's cost includes its inputs —
      cumulative, like the cold cost of running the query up to that
      operator.  Timings read the injectable {!Telemetry.Clock}. *)
-  let measure alg =
-    if analyze then begin
-      let t0 = Telemetry.Clock.now () in
-      let n = Seq.length (eval store alg) in
-      (Some n, Some (Telemetry.Clock.now () -. t0))
-    end
-    else (None, None)
-  in
   let node ?estimate ?selectivity op detail children =
-    let actual_rows, time_s = measure q in
-    { op; detail; estimate; selectivity; actual_rows; time_s; children }
+    let actual_rows, time_s, probes, gc_words =
+      measure_eval ~analyze (fun () -> Seq.length (eval store q))
+    in
+    { op; detail; estimate; selectivity; actual_rows; time_s; probes; gc_words; children }
   in
   let sub = explain_build ~analyze store in
   match q with
@@ -479,13 +566,8 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
         List.mapi
           (fun i (c : Planner.choice) ->
             let prefix = List.filteri (fun j _ -> j <= i) choices in
-            let actual_rows, time_s =
-              if analyze then begin
-                let t0 = Telemetry.Clock.now () in
-                let n = Seq.length (eval_plan store prefix) in
-                (Some n, Some (Telemetry.Clock.now () -. t0))
-              end
-              else (None, None)
+            let actual_rows, time_s, probes, gc_words =
+              measure_eval ~analyze (fun () -> Seq.length (eval_plan store prefix))
             in
             {
               op = "scan";
@@ -496,6 +578,8 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
               selectivity = Some c.Planner.selectivity;
               actual_rows;
               time_s;
+              probes;
+              gc_words;
               children = [];
             })
           choices
@@ -557,7 +641,9 @@ let pp_explain_node ppf n =
   | Some est, None -> Format.fprintf ppf "  (est=%d)" est
   | None, _ -> ());
   (match n.actual_rows with Some r -> Format.fprintf ppf "  rows=%d" r | None -> ());
-  match n.time_s with Some t -> Format.fprintf ppf " time=%.3fms" (t *. 1000.) | None -> ()
+  (match n.time_s with Some t -> Format.fprintf ppf " time=%.3fms" (t *. 1000.) | None -> ());
+  (match n.probes with Some p -> Format.fprintf ppf " probes=%d" p | None -> ());
+  match n.gc_words with Some w -> Format.fprintf ppf " gc=%.0fw" w | None -> ()
 
 let pp_explain ppf root =
   let rec go prefix ppf n =
@@ -582,6 +668,8 @@ let rec explain_to_json n =
     @ opt "selectivity" (fun v -> Telemetry.Json.Float v) n.selectivity
     @ opt "actual_rows" (fun v -> Telemetry.Json.Int v) n.actual_rows
     @ opt "time_s" (fun v -> Telemetry.Json.Float v) n.time_s
+    @ opt "probes" (fun v -> Telemetry.Json.Int v) n.probes
+    @ opt "gc_words" (fun v -> Telemetry.Json.Float v) n.gc_words
     @
     match n.children with
     | [] -> []

@@ -12,9 +12,16 @@
     are tallied in the [query.join.merge]/[query.join.hash]/
     [query.join.nested] counters. *)
 
+val query_label : Algebra.t -> string
+(** Compact flight-recorder label: the root operator plus total pattern
+    count, e.g. ["project/2tp"].  The blocking entry points below
+    bracket themselves with [Events.Query_start]/[Query_end] under this
+    label (a crash therefore shows as an unmatched start in the dump). *)
+
 val run_seq : Hexa.Store_sig.boxed -> Algebra.t -> Binding.t Seq.t
 (** Lazy evaluation; blocking operators (group, order) materialise
-    internally. *)
+    internally.  Unlike the blocking entry points, emits no
+    flight-recorder events (there is no completion point to record). *)
 
 val run : Hexa.Store_sig.boxed -> Algebra.t -> Binding.t list
 
@@ -50,6 +57,13 @@ type explain_node = {
   time_s : float option;
       (** ANALYZE only: cumulative cost of evaluating the node's sub-plan
           (inputs included), read from {!Telemetry.Clock}. *)
+  probes : int option;
+      (** ANALYZE with telemetry enabled: [hexastore.probe.*] counter
+          delta over the node's evaluation — index probes attributed to
+          the operator. *)
+  gc_words : float option;
+      (** ANALYZE with telemetry enabled: GC words allocated
+          (minor + major - promoted) over the node's evaluation. *)
   children : explain_node list;
 }
 

@@ -1,0 +1,184 @@
+(* The flight recorder: a bounded ring of typed, timestamped events.
+
+   Unlike the metrics/span machinery this is *always on* by default —
+   the point is to have the last ~1k operational events (query
+   boundaries, plan choices, delta flushes, snapshot IO, slow queries)
+   available for a post-hoc dump even when full telemetry was never
+   enabled.  Each emission is one array store plus one small record
+   allocation; the ring never grows, and overwrites are counted as
+   drops rather than silently discarded.
+
+   Deliberately independent of [Config.enabled] and of
+   [Config.note_activity]: the disabled-telemetry tests assert that the
+   activity count stays at zero, and the recorder must not disturb
+   that. *)
+
+type kind =
+  | Query_start of { label : string }
+  | Query_end of {
+      label : string;
+      rows : int;
+    }
+  | Plan_choice of {
+      label : string;
+      detail : string;
+    }
+  | Delta_flush of {
+      pending : int;
+      rebuild : bool;
+      auto : bool;
+    }
+  | Delta_compact of { pending : int }
+  | Snapshot_save of {
+      path : string;
+      triples : int;
+    }
+  | Snapshot_load of {
+      path : string;
+      triples : int;
+    }
+  | Slow_query of {
+      label : string;
+      wall_s : float;
+      plan : string;
+    }
+
+type event = {
+  seq : int;  (* 0-based emission index, never wraps *)
+  at : float; (* Clock.now at emission *)
+  kind : kind;
+}
+
+let default_capacity = 1024
+
+(* domain-safety: telemetry-gated — recorder on/off switch read on every
+   emission; set from the environment at module init and flipped
+   afterwards only by tests, the bench overhead figure and the CLI, in
+   single-threaded sections. *)
+let enabled =
+  ref
+    (match Sys.getenv_opt "HEXASTORE_EVENTS" with
+    | Some ("0" | "false" | "off") -> false
+    | _ -> true)
+
+(* domain-safety: telemetry-gated — the ring storage itself; diagnostic
+   state only, a racing overwrite loses an event, never query results.
+   Reallocated only by [set_capacity] (tests/CLI). *)
+let ring : event option array ref = ref (Array.make default_capacity None)
+
+(* domain-safety: telemetry-gated — total emissions since the last
+   [clear]; drives both the ring write index and the drop count. *)
+let total = ref 0
+
+let capacity () = Array.length !ring
+
+let recorded () = !total
+
+let dropped () = max 0 (!total - capacity ())
+
+let emit kind =
+  if !enabled then begin
+    let r = !ring in
+    r.(!total mod Array.length r) <- Some { seq = !total; at = Clock.now (); kind };
+    incr total
+  end
+
+let clear () = begin
+  Array.fill !ring 0 (Array.length !ring) None;
+  total := 0
+end
+
+let set_capacity n = begin
+  ring := Array.make (max 1 n) None;
+  total := 0
+end
+
+let dump () =
+  let r = !ring in
+  let cap = Array.length r in
+  let kept = min !total cap in
+  let first = !total - kept in
+  List.init kept (fun i ->
+      match r.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false (* slots below [total] are always filled *))
+
+let kind_name = function
+  | Query_start _ -> "query.start"
+  | Query_end _ -> "query.end"
+  | Plan_choice _ -> "plan.choice"
+  | Delta_flush _ -> "delta.flush"
+  | Delta_compact _ -> "delta.compact"
+  | Snapshot_save _ -> "snapshot.save"
+  | Snapshot_load _ -> "snapshot.load"
+  | Slow_query _ -> "query.slow"
+
+let kind_fields = function
+  | Query_start { label } -> [ ("label", Json.String label) ]
+  | Query_end { label; rows } -> [ ("label", Json.String label); ("rows", Json.Int rows) ]
+  | Plan_choice { label; detail } ->
+      [ ("label", Json.String label); ("detail", Json.String detail) ]
+  | Delta_flush { pending; rebuild; auto } ->
+      [ ("pending", Json.Int pending); ("rebuild", Json.Bool rebuild); ("auto", Json.Bool auto) ]
+  | Delta_compact { pending } -> [ ("pending", Json.Int pending) ]
+  | Snapshot_save { path; triples } ->
+      [ ("path", Json.String path); ("triples", Json.Int triples) ]
+  | Snapshot_load { path; triples } ->
+      [ ("path", Json.String path); ("triples", Json.Int triples) ]
+  | Slow_query { label; wall_s; plan } ->
+      [
+        ("label", Json.String label);
+        ("wall_s", Json.Float wall_s);
+        ("plan", Json.String plan);
+      ]
+
+let event_to_json e =
+  Json.Obj
+    (("seq", Json.Int e.seq)
+    :: ("at", Json.Float e.at)
+    :: ("kind", Json.String (kind_name e.kind))
+    :: kind_fields e.kind)
+
+let to_json () =
+  Json.Obj
+    [
+      ("capacity", Json.Int (capacity ()));
+      ("recorded", Json.Int (recorded ()));
+      ("dropped", Json.Int (dropped ()));
+      ("events", Json.List (List.map event_to_json (dump ())));
+    ]
+
+(* Print a multi-line string verbatim inside a @[<v>] box (pp_print_text
+   would reflow the plan tree's indentation away). *)
+let pp_block ppf s =
+  let lines = String.split_on_char '\n' s in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    Format.pp_print_string ppf lines
+
+let pp_kind ppf = function
+  | Query_start { label } -> Format.fprintf ppf "query.start    %s" label
+  | Query_end { label; rows } -> Format.fprintf ppf "query.end      %s rows=%d" label rows
+  | Plan_choice { label; detail } -> Format.fprintf ppf "plan.choice    %s: %s" label detail
+  | Delta_flush { pending; rebuild; auto } ->
+      Format.fprintf ppf "delta.flush    pending=%d rebuild=%b auto=%b" pending rebuild auto
+  | Delta_compact { pending } -> Format.fprintf ppf "delta.compact  pending=%d" pending
+  | Snapshot_save { path; triples } ->
+      Format.fprintf ppf "snapshot.save  %s triples=%d" path triples
+  | Snapshot_load { path; triples } ->
+      Format.fprintf ppf "snapshot.load  %s triples=%d" path triples
+  | Slow_query { label; wall_s; plan } ->
+      Format.fprintf ppf "query.slow     %s wall=%.3fms@,  @[<v>%a@]" label (wall_s *. 1e3)
+        pp_block plan
+
+let pp ppf () =
+  Format.fprintf ppf "@[<v>";
+  (match dump () with
+  | [] -> Format.fprintf ppf "(no events)@,"
+  | first :: _ as events ->
+      List.iter
+        (fun e ->
+          Format.fprintf ppf "[%8.6f] #%-5d %a@," (e.at -. first.at) e.seq pp_kind e.kind)
+        events);
+  if dropped () > 0 then Format.fprintf ppf "(%d events dropped)@," (dropped ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,89 @@
+(** The flight recorder: an always-on bounded ring of typed events.
+
+    Where {!Metrics} aggregates and {!Trace} times, the recorder
+    *narrates*: query boundaries, plan choices, delta flushes, snapshot
+    IO and slow queries land here as timestamped events so that the last
+    ~1k operational steps can be dumped after the fact — even when full
+    telemetry ([Telemetry.enabled]) was never switched on.
+
+    The ring is fixed-size (default 1024): emission is one small record
+    allocation plus an array store, old events are overwritten, and
+    overwrites are counted as {!dropped} rather than silently lost.
+    Emission is gated only on {!enabled} (default on; export
+    [HEXASTORE_EVENTS=0] to silence it) and deliberately never touches
+    [Config.note_activity]. *)
+
+type kind =
+  | Query_start of { label : string }
+  | Query_end of {
+      label : string;
+      rows : int;
+    }
+  | Plan_choice of {
+      label : string;
+      detail : string;  (** per-step join strategies, e.g. ["scan;merge(?y)"] *)
+    }
+  | Delta_flush of {
+      pending : int;
+      rebuild : bool;
+      auto : bool;
+    }
+  | Delta_compact of { pending : int }
+  | Snapshot_save of {
+      path : string;
+      triples : int;
+    }
+  | Snapshot_load of {
+      path : string;
+      triples : int;
+    }
+  | Slow_query of {
+      label : string;
+      wall_s : float;
+      plan : string;  (** rendered [--analyze] tree *)
+    }
+
+type event = {
+  seq : int;  (** 0-based emission index; never wraps *)
+  at : float; (** {!Clock.now} at emission *)
+  kind : kind;
+}
+
+val enabled : bool ref
+(** Recorder gate, independent of [Telemetry.enabled].  Defaults to
+    [true] unless [HEXASTORE_EVENTS=0] (or [false]/[off]) is exported. *)
+
+val emit : kind -> unit
+(** Record one event (no-op when {!enabled} is off). *)
+
+val dump : unit -> event list
+(** Retained events, oldest first. *)
+
+val recorded : unit -> int
+(** Total emissions since the last {!clear} / {!set_capacity}. *)
+
+val dropped : unit -> int
+(** Events overwritten because the ring was full. *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Resize the ring (min 1).  Clears retained events. *)
+
+val clear : unit -> unit
+
+val kind_name : kind -> string
+(** Stable dotted tag, e.g. ["delta.flush"]. *)
+
+val event_to_json : event -> Json.t
+
+val to_json : unit -> Json.t
+(** [{"capacity", "recorded", "dropped", "events": [...]}]. *)
+
+val pp : Format.formatter -> unit -> unit
+(** One line per retained event, timestamps relative to the oldest. *)
+
+val pp_block : Format.formatter -> string -> unit
+(** Print a multi-line string verbatim inside a [@[<v>]] box — used for
+    embedded plan trees, where [pp_print_text] would reflow away the
+    indentation. *)

@@ -1,0 +1,28 @@
+(** Standard exposition formats over the telemetry state.
+
+    {!chrome_trace} renders the span buffer as Chrome trace-event JSON
+    (one "complete" [ph:"X"] event per span, microsecond units) —
+    loadable in [chrome://tracing] or Perfetto.
+
+    {!prometheus} renders the metrics registry as Prometheus text
+    exposition (format 0.0.4): counters and gauges verbatim, histograms
+    as cumulative [_bucket{le=...}] series plus [_sum]/[_count], with
+    p50/p95/p99 estimates from {!Histogram.quantile} as a companion
+    [<name>_quantile] gauge family.  The flight recorder's ring
+    accounting ([telemetry_events_recorded] / [_dropped] / [_capacity])
+    is appended as synthesised series, since the recorder runs outside
+    the registry gate. *)
+
+val span_to_trace_event : Trace.span -> Json.t
+
+val chrome_trace_of_spans : Trace.span list -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+
+val chrome_trace : unit -> Json.t
+(** {!chrome_trace_of_spans} over the current span buffer. *)
+
+val metric_name : string -> string
+(** Sanitise a dotted metric name for Prometheus ([.] → [_]). *)
+
+val prometheus : unit -> string
+(** The full registry + ring accounting as text exposition. *)

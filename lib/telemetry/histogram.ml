@@ -64,6 +64,30 @@ let fold_buckets f acc h =
   Array.iteri (fun i n -> if n > 0 then acc := f !acc ~le:(bound i) ~count:n) h.buckets;
   !acc
 
+(* Estimate the q-quantile from the bucket counts: find the bucket the
+   rank lands in, interpolate linearly inside its (lower, upper] range,
+   then clamp to the exact observed min/max (which tightens the coarse
+   log-spaced bounds considerably for narrow distributions). *)
+let quantile h q =
+  if h.count = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let target = q *. float_of_int h.count in
+    let rec find i cum =
+      if i >= bucket_count then float_of_int h.max
+      else
+        let n = h.buckets.(i) in
+        let cum' = cum + n in
+        if n > 0 && float_of_int cum' >= target then
+          let lower = if i = 0 then 0. else float_of_int (bound (i - 1)) in
+          let upper = float_of_int (bound i) in
+          let frac = (target -. float_of_int cum) /. float_of_int n in
+          lower +. (frac *. (upper -. lower))
+        else find (i + 1) cum'
+    in
+    Float.max (float_of_int h.min) (Float.min (float_of_int h.max) (find 0 0))
+  end
+
 let to_json h =
   let buckets =
     fold_buckets

@@ -26,6 +26,12 @@ val min_value : t -> int option
 val max_value : t -> int option
 val mean : t -> float
 
+val quantile : t -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0. <= q <= 1.], clamped)
+    by linear interpolation inside the log-spaced bucket the rank falls
+    in, clamped to the observed min/max.  [0.] on an empty histogram.
+    Monotone in [q], so p50 <= p95 <= p99 always holds. *)
+
 val reset : t -> unit
 
 val fold_buckets : ('a -> le:int -> count:int -> 'a) -> 'a -> t -> 'a

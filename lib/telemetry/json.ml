@@ -86,7 +86,7 @@ let pp ppf v = Format.pp_print_string ppf (to_string v)
 
 exception Parse_fail of int * string
 
-let of_string s =
+let of_string ?(max_depth = 512) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_fail (!pos, msg)) in
@@ -118,6 +118,7 @@ let of_string s =
         let c = s.[!pos] in
         advance ();
         if c = '"' then Buffer.contents buf
+        else if Char.code c < 0x20 then fail "raw control character in string"
         else if c = '\\' then begin
           (if !pos >= n then fail "unterminated escape"
            else
@@ -179,7 +180,11 @@ let of_string s =
         | Some f -> Float f
         | None -> fail (Printf.sprintf "bad number %S" tok))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    (* [depth] is 0 for the outermost value, so a document may nest at
+       most [max_depth] levels: the value at depth [max_depth] (level
+       [max_depth + 1]) is rejected. *)
+    if depth >= max_depth then fail (Printf.sprintf "nesting deeper than %d" max_depth);
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -197,7 +202,7 @@ let of_string s =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -219,7 +224,7 @@ let of_string s =
         end
         else begin
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -237,7 +242,7 @@ let of_string s =
     | Some 'n' -> literal "null" Null
     | Some _ -> parse_number ()
   in
-  match parse_value () with
+  match parse_value 0 with
   | v ->
       skip_ws ();
       if !pos <> n then Error (Printf.sprintf "trailing content at offset %d" !pos) else Ok v

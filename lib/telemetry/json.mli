@@ -21,8 +21,12 @@ val to_string : ?indent:int -> t -> string
 
 val pp : Format.formatter -> t -> unit
 
-val of_string : string -> (t, string) result
-(** Parse a complete document; trailing non-whitespace is an error. *)
+val of_string : ?max_depth:int -> string -> (t, string) result
+(** Parse a complete document; trailing non-whitespace is an error, as
+    are raw (unescaped) control characters inside string literals.
+    Containers nested deeper than [max_depth] levels (default 512) are
+    rejected with [Error] rather than risking stack overflow on
+    adversarial input. *)
 
 val member : string -> t -> t option
 (** Field of an object; [None] on missing field or non-object. *)

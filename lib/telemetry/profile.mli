@@ -1,0 +1,85 @@
+(** Per-query profiling and the slow-query log.
+
+    {!snapshot} captures the metrics registry (every counter, name
+    sorted) together with the GC's allocation counters and the clock;
+    {!diff} turns two snapshots into a {!delta} — wall seconds,
+    minor/major words allocated and the non-zero counter movements.
+    {!profiled} wraps a thunk in the pair.
+
+    Counter deltas are only as complete as the instrumentation that
+    feeds them: with [Telemetry.enabled] off the registry does not move
+    and a delta degrades gracefully to wall time + GC words.
+
+    The {b slow-query log} keeps the last {!max_slow_entries} queries
+    whose wall time crossed {!slow_threshold_s} (default [infinity];
+    export [HEXASTORE_SLOW_MS] or call {!set_threshold_s}).  Each entry
+    retains the rendered [--analyze] plan — supplied lazily, so fast
+    queries never pay for it — and the counter deltas; crossing the
+    threshold also emits an {!Events.Slow_query} into the flight
+    recorder. *)
+
+type snapshot = {
+  at : float;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  counters : (string * int) list;
+}
+
+type delta = {
+  wall_s : float;
+  alloc_minor_words : float;
+  alloc_major_words : float;
+  alloc_words : float;  (** minor + major - promoted: total words allocated *)
+  counters : (string * int) list;  (** non-zero deltas, name-sorted *)
+}
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> delta
+
+val profiled : (unit -> 'a) -> 'a * delta
+(** [profiled f] runs [f] between two snapshots. *)
+
+val counter_delta : delta -> string -> int
+(** A single counter's movement ([0] when absent). *)
+
+val counter_total : ?prefix:string -> delta -> int
+(** Sum of deltas whose name starts with [prefix] (default: all). *)
+
+val delta_to_json : delta -> Json.t
+
+val pp_delta : Format.formatter -> delta -> unit
+
+(** {2 Slow-query log} *)
+
+type slow_query = {
+  sq_label : string;
+  sq_at : float;
+  sq_delta : delta;
+  sq_plan : string;  (** rendered [--analyze] tree *)
+}
+
+val max_slow_entries : int
+
+val set_threshold_s : float -> unit
+
+val slow_threshold_s : unit -> float
+
+val note : label:string -> plan:(unit -> string) -> delta -> unit
+(** Log [delta] under [label] if it crossed the threshold; [plan] is
+    forced only then. *)
+
+val slow_queries : unit -> slow_query list
+(** Retained entries, oldest first. *)
+
+val slow_count : unit -> int
+(** Total threshold crossings, including rotated-out entries. *)
+
+val clear_slow_log : unit -> unit
+
+val slow_query_to_json : slow_query -> Json.t
+
+val slow_log_to_json : unit -> Json.t
+
+val pp_slow_log : Format.formatter -> unit -> unit

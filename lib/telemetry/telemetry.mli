@@ -6,11 +6,18 @@
     JSON document model ({!Json}) used for every machine-readable export
     (the registry dump, EXPLAIN plans, [BENCH_*.json]).
 
-    Everything is gated on {!enabled}: off (the default) every hook in
-    the instrumented layers costs one flag read and allocates nothing;
-    on ([HEXASTORE_TELEMETRY=1] or setting the ref), counters, scan-size
-    histograms and operator spans are collected and can be exported with
-    {!report} / {!to_json}. *)
+    Everything except the flight recorder is gated on {!enabled}: off
+    (the default) every hook in the instrumented layers costs one flag
+    read and allocates nothing; on ([HEXASTORE_TELEMETRY=1] or setting
+    the ref), counters, scan-size histograms and operator spans are
+    collected and can be exported with {!report} / {!to_json}.
+
+    On top sit the observability services: {!Events}, the always-on
+    bounded flight recorder of operational events (its own gate,
+    [HEXASTORE_EVENTS=0] to silence); {!Profile}, per-query
+    registry+GC snapshot/diff feeding a slow-query log; and {!Export},
+    Chrome trace-event JSON for spans and Prometheus text exposition
+    (with {!Histogram.quantile} estimates) for the registry. *)
 
 module Config = Config
 module Clock = Clock
@@ -18,6 +25,9 @@ module Json = Json
 module Histogram = Histogram
 module Metrics = Metrics
 module Trace = Trace
+module Events = Events
+module Profile = Profile
+module Export = Export
 
 val enabled : bool ref
 (** The master gate ({!Config.enabled}); defaults to [false] unless
@@ -30,10 +40,12 @@ val with_enabled : bool -> (unit -> 'a) -> 'a
 (** Run with the gate forced to a value, restoring it afterwards. *)
 
 val report : Format.formatter -> unit -> unit
-(** Human-readable dump: the registry, then the span buffer. *)
+(** Human-readable dump: the registry, the slow-query log, the span
+    buffer, then the flight recorder. *)
 
 val to_json : unit -> Json.t
-(** [{"metrics": ..., "trace": ...}]. *)
+(** [{"metrics": ..., "trace": ..., "events": ..., "slow_queries": ...}]. *)
 
 val reset : unit -> unit
-(** Zero all metrics and clear the trace buffer. *)
+(** Zero all metrics, clear the trace buffer, the flight recorder and
+    the slow-query log. *)

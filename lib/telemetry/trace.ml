@@ -21,30 +21,58 @@ let buffered = ref 0
 let dropped_count = ref 0
 
 (* domain-safety: telemetry-gated — span nesting depth, balanced by
-   [with_span] behind the gate. *)
+   [exit_span] behind the gate. *)
 let depth = ref 0
+
+(* Registry mirror of [dropped_count], so a Prometheus scrape of the
+   registry sees span-buffer overflow without a separate dump. *)
+let c_dropped = Metrics.counter "telemetry.trace.dropped"
 
 let dropped () = !dropped_count
 
 let record s =
-  if !buffered >= max_spans then incr dropped_count
+  if !buffered >= max_spans then begin
+    incr dropped_count;
+    Metrics.incr c_dropped
+  end
   else begin
     buffer := s :: !buffer;
     incr buffered
   end
 
+type handle = {
+  h_name : string;
+  h_start : float;
+  h_depth : int;
+  mutable h_closed : bool;
+}
+
+(* Shared no-op handle returned while the gate is off, so a disabled
+   [enter_span] allocates nothing. *)
+let disabled_handle = { h_name = ""; h_start = 0.; h_depth = 0; h_closed = true }
+
+let enter_span name =
+  if not !Config.enabled then disabled_handle
+  else begin
+    Config.note_activity ();
+    let d = !depth in
+    incr depth;
+    { h_name = name; h_start = Clock.now (); h_depth = d; h_closed = false }
+  end
+
+let exit_span h =
+  if not h.h_closed then begin
+    h.h_closed <- true;
+    decr depth;
+    record
+      { name = h.h_name; start = h.h_start; duration = Clock.now () -. h.h_start; depth = h.h_depth }
+  end
+
 let with_span name f =
   if not !Config.enabled then f ()
   else begin
-    Config.note_activity ();
-    let start = Clock.now () in
-    let d = !depth in
-    incr depth;
-    Fun.protect
-      ~finally:(fun () ->
-        decr depth;
-        record { name; start; duration = Clock.now () -. start; depth = d })
-      f
+    let h = enter_span name in
+    Fun.protect ~finally:(fun () -> exit_span h) f
   end
 
 let spans () = List.rev !buffer

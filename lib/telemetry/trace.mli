@@ -20,11 +20,28 @@ type span = {
 val with_span : string -> (unit -> 'a) -> 'a
 (** Time [f] under [name].  The span is recorded even when [f] raises. *)
 
+type handle
+(** An open span from {!enter_span}.  The handle API exists for call
+    sites that cannot be expressed as a closure (resource lifetimes
+    spanning functions); everywhere else use {!with_span} — the
+    [span-hygiene] lint rule enforces exactly that for library code. *)
+
+val enter_span : string -> handle
+(** Open a span ([lint: allow span-hygiene] — this is the definition).
+    While the gate is off, returns a shared no-op handle without
+    allocating. *)
+
+val exit_span : handle -> unit
+(** Close and record the span.  Idempotent; a second call (or any call
+    on a disabled handle) is a no-op. *)
+
 val spans : unit -> span list
 (** Completed spans, in completion order. *)
 
 val dropped : unit -> int
-(** Spans discarded since the buffer filled (see module doc). *)
+(** Spans discarded since the buffer filled (see module doc).  Also
+    mirrored into the registry as the [telemetry.trace.dropped]
+    counter. *)
 
 val clear : unit -> unit
 (** Empty the buffer, zero the drop count, reset nesting. *)

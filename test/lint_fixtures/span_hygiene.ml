@@ -1,0 +1,19 @@
+(* Fixture: span-hygiene.  Scanned as lib/core/, where the rule
+   applies (lib/telemetry is exempt).  Manual enter/exit pairs fire —
+   qualified through either path — while [with_span] and comment-waived
+   resource-lifetime spans pass.  A waiver smuggled in a string literal
+   does not count. *)
+
+let bad_enter name = Telemetry.Trace.enter_span name
+
+let bad_exit h = Trace.exit_span h
+
+let ok_wrapped name f = Telemetry.Trace.with_span name f
+
+let ok_waived name = Telemetry.Trace.enter_span name (* lint: allow span-hygiene *)
+
+(* lint: allow span-hygiene *)
+let ok_waived_above h = Trace.exit_span h
+
+let smuggled = "lint: allow span-hygiene"
+let bad_smuggled name = Trace.enter_span name

@@ -25,6 +25,11 @@ let lubm_boxed () = Hexa.Store_sig.box_hexastore (Lazy.force lubm_store)
 let parse text =
   (Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) (sparql_prefix ^ text)).algebra
 
+let with_events flag f =
+  let saved = !Telemetry.Events.enabled in
+  Telemetry.Events.enabled := flag;
+  Fun.protect ~finally:(fun () -> Telemetry.Events.enabled := saved) f
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -210,6 +215,462 @@ let test_json_roundtrip () =
     | None -> false)
 
 (* ------------------------------------------------------------------ *)
+(* JSON parser error paths                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_truncated () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "truncated %S rejected" s) true
+        (Result.is_error (Telemetry.Json.of_string s)))
+    [ ""; "{"; "{\"a\":"; "{\"a\": 1,"; "[1,"; "["; "\"abc"; "tru"; "fals"; "nul"; "-"; "1e" ]
+
+let test_json_bad_escapes () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "bad escape %S rejected" s) true
+        (Result.is_error (Telemetry.Json.of_string s)))
+    [ {|"\x"|}; {|"\u12"|}; {|"\uZZZZ"|}; {|"\|}; "\"a\nb\"" ]
+
+let test_json_deep_nesting () =
+  let nested depth = String.make depth '[' ^ String.make depth ']' in
+  (match Telemetry.Json.of_string (nested 513) with
+  | Error msg -> check_bool "default depth error names nesting" true
+      (String.length msg > 0
+      && Option.is_some
+           (String.index_opt msg 'n' (* "nesting deeper than ..." *)))
+  | Ok _ -> Alcotest.fail "513-deep document accepted at default max_depth");
+  check_bool "512 deep passes at the default limit" true
+    (Result.is_ok (Telemetry.Json.of_string (nested 512)));
+  check_bool "shallow passes a tight limit" true
+    (Result.is_ok (Telemetry.Json.of_string ~max_depth:10 (nested 10)));
+  check_bool "tight limit rejects one past it" true
+    (Result.is_error (Telemetry.Json.of_string ~max_depth:10 (nested 11)));
+  (* Objects count toward the same depth budget as arrays. *)
+  check_bool "deep objects rejected too" true
+    (Result.is_error
+       (Telemetry.Json.of_string ~max_depth:10
+          (String.concat "" (List.init 11 (fun _ -> "{\"k\":"))
+          ^ "null"
+          ^ String.make 11 '}')))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_events_ring () =
+  with_events true (fun () ->
+      Telemetry.Events.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Telemetry.Events.set_capacity 1024)
+        (fun () ->
+          check_int "resized" 4 (Telemetry.Events.capacity ());
+          check_int "empty after resize" 0 (Telemetry.Events.recorded ());
+          for i = 1 to 6 do
+            Telemetry.Events.emit
+              (Telemetry.Events.Query_start { label = Printf.sprintf "q%d" i })
+          done;
+          check_int "all emissions counted" 6 (Telemetry.Events.recorded ());
+          check_int "overwrites counted as drops" 2 (Telemetry.Events.dropped ());
+          let dump = Telemetry.Events.dump () in
+          check_int "ring retains capacity" 4 (List.length dump);
+          check_bool "oldest first, survivors are the newest" true
+            (List.map (fun (e : Telemetry.Events.event) -> e.seq) dump = [ 2; 3; 4; 5 ]);
+          (match (List.hd dump).Telemetry.Events.kind with
+          | Telemetry.Events.Query_start { label } -> check_string "labels intact" "q3" label
+          | _ -> Alcotest.fail "unexpected kind in dump");
+          Telemetry.Events.clear ();
+          check_int "clear empties" 0 (Telemetry.Events.recorded ());
+          check_int "clear resets drops" 0 (Telemetry.Events.dropped ());
+          check_int "dump empty after clear" 0 (List.length (Telemetry.Events.dump ()))))
+
+let test_events_disabled () =
+  with_events false (fun () ->
+      let recorded = Telemetry.Events.recorded () in
+      let activity = Telemetry.activity_count () in
+      Telemetry.Events.emit (Telemetry.Events.Query_start { label = "silenced" });
+      check_int "emit is a no-op when disabled" recorded (Telemetry.Events.recorded ());
+      check_int "recorder never touches note_activity" activity (Telemetry.activity_count ()))
+
+let test_events_always_on () =
+  (* The recorder is the *always-on* layer: it records even while the
+     telemetry master gate is off. *)
+  check_bool "telemetry master gate is off" false !Telemetry.enabled;
+  with_events true (fun () ->
+      let before = Telemetry.Events.recorded () in
+      Telemetry.Events.emit (Telemetry.Events.Delta_compact { pending = 3 });
+      check_int "recorded with telemetry disabled" (before + 1) (Telemetry.Events.recorded ()))
+
+let test_events_instrumentation () =
+  with_events true (fun () ->
+      Telemetry.Events.clear ();
+      let boxed = lubm_boxed () in
+      let q = parse "SELECT ?x WHERE { ?x rdf:type ub:Course . }" in
+      ignore (Query.Exec.count boxed q);
+      let kinds =
+        List.map
+          (fun (e : Telemetry.Events.event) -> Telemetry.Events.kind_name e.kind)
+          (Telemetry.Events.dump ())
+      in
+      check_bool "query boundaries and plan choice narrated" true
+        (kinds = [ "query.start"; "plan.choice"; "query.end" ]);
+      (match (List.nth (Telemetry.Events.dump ()) 2).Telemetry.Events.kind with
+      | Telemetry.Events.Query_end { label; rows } ->
+          check_string "label names root op and pattern count" "project/1tp" label;
+          check_bool "row count captured" true (rows > 0)
+      | _ -> Alcotest.fail "last event is not query.end");
+      (* Delta flushes narrate too. *)
+      Telemetry.Events.clear ();
+      let dl = Hexa.Delta.create () in
+      let dict = Hexa.Delta.dict dl in
+      ignore
+        (Hexa.Delta.add_ids dl
+           (Dict.Term_dict.encode_triple dict
+              (Rdf.Triple.make
+                 (Rdf.Term.iri "http://example.org/s")
+                 (Rdf.Term.iri "http://example.org/p")
+                 (Rdf.Term.iri "http://example.org/o"))));
+      Hexa.Delta.flush dl;
+      let flushes =
+        List.filter_map
+          (fun (e : Telemetry.Events.event) ->
+            match e.kind with
+            | Telemetry.Events.Delta_flush { pending; rebuild = _; auto } ->
+                Some (pending, auto)
+            | _ -> None)
+          (Telemetry.Events.dump ())
+      in
+      check_bool "explicit flush recorded with its backlog" true (flushes = [ (1, false) ]))
+
+let test_events_json_roundtrip () =
+  with_events true (fun () ->
+      Telemetry.Events.clear ();
+      Telemetry.Events.emit
+        (Telemetry.Events.Slow_query { label = "q"; wall_s = 0.25; plan = "project\n└─ bgp" });
+      Telemetry.Events.emit (Telemetry.Events.Snapshot_save { path = "/tmp/x.hx"; triples = 9 });
+      let json = Telemetry.Events.to_json () in
+      let s = Telemetry.Json.to_string json in
+      match Telemetry.Json.of_string s with
+      | Error msg -> Alcotest.failf "events JSON does not parse: %s" msg
+      | Ok j ->
+          check_string "stable re-encoding" s (Telemetry.Json.to_string j);
+          check_bool "accounting fields present" true
+            (List.for_all
+               (fun k -> Option.is_some (Telemetry.Json.member k j))
+               [ "capacity"; "recorded"; "dropped"; "events" ]);
+          (match Telemetry.Json.member "events" j with
+          | Some (Telemetry.Json.List evs) -> check_int "both events exported" 2 (List.length evs)
+          | _ -> Alcotest.fail "events is not a list"))
+
+(* ------------------------------------------------------------------ *)
+(* Per-query profiler and the slow-query log                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_diff () =
+  Telemetry.with_enabled true (fun () ->
+      let c = Telemetry.Metrics.counter "test.profile.steps" in
+      let x, d =
+        Telemetry.Profile.profiled (fun () ->
+            Telemetry.Metrics.incr c;
+            Telemetry.Metrics.add c 2;
+            (* Allocate something visible to the GC accounting. *)
+            List.init 1000 (fun i -> i))
+      in
+      check_int "thunk result passed through" 1000 (List.length x);
+      check_int "counter movement attributed" 3
+        (Telemetry.Profile.counter_delta d "test.profile.steps");
+      check_int "absent counters read as zero" 0
+        (Telemetry.Profile.counter_delta d "test.profile.absent");
+      check_bool "prefix total covers the movement" true
+        (Telemetry.Profile.counter_total ~prefix:"test.profile." d >= 3);
+      check_bool "allocation observed" true (d.Telemetry.Profile.alloc_words > 0.);
+      check_bool "wall time non-negative" true (d.Telemetry.Profile.wall_s >= 0.);
+      (* Idle diffs are empty: nothing moved, nothing reported. *)
+      let _, quiet = Telemetry.Profile.profiled (fun () -> ()) in
+      check_int "quiet thunk has no counter deltas" 0
+        (List.length quiet.Telemetry.Profile.counters))
+
+let test_slow_query_log () =
+  Telemetry.Profile.clear_slow_log ();
+  let saved = Telemetry.Profile.slow_threshold_s () in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Profile.set_threshold_s saved;
+      Telemetry.Profile.clear_slow_log ())
+    (fun () ->
+      (* Above-threshold work is not logged and its plan never rendered. *)
+      Telemetry.Profile.set_threshold_s 3600.;
+      let forced_fast = ref false in
+      let _, d = Telemetry.Profile.profiled (fun () -> Sys.opaque_identity 1) in
+      Telemetry.Profile.note ~label:"fast"
+        ~plan:(fun () ->
+          forced_fast := true;
+          "plan")
+        d;
+      check_int "fast query not logged" 0 (Telemetry.Profile.slow_count ());
+      check_bool "fast query's plan never forced" false !forced_fast;
+      (* Zero threshold logs everything and emits into the ring. *)
+      Telemetry.Profile.set_threshold_s 0.;
+      with_events true (fun () ->
+          Telemetry.Events.clear ();
+          let _, d = Telemetry.Profile.profiled (fun () -> Sys.opaque_identity 1) in
+          Telemetry.Profile.note ~label:"slow" ~plan:(fun () -> "project\n└─ bgp") d;
+          check_int "slow query logged" 1 (Telemetry.Profile.slow_count ());
+          (match Telemetry.Profile.slow_queries () with
+          | [ sq ] ->
+              check_string "label retained" "slow" sq.Telemetry.Profile.sq_label;
+              check_string "analyze tree retained" "project\n└─ bgp"
+                sq.Telemetry.Profile.sq_plan
+          | l -> Alcotest.failf "expected 1 slow entry, got %d" (List.length l));
+          check_bool "threshold crossing lands in the flight recorder" true
+            (List.exists
+               (fun (e : Telemetry.Events.event) ->
+                 match e.kind with
+                 | Telemetry.Events.Slow_query { label; plan; _ } ->
+                     String.equal label "slow" && String.equal plan "project\n└─ bgp"
+                 | _ -> false)
+               (Telemetry.Events.dump ()));
+          (* The JSON view parses and carries the threshold. *)
+          let s = Telemetry.Json.to_string (Telemetry.Profile.slow_log_to_json ()) in
+          match Telemetry.Json.of_string s with
+          | Error msg -> Alcotest.failf "slow log JSON does not parse: %s" msg
+          | Ok j ->
+              check_bool "total exported" true
+                (match Telemetry.Json.member "total" j with
+                | Some (Telemetry.Json.Int 1) -> true
+                | _ -> false)))
+
+let test_slow_log_rotation () =
+  Telemetry.Profile.clear_slow_log ();
+  let saved = Telemetry.Profile.slow_threshold_s () in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Profile.set_threshold_s saved;
+      Telemetry.Profile.clear_slow_log ())
+    (fun () ->
+      Telemetry.Profile.set_threshold_s 0.;
+      with_events false (fun () ->
+          for i = 1 to Telemetry.Profile.max_slow_entries + 10 do
+            let _, d = Telemetry.Profile.profiled (fun () -> Sys.opaque_identity i) in
+            Telemetry.Profile.note ~label:(Printf.sprintf "q%d" i) ~plan:(fun () -> "") d
+          done);
+      check_int "total counts rotated-out entries too"
+        (Telemetry.Profile.max_slow_entries + 10)
+        (Telemetry.Profile.slow_count ());
+      let entries = Telemetry.Profile.slow_queries () in
+      check_int "retention is bounded" Telemetry.Profile.max_slow_entries (List.length entries);
+      check_string "oldest retained entry is the first survivor" "q11"
+        (List.hd entries).Telemetry.Profile.sq_label)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_quantiles () =
+  let h = Telemetry.Histogram.make "test.quantiles" in
+  check_float "empty histogram reads zero" 0. (Telemetry.Histogram.quantile h 0.5);
+  Telemetry.with_enabled true (fun () ->
+      for i = 1 to 100 do
+        Telemetry.Histogram.observe h i
+      done);
+  let q50 = Telemetry.Histogram.quantile h 0.5 in
+  let q95 = Telemetry.Histogram.quantile h 0.95 in
+  let q99 = Telemetry.Histogram.quantile h 0.99 in
+  check_bool "p50 in the middle of 1..100" true (q50 >= 25. && q50 <= 75.);
+  check_bool "monotone in q" true (q50 <= q95 && q95 <= q99);
+  check_float "clamped below to the observed min" 1. (Telemetry.Histogram.quantile h 0.);
+  check_float "clamped above to the observed max" 100. (Telemetry.Histogram.quantile h 1.);
+  check_float "q below 0 clamps" 1. (Telemetry.Histogram.quantile h (-1.));
+  check_float "q above 1 clamps" 100. (Telemetry.Histogram.quantile h 2.)
+
+let test_chrome_trace () =
+  Telemetry.with_enabled true (fun () ->
+      Telemetry.Trace.clear ();
+      Telemetry.Clock.with_source (Telemetry.Clock.ticking ~start:0. ~step:1. ()) (fun () ->
+          Telemetry.Trace.with_span "outer" (fun () ->
+              Telemetry.Trace.with_span "inner" (fun () -> ())));
+      let json = Telemetry.Export.chrome_trace () in
+      let s = Telemetry.Json.to_string json in
+      (match Telemetry.Json.of_string s with
+      | Error msg -> Alcotest.failf "chrome trace does not parse: %s" msg
+      | Ok j -> check_string "stable re-encoding" s (Telemetry.Json.to_string j));
+      match Telemetry.Json.member "traceEvents" json with
+      | Some (Telemetry.Json.List [ ev_inner; ev_outer ]) ->
+          let str k ev =
+            match Telemetry.Json.member k ev with
+            | Some (Telemetry.Json.String s) -> s
+            | _ -> Alcotest.failf "missing string field %s" k
+          in
+          let num k ev =
+            match Option.bind (Telemetry.Json.member k ev) Telemetry.Json.to_float_opt with
+            | Some f -> f
+            | None -> Alcotest.failf "missing numeric field %s" k
+          in
+          check_string "complete events" "X" (str "ph" ev_inner);
+          check_string "category" "hexastore" (str "cat" ev_outer);
+          check_string "span name" "inner" (str "name" ev_inner);
+          (* Ticking clock: outer [0,3], inner [1,2] — microsecond units. *)
+          check_float "inner ts" 1e6 (num "ts" ev_inner);
+          check_float "inner dur" 1e6 (num "dur" ev_inner);
+          check_float "outer dur" 3e6 (num "dur" ev_outer);
+          check_float "depth in args" 1.
+            (match Telemetry.Json.path [ "args"; "depth" ] ev_inner with
+            | Some v -> Option.value ~default:(-1.) (Telemetry.Json.to_float_opt v)
+            | None -> -1.)
+      | _ -> Alcotest.fail "traceEvents is not a 2-element list")
+
+let test_prometheus_exposition () =
+  Telemetry.with_enabled true (fun () ->
+      let c = Telemetry.Metrics.counter "test.prom.hits" in
+      let h = Telemetry.Metrics.histogram "test.prom.sizes" in
+      Telemetry.Metrics.add c 7;
+      for i = 1 to 100 do
+        Telemetry.Metrics.observe h i
+      done);
+  let text = Telemetry.Export.prometheus () in
+  let lines = String.split_on_char '\n' text in
+  let has_line pred = List.exists pred lines in
+  let starts p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+  check_string "dots sanitised" "test_prom_hits" (Telemetry.Export.metric_name "test.prom.hits");
+  check_bool "counter TYPE line" true (has_line (( = ) "# TYPE test_prom_hits counter"));
+  check_bool "counter sample" true (has_line (starts "test_prom_hits 7"));
+  check_bool "histogram TYPE line" true (has_line (( = ) "# TYPE test_prom_sizes histogram"));
+  check_bool "+Inf bucket closes the series" true
+    (has_line (starts "test_prom_sizes_bucket{le=\"+Inf\"} 100"));
+  check_bool "sum and count" true
+    (has_line (starts "test_prom_sizes_sum 5050") && has_line (starts "test_prom_sizes_count 100"));
+  check_bool "quantile companion family" true
+    (List.for_all
+       (fun q -> has_line (starts (Printf.sprintf "test_prom_sizes_quantile{quantile=\"%s\"}" q)))
+       [ "0.5"; "0.95"; "0.99" ]);
+  check_bool "ring accounting synthesised" true
+    (has_line (starts "telemetry_events_recorded ")
+    && has_line (starts "telemetry_events_dropped ")
+    && has_line (starts "telemetry_events_capacity "));
+  (* Cumulative buckets: counts along each _bucket series never decrease. *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if starts "test_prom_sizes_bucket{" l then
+          String.rindex_opt l ' '
+          |> Option.map (fun i -> float_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      lines
+  in
+  check_bool "buckets are cumulative" true
+    (bucket_counts <> [] && List.sort compare bucket_counts = bucket_counts);
+  (* Every sample line is "name[{labels}] value" with a finite value. *)
+  List.iter
+    (fun l ->
+      if l <> "" && not (starts "# " l) then
+        match String.rindex_opt l ' ' with
+        | None -> Alcotest.failf "malformed sample line: %s" l
+        | Some i -> (
+            match float_of_string_opt (String.sub l (i + 1) (String.length l - i - 1)) with
+            | Some _ -> ()
+            | None -> Alcotest.failf "non-numeric sample value: %s" l))
+    lines
+
+let test_trace_dropped_counter () =
+  Telemetry.with_enabled true (fun () ->
+      Telemetry.Trace.clear ();
+      let c = Telemetry.Metrics.counter "telemetry.trace.dropped" in
+      let before = Telemetry.Metrics.value c in
+      for _ = 1 to 8192 + 5 do
+        Telemetry.Trace.with_span "overflow" (fun () -> ())
+      done;
+      check_int "buffer-full spans counted locally" 5 (Telemetry.Trace.dropped ());
+      check_int "and mirrored into the registry" (before + 5) (Telemetry.Metrics.value c);
+      Telemetry.Trace.clear ())
+
+(* ------------------------------------------------------------------ *)
+(* Encoder round-trips (qcheck)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Stable re-encoding is the right property for printed JSON: parsing a
+   printed float may legitimately reconstruct an Int (e.g. "2"), but the
+   re-printed text must be identical. *)
+let reencodes_stably json =
+  let s = Telemetry.Json.to_string json in
+  match Telemetry.Json.of_string s with
+  | Ok j -> String.equal s (Telemetry.Json.to_string j)
+  | Error msg -> QCheck.Test.fail_reportf "printed JSON does not parse: %s\n%s" msg s
+
+let gen_json =
+  QCheck.Gen.(
+    sized_size (int_bound 3) (fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              map (fun i -> Telemetry.Json.Int i) small_signed_int;
+              map (fun f -> Telemetry.Json.Float f) (float_bound_exclusive 1000.);
+              map (fun s -> Telemetry.Json.String s) string_printable;
+              map (fun b -> Telemetry.Json.Bool b) bool;
+              return Telemetry.Json.Null;
+            ]
+        in
+        if n = 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map (fun l -> Telemetry.Json.List l) (list_size (int_bound 4) (self (n - 1)));
+              map
+                (fun kvs -> Telemetry.Json.Obj kvs)
+                (list_size (int_bound 4) (pair string_printable (self (n - 1))));
+            ])))
+
+let qcheck_json_reencode =
+  QCheck.Test.make ~name:"arbitrary Json.t re-encodes stably" ~count:500
+    (QCheck.make ~print:(fun j -> Telemetry.Json.to_string ~indent:2 j) gen_json)
+    reencodes_stably
+
+let gen_event_kind =
+  QCheck.Gen.(
+    let s = string_printable in
+    oneof
+      [
+        map (fun label -> Telemetry.Events.Query_start { label }) s;
+        map2 (fun label rows -> Telemetry.Events.Query_end { label; rows }) s small_nat;
+        map2 (fun label detail -> Telemetry.Events.Plan_choice { label; detail }) s s;
+        map3
+          (fun pending rebuild auto -> Telemetry.Events.Delta_flush { pending; rebuild; auto })
+          small_nat bool bool;
+        map (fun pending -> Telemetry.Events.Delta_compact { pending }) small_nat;
+        map2 (fun path triples -> Telemetry.Events.Snapshot_save { path; triples }) s small_nat;
+        map2 (fun path triples -> Telemetry.Events.Snapshot_load { path; triples }) s small_nat;
+        map3
+          (fun label wall_s plan -> Telemetry.Events.Slow_query { label; wall_s; plan })
+          s (float_bound_exclusive 10.) s;
+      ])
+
+let gen_event =
+  QCheck.Gen.(
+    map3
+      (fun seq at kind -> { Telemetry.Events.seq; at; kind })
+      small_nat (float_bound_exclusive 1e6) gen_event_kind)
+
+let qcheck_event_reencode =
+  QCheck.Test.make ~name:"flight-recorder events re-encode stably" ~count:500
+    (QCheck.make
+       ~print:(fun e -> Telemetry.Json.to_string ~indent:2 (Telemetry.Events.event_to_json e))
+       gen_event)
+    (fun e -> reencodes_stably (Telemetry.Events.event_to_json e))
+
+let qcheck_span_reencode =
+  QCheck.Test.make ~name:"trace spans re-encode stably as Chrome events" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         map3
+           (fun name start (duration, depth) ->
+             { Telemetry.Trace.name; start; duration; depth })
+           string_printable (float_bound_exclusive 1e9)
+           (pair (float_bound_exclusive 10.) (int_bound 12))))
+    (fun sp -> reencodes_stably (Telemetry.Export.span_to_trace_event sp))
+
+let qt = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
 (* EXPLAIN goldens (LUBM, deterministic seed 42)                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -250,15 +711,18 @@ let test_explain_golden_hash () =
 
 let test_explain_golden_analyze () =
   (* A ticking clock makes every ANALYZE timing exactly one step
-     (0.5 ms); row counts are exact, so the whole tree is a golden. *)
+     (0.5 ms); row counts are exact, so the whole tree is a golden.  The
+     flight recorder is silenced: its emissions also read the injectable
+     clock and would consume ticks inside the measured regions. *)
   let q =
     parse
       "SELECT ?x ?y WHERE { ?x rdf:type ub:GraduateStudent . ?x ub:advisor ?y . ?y rdf:type \
        ub:FullProfessor . }"
   in
   let plan =
-    Telemetry.Clock.with_source (Telemetry.Clock.ticking ~start:0. ~step:0.0005 ()) (fun () ->
-        Query.Exec.explain ~analyze:true (lubm_boxed ()) q)
+    with_events false (fun () ->
+        Telemetry.Clock.with_source (Telemetry.Clock.ticking ~start:0. ~step:0.0005 ()) (fun () ->
+            Query.Exec.explain ~analyze:true (lubm_boxed ()) q))
   in
   let expected =
     "project [?x ?y]  rows=23 time=0.500ms\n"
@@ -400,8 +864,41 @@ let () =
           Alcotest.test_case "hooks fire when enabled" `Quick test_enabled_hooks_fire;
         ] );
       ("clock", [ Alcotest.test_case "injection" `Quick test_clock_injection ]);
-      ("trace", [ Alcotest.test_case "spans" `Quick test_trace_spans ]);
-      ("json", [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ]);
+      ( "trace",
+        [
+          Alcotest.test_case "spans" `Quick test_trace_spans;
+          Alcotest.test_case "dropped counter" `Quick test_trace_dropped_counter;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "truncated input" `Quick test_json_truncated;
+          Alcotest.test_case "bad escapes" `Quick test_json_bad_escapes;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+          qt qcheck_json_reencode;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "ring wrap and drops" `Quick test_events_ring;
+          Alcotest.test_case "disabled gate" `Quick test_events_disabled;
+          Alcotest.test_case "always-on" `Quick test_events_always_on;
+          Alcotest.test_case "query and delta narration" `Quick test_events_instrumentation;
+          Alcotest.test_case "json round-trip" `Quick test_events_json_roundtrip;
+          qt qcheck_event_reencode;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "diff attribution" `Quick test_profile_diff;
+          Alcotest.test_case "slow-query log" `Quick test_slow_query_log;
+          Alcotest.test_case "slow-log rotation" `Quick test_slow_log_rotation;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          qt qcheck_span_reencode;
+        ] );
       ( "explain",
         [
           Alcotest.test_case "golden single pattern" `Quick test_explain_golden_single;
