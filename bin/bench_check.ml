@@ -129,6 +129,69 @@ let check_profiling ~pr ~mode json =
         "bench-check: profiling recorder overhead %.2f%%, scan-size p50/p95/p99 = %g/%g/%g\n"
         ((ratio -. 1.) *. 100.) p50 p95 p99
 
+(* The PR-8 parallel-execution section: the speedup curve over the pool
+   widths plus per-arm latency quantiles.  Required from PR 8 on.
+   Structural demands are unconditional (positive timings, monotone
+   p50/p95/p99, aggregate speedups present per width > 1); the >1x
+   aggregate speedup at the widest arm is only demanded when the
+   artifact itself reports cores >= 2 and the run is not smoke-sized —
+   on a single-core host extra domains cannot win, they can only pay
+   handoff overhead, so there the bar is a 0.2x sanity floor. *)
+let check_parallel ~pr ~mode json =
+  match Telemetry.Json.member "parallel" json with
+  | None | Some Telemetry.Json.Null ->
+      if pr >= 8 then fail "parallel section missing (required since PR 8)"
+  | Some par ->
+      let ctx = "parallel" in
+      let cores = require_number ~ctx par "cores" in
+      ignore (require_number ~ctx par "triples");
+      let widths =
+        match require ~ctx par "widths" with
+        | Telemetry.Json.List ws ->
+            List.filter_map Telemetry.Json.to_float_opt ws |> List.map int_of_float
+        | _ -> fail "parallel.widths is not a list"
+      in
+      let max_width = List.fold_left max 1 widths in
+      (match require ~ctx par "queries" with
+      | Telemetry.Json.Obj [] -> fail "parallel.queries is empty"
+      | Telemetry.Json.Obj queries ->
+          List.iter
+            (fun (qname, q) ->
+              let ctx = "parallel.queries." ^ qname in
+              if require_number ~ctx q "rows" < 0. then fail "%s: negative row count" ctx;
+              List.iter
+                (fun w ->
+                  let arm = require ~ctx q (Printf.sprintf "d%d" w) in
+                  let ctx = Printf.sprintf "%s.d%d" ctx w in
+                  if require_number ~ctx arm "seconds" <= 0. then
+                    fail "%s: non-positive wall time" ctx;
+                  let p50 = require_number ~ctx arm "p50_us" in
+                  let p95 = require_number ~ctx arm "p95_us" in
+                  let p99 = require_number ~ctx arm "p99_us" in
+                  if not (p50 <= p95 && p95 <= p99) then
+                    fail "%s: latency quantiles not monotone (p50=%g p95=%g p99=%g)" ctx p50
+                      p95 p99)
+                widths)
+            queries
+      | _ -> fail "parallel.queries is not an object");
+      let agg = require ~ctx par "aggregate_speedup" in
+      List.iter
+        (fun w ->
+          if w > 1 then begin
+            let key = Printf.sprintf "d%d" w in
+            let s = require_number ~ctx:"parallel.aggregate_speedup" agg key in
+            let bar =
+              if w = max_width && cores >= 2. && not (String.equal mode "smoke") then 1.0
+              else 0.2
+            in
+            if s <= bar then
+              fail "parallel.aggregate_speedup.%s: %.2fx does not clear the %.1fx bar (%g cores)"
+                key s bar cores;
+            Printf.printf "bench-check: parallel aggregate speedup at width %d: %.2fx (%g cores)\n"
+              w s cores
+          end)
+        widths
+
 let parse_file path =
   match Telemetry.Json.of_string (read_file path) with
   | Ok j -> j
@@ -228,6 +291,7 @@ let () =
   check_workload "barton" (require ~ctx:"workloads" workloads "barton");
   check_join ~mode json;
   check_profiling ~pr ~mode json;
+  check_parallel ~pr ~mode json;
   let overhead = require ~ctx:"root" json "telemetry_overhead" in
   let off = require_number ~ctx:"telemetry_overhead" overhead "disabled_seconds" in
   let on = require_number ~ctx:"telemetry_overhead" overhead "enabled_seconds" in

@@ -8,6 +8,9 @@
       model-checker that executes random operation sequences against it
       and the real store, shrinking any disagreement to a minimal
       counterexample.
+    - {!Concurrent} — the concurrency harness: parallel ≡ sequential
+      differential execution and the writer-vs-readers delta stress
+      runner behind [dune build @stress].
     - {!Lexer}/{!Mutability}/{!Lint} — the static-analysis pass behind
       [dune build @lint]: a positioned OCaml tokenizer, the
       mutable-state inventory backing [DOMAIN_SAFETY.md], and the rule
@@ -21,6 +24,7 @@ module Violation = Violation
 module Invariant = Invariant
 module Model = Model
 module Diff = Diff
+module Concurrent = Concurrent
 module Lexer = Lexer
 module Mutability = Mutability
 module Lint = Lint

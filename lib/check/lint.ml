@@ -160,7 +160,8 @@ let domain_safety_violations ~path (t : L.t) =
            | Some (cls, _) when Option.is_none (Mutability.class_of_string cls) ->
                Printf.sprintf
                  "domain-safety attestation on %s has unknown class %S (expected \
-                  immutable-after-init | guarded | telemetry-gated | test-only)"
+                  immutable-after-init | guarded | telemetry-gated | test-only | atomic | \
+                  domain-sharded)"
                  g.Mutability.g_name cls
            | Some (cls, _) ->
                Printf.sprintf

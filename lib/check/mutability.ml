@@ -5,18 +5,24 @@ type safety_class =
   | Guarded
   | Telemetry_gated
   | Test_only
+  | Atomic
+  | Domain_sharded
 
 let class_name = function
   | Immutable_after_init -> "immutable-after-init"
   | Guarded -> "guarded"
   | Telemetry_gated -> "telemetry-gated"
   | Test_only -> "test-only"
+  | Atomic -> "atomic"
+  | Domain_sharded -> "domain-sharded"
 
 let class_of_string = function
   | "immutable-after-init" -> Some Immutable_after_init
   | "guarded" -> Some Guarded
   | "telemetry-gated" -> Some Telemetry_gated
   | "test-only" -> Some Test_only
+  | "atomic" -> Some Atomic
+  | "domain-sharded" -> Some Domain_sharded
   | _ -> None
 
 type target =
@@ -454,7 +460,10 @@ let to_markdown report =
   pf "Classes: `immutable-after-init` (written only during module\n";
   pf "initialisation), `guarded` (explicit synchronisation),\n";
   pf "`telemetry-gated` (mutated only behind `Telemetry.enabled`),\n";
-  pf "`test-only` (mutated only by tests/bench/debug tooling).\n\n";
+  pf "`test-only` (mutated only by tests/bench/debug tooling),\n";
+  pf "`atomic` (a lock-free `Atomic.t` cell, safe to bump from any\n";
+  pf "domain), `domain-sharded` (state split into per-domain shards and\n";
+  pf "merged at read time).\n\n";
   pf "## Layer summary\n\n";
   pf "| layer | globals | mutable fields | local creations | mutation sites |\n";
   pf "|---|---:|---:|---:|---:|\n";

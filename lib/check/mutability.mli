@@ -42,10 +42,17 @@ type safety_class =
       (** Mutated only on telemetry paths (behind [Telemetry.enabled]);
           benign or disabled under production parallel reads. *)
   | Test_only  (** Mutated only by tests, benchmarks or debug tooling. *)
+  | Atomic
+      (** A lock-free [Atomic.t] cell (or array of them); safe to bump
+          from any domain without a lock. *)
+  | Domain_sharded
+      (** Split into per-domain shards (indexed by domain id) and merged
+          at read time; shards may still carry their own locks for the
+          id-collision case. *)
 
 val class_name : safety_class -> string
 (** ["immutable-after-init"], ["guarded"], ["telemetry-gated"],
-    ["test-only"]. *)
+    ["test-only"], ["atomic"], ["domain-sharded"]. *)
 
 val class_of_string : string -> safety_class option
 

@@ -7,6 +7,7 @@ type layer =
   | Dictionary
   | Dataset
   | Snapshot
+  | Query
   | Source
 
 type t = {
@@ -24,6 +25,7 @@ let layer_name = function
   | Dictionary -> "dictionary"
   | Dataset -> "dataset"
   | Snapshot -> "snapshot"
+  | Query -> "query"
   | Source -> "source"
 
 let v layer ~path fmt = Format.kasprintf (fun message -> { layer; path; message }) fmt

@@ -15,6 +15,7 @@ type layer =
   | Dictionary  (** Term/id bijectivity. *)
   | Dataset  (** Named-graph coherence. *)
   | Snapshot  (** Persistence round-trip fidelity. *)
+  | Query  (** Query-result divergence (parallel vs sequential, model). *)
   | Source  (** A lint finding in a source file. *)
 
 type t = {

@@ -23,6 +23,24 @@ let g_pending_del = Telemetry.Metrics.gauge "hexastore.delta.pending_deletes"
 let m_flush_us = Telemetry.Metrics.histogram "hexastore.delta.flush_duration_us"
 let m_flush_batch = Telemetry.Metrics.histogram "hexastore.delta.flush_batch"
 
+(* Concurrency protocol (see DESIGN.md §13): one writer stages into the
+   buffers and flushes; readers on other domains never touch the live
+   buffers — they [pin] a snapshot (frozen base + private buffer copies)
+   and release it when done.  [sync] backs that handshake: buffer
+   mutation and the pin's copy both hold [lock], and a flush (which
+   mutates the shared base the snapshots still read) waits under [cond]
+   until every pin is released, while new pins wait out an in-progress
+   flush. *)
+type sync = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable pins : int;
+  mutable flushing : bool;
+}
+
+let make_sync () =
+  { lock = Mutex.create (); cond = Condition.create (); pins = 0; flushing = false }
+
 (* Invariants (checked by [Check.Invariant.delta]):
    - no triple is in both [inserts] and the base store;
    - [deletes] is a subset of the base store;
@@ -33,6 +51,7 @@ type t = {
   deletes : (id_triple, unit) Hashtbl.t;
   mutable insert_threshold : int;
   mutable delete_threshold : int;
+  sync : sync;
 }
 
 let default_insert_threshold = 4096
@@ -48,7 +67,29 @@ let of_base ?(insert_threshold = default_insert_threshold)
     deletes = Hashtbl.create 16;
     insert_threshold = clamp_threshold insert_threshold;
     delete_threshold = clamp_threshold delete_threshold;
+    sync = make_sync ();
   }
+
+let with_lock t f =
+  Mutex.lock t.sync.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sync.lock) f
+
+(* Run [f] with the base frozen for everyone else: blocks new pins,
+   waits out existing ones, then lets [f] mutate the shared base. *)
+let with_base_frozen t f =
+  with_lock t (fun () ->
+      while t.sync.flushing do
+        Condition.wait t.sync.cond t.sync.lock
+      done;
+      t.sync.flushing <- true;
+      while t.sync.pins > 0 do
+        Condition.wait t.sync.cond t.sync.lock
+      done;
+      Fun.protect
+        ~finally:(fun () ->
+          t.sync.flushing <- false;
+          Condition.broadcast t.sync.cond)
+        f)
 
 let create ?dict ?insert_threshold ?delete_threshold () =
   of_base ?insert_threshold ?delete_threshold (Hexastore.create ?dict ())
@@ -115,14 +156,18 @@ let rebuild_base t batch =
 let flush_with ?(auto = false) ~force_rebuild t =
   let timed = !Telemetry.Config.enabled in
   let started = if timed then Telemetry.Clock.now () else 0. in
-  let pending = Hashtbl.length t.inserts + Hashtbl.length t.deletes in
-  Telemetry.Metrics.incr m_flush;
-  Telemetry.Metrics.observe m_flush_batch pending;
-  let batch = drain_pending t in
-  let rebuild =
-    force_rebuild || Array.length batch * rebuild_factor >= Hexastore.size t.base
+  let pending, rebuild =
+    with_base_frozen t (fun () ->
+        let pending = Hashtbl.length t.inserts + Hashtbl.length t.deletes in
+        Telemetry.Metrics.incr m_flush;
+        Telemetry.Metrics.observe m_flush_batch pending;
+        let batch = drain_pending t in
+        let rebuild =
+          force_rebuild || Array.length batch * rebuild_factor >= Hexastore.size t.base
+        in
+        if rebuild then rebuild_base t batch else ignore (Hexastore.add_bulk_ids t.base batch);
+        (pending, rebuild))
   in
-  if rebuild then rebuild_base t batch else ignore (Hexastore.add_bulk_ids t.base batch);
   Telemetry.Events.emit (Telemetry.Events.Delta_flush { pending; rebuild; auto });
   note_pending t;
   if timed then
@@ -151,43 +196,61 @@ let maybe_auto_flush t =
 
 (* --- mutation --------------------------------------------------------- *)
 
+(* Buffer staging holds [sync.lock] so a concurrent [pin]'s
+   [Hashtbl.copy] never observes a half-resized table; the auto-flush
+   check runs after the lock is released ([flush_with] re-enters the
+   sync protocol itself). *)
 let add_ids t tr =
-  if Hashtbl.mem t.inserts tr then false
-  else if Hexastore.mem_ids t.base tr then
-    if Hashtbl.mem t.deletes tr then begin
-      (* Resurrection: cancel the pending tombstone instead of buffering
-         an insert the base already holds. *)
-      Hashtbl.remove t.deletes tr;
-      Telemetry.Metrics.incr m_resurrect;
+  let outcome =
+    with_lock t (fun () ->
+        if Hashtbl.mem t.inserts tr then `Noop
+        else if Hexastore.mem_ids t.base tr then
+          if Hashtbl.mem t.deletes tr then begin
+            (* Resurrection: cancel the pending tombstone instead of
+               buffering an insert the base already holds. *)
+            Hashtbl.remove t.deletes tr;
+            Telemetry.Metrics.incr m_resurrect;
+            `Staged
+          end
+          else `Noop
+        else begin
+          Hashtbl.replace t.inserts tr ();
+          Telemetry.Metrics.incr m_ins_buf;
+          `Buffered
+        end)
+  in
+  (match outcome with
+  | `Noop -> ()
+  | `Staged -> note_pending t
+  | `Buffered ->
       note_pending t;
-      true
-    end
-    else false
-  else begin
-    Hashtbl.replace t.inserts tr ();
-    Telemetry.Metrics.incr m_ins_buf;
-    note_pending t;
-    maybe_auto_flush t;
-    true
-  end
+      maybe_auto_flush t);
+  outcome <> `Noop
 
 let remove_ids t tr =
-  if Hashtbl.mem t.inserts tr then begin
-    (* The triple only ever lived in the buffer: dropping the buffered
-       insert deletes it without touching the base. *)
-    Hashtbl.remove t.inserts tr;
-    Telemetry.Metrics.incr m_unbuffer;
-    note_pending t;
-    true
-  end
-  else if Hexastore.mem_ids t.base tr && not (Hashtbl.mem t.deletes tr) then begin
-    Hashtbl.replace t.deletes tr ();
-    Telemetry.Metrics.incr m_del_buf;
-    note_pending t;
-    maybe_auto_flush t;
-    true
-  end
-  else false
+  let outcome =
+    with_lock t (fun () ->
+        if Hashtbl.mem t.inserts tr then begin
+          (* The triple only ever lived in the buffer: dropping the
+             buffered insert deletes it without touching the base. *)
+          Hashtbl.remove t.inserts tr;
+          Telemetry.Metrics.incr m_unbuffer;
+          `Staged
+        end
+        else if Hexastore.mem_ids t.base tr && not (Hashtbl.mem t.deletes tr) then begin
+          Hashtbl.replace t.deletes tr ();
+          Telemetry.Metrics.incr m_del_buf;
+          `Buffered
+        end
+        else `Noop)
+  in
+  (match outcome with
+  | `Noop -> ()
+  | `Staged -> note_pending t
+  | `Buffered ->
+      note_pending t;
+      maybe_auto_flush t);
+  outcome <> `Noop
 
 let mem_ids t tr =
   Hashtbl.mem t.inserts tr
@@ -196,9 +259,10 @@ let mem_ids t tr =
 let add_bulk_ids t batch =
   (* Pending deletes must land first so a batch re-inserting a tombstoned
      triple counts it as fresh; then the base's own sort-and-append bulk
-     path takes the whole batch at once. *)
+     path takes the whole batch at once (with the base frozen, since
+     pinned snapshots read it directly). *)
   flush t;
-  Hexastore.add_bulk_ids t.base batch
+  with_base_frozen t (fun () -> Hexastore.add_bulk_ids t.base batch)
 
 (* --- merged lookup ---------------------------------------------------- *)
 
@@ -339,6 +403,52 @@ let scan_sorted t pat pos =
         in
         Some (ord, seek)
       end
+
+(* Splitting reuses the base's boundary keys: buffered inserts merge
+   into whichever range their scan value lands in, preserving both
+   contiguity and per-range sortedness, so concatenating the split still
+   reproduces the unsplit merged stream exactly.  (Insert-heavy deltas
+   can unbalance the parts; that costs speedup, never correctness.) *)
+let scan_bounds t pat pos ~parts = Hexastore.scan_bounds t.base pat pos ~parts
+
+let scan_split t pat pos ~parts =
+  match scan_sorted t pat pos with
+  | None -> None
+  | Some (ord, seek) ->
+      Some (ord, Hexastore.split_cursor pos (scan_bounds t pat pos ~parts) seek)
+
+(* --- snapshot pinning -------------------------------------------------- *)
+
+let pin t =
+  with_lock t (fun () ->
+      while t.sync.flushing do
+        Condition.wait t.sync.cond t.sync.lock
+      done;
+      t.sync.pins <- t.sync.pins + 1;
+      let view =
+        {
+          base = t.base;
+          inserts = Hashtbl.copy t.inserts;
+          deletes = Hashtbl.copy t.deletes;
+          (* A snapshot is read-only by protocol; max out the thresholds
+             so even a misuse can never auto-flush into the shared base. *)
+          insert_threshold = max_int;
+          delete_threshold = max_int;
+          sync = make_sync ();
+        }
+      in
+      let released = ref false in
+      let unpin () =
+        with_lock t (fun () ->
+            if not !released then begin
+              released := true;
+              t.sync.pins <- t.sync.pins - 1;
+              if t.sync.pins = 0 then Condition.broadcast t.sync.cond
+            end)
+      in
+      (view, unpin))
+
+let pins t = t.sync.pins
 
 let iter_pending_inserts f t = Hashtbl.iter (fun tr () -> f tr) t.inserts
 let iter_pending_deletes f t = Hashtbl.iter (fun tr () -> f tr) t.deletes

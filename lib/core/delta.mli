@@ -105,6 +105,39 @@ val scan_sorted : t -> Pattern.t -> Pattern.position -> (Ordering.t * (int -> id
     delta-fronted store stays merge-joinable under the same strategy
     rules as its base. *)
 
+val scan_bounds : t -> Pattern.t -> Pattern.position -> parts:int -> int array
+(** Interior boundary keys carving the merged scan into [parts]
+    contiguous ranges; taken from the base's serving structure (see
+    {!Hexastore.scan_bounds}), so insert-heavy deltas may yield
+    unbalanced — never incorrect — parts. *)
+
+val scan_split :
+  t -> Pattern.t -> Pattern.position -> parts:int ->
+  (Ordering.t * id_triple Seq.t array) option
+(** {!scan_sorted} partitioned into up to [parts] contiguous ranges.
+    Every seek runs eagerly during the call, so on a pinned snapshot the
+    returned ranges are safe to force from distinct domains.  [None]
+    exactly when {!scan_sorted} is. *)
+
+(** {1 Snapshot pinning}
+
+    The delta's concurrency protocol: one writer stages and flushes
+    while any number of reader domains query pinned snapshots.  A
+    snapshot shares the (frozen) base store and owns private copies of
+    the staged buffers, so its merged view is stable for as long as it
+    is held: {!flush}, {!compact} and the auto-flush wait until every
+    pin is released before mutating the base, and new pins wait out an
+    in-progress flush.  Readers must not mutate through a snapshot. *)
+
+val pin : t -> t * (unit -> unit)
+(** [pin t] is [(view, unpin)]: a read-only snapshot of the current
+    merged view plus the closure releasing it.  [unpin] is idempotent;
+    holding a pin blocks flushes, so release promptly. *)
+
+val pins : t -> int
+(** Number of currently held pins (diagnostic; exact only while pinners
+    are quiescent). *)
+
 val iter_pending_inserts : (id_triple -> unit) -> t -> unit
 (** Buffered inserts, in hash order.  Invariant checking and tests. *)
 

@@ -494,6 +494,67 @@ let scan_sorted t (pat : Pattern.t) (pos : Pattern.position) =
       in
       Some (ord, seek)
 
+(* --- range-splittable cursors ----------------------------------------- *)
+
+(* Interior boundary keys that carve [pat]'s sorted scan on [pos] into
+   [parts] contiguous key ranges.  Boundaries are taken at quantile
+   indices of the serving structure (terminal-list elements, pair-vector
+   keys or headers), so parts are balanced by structural size, not exact
+   triple count — a skewed payload can unbalance the one-bound shape,
+   which costs speedup, never correctness.  The result is non-decreasing
+   with at most [parts - 1] entries; duplicate or degenerate boundaries
+   simply yield empty ranges downstream. *)
+let scan_bounds t (pat : Pattern.t) (pos : Pattern.position) ~parts =
+  match serving_ordering pat pos with
+  | None -> [||]
+  | Some ord ->
+      let index = index_of t ord in
+      let value q = Pattern.value_at pat q in
+      let boundaries n get =
+        if parts <= 1 || n = 0 then [||]
+        else Array.init (parts - 1) (fun j -> get ((j + 1) * n / parts))
+      in
+      (match List.map value (Ordering.positions ord) with
+      | [ Some first; Some second; None ] -> (
+          match Index.find_list index first second with
+          | None -> [||]
+          | Some l -> boundaries (Sorted_ivec.length l) (Sorted_ivec.get l))
+      | [ Some first; None; None ] -> (
+          match Index.find_vector index first with
+          | None -> [||]
+          | Some v -> boundaries (Pair_vector.length v) (Pair_vector.key_at v))
+      | [ None; None; None ] ->
+          let hs = Index.headers_view index in
+          boundaries (Sorted_ivec.length hs) (Sorted_ivec.get hs)
+      | _ ->
+          (* serving_ordering guarantees bound-prefix shapes only. *)
+          assert false)
+
+(* Carve a seek cursor into contiguous per-range sequences at the given
+   interior boundaries: range 0 holds keys below [bounds.(0)], range i
+   the keys in [bounds.(i-1), bounds.(i)), the last range everything
+   from the final boundary up.  All seeks run eagerly here, in ascending
+   order (reusing the cursor's gallop state); the returned sequences
+   share no mutable state afterwards, so distinct ranges are safe to
+   force from distinct domains.  Concatenating the ranges in order
+   reproduces the unsplit [seek min_int] stream exactly. *)
+let split_cursor (pos : Pattern.position) bounds seek =
+  let value_of (tr : id_triple) =
+    match pos with Pattern.Subj -> tr.s | Pattern.Pred -> tr.p | Pattern.Obj -> tr.o
+  in
+  let k = Array.length bounds in
+  let parts = Array.make (k + 1) Seq.empty in
+  for i = 0 to k do
+    let s = if i = 0 then seek min_int else seek bounds.(i - 1) in
+    parts.(i) <- (if i = k then s else Seq.take_while (fun tr -> value_of tr < bounds.(i)) s)
+  done;
+  parts
+
+let scan_split t pat pos ~parts =
+  match scan_sorted t pat pos with
+  | None -> None
+  | Some (ord, seek) -> Some (ord, split_cursor pos (scan_bounds t pat pos ~parts) seek)
+
 (* --- direct accessors ------------------------------------------------ *)
 
 let probe_lists ord table key =

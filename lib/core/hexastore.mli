@@ -82,6 +82,32 @@ val scan_sorted : t -> Pattern.t -> Pattern.position -> (Ordering.t * (int -> id
     [pos] is itself bound.  Counts as one probe of the serving
     ordering. *)
 
+val scan_bounds : t -> Pattern.t -> Pattern.position -> parts:int -> int array
+(** [scan_bounds t pat pos ~parts] is the interior boundary keys that
+    carve [scan_sorted t pat pos]'s stream into [parts] contiguous,
+    roughly size-balanced key ranges: a non-decreasing array of at most
+    [parts - 1] values at [pos].  Empty when the pattern has no serving
+    ordering, no matches, or [parts <= 1]. *)
+
+val split_cursor :
+  Pattern.position -> int array -> (int -> id_triple Seq.t) -> id_triple Seq.t array
+(** [split_cursor pos bounds seek] carves a {!scan_sorted} seek cursor
+    at the given interior boundaries: range [i] holds the matches whose
+    value at [pos] lies in [[bounds.(i-1), bounds.(i))] (unbounded at
+    the array's ends).  All seeks run eagerly during the call; the
+    returned sequences share no mutable cursor state, so distinct
+    ranges can be forced from distinct domains.  Concatenating the
+    ranges in order reproduces the unsplit [seek min_int] stream
+    exactly.  Shared so {!Delta} can split its merged cursors the same
+    way. *)
+
+val scan_split :
+  t -> Pattern.t -> Pattern.position -> parts:int ->
+  (Ordering.t * id_triple Seq.t array) option
+(** [scan_split t pat pos ~parts] is {!scan_sorted} partitioned into up
+    to [parts] contiguous ranges via {!scan_bounds}/{!split_cursor}.
+    [None] exactly when {!scan_sorted} is. *)
+
 (** {1 Direct vector/list accessors (the paper's notation)} *)
 
 val objects_of_sp : t -> s:int -> p:int -> Vectors.Sorted_ivec.t option

@@ -32,6 +32,20 @@ module type S = sig
       cannot stream the matches sorted on that position — the planner
       then falls back to hash or nested-loop joins. *)
 
+  val scan_split :
+    t -> Pattern.t -> Pattern.position -> parts:int ->
+    (Ordering.t * Dict.Term_dict.id_triple Seq.t array) option
+  (** [scan_sorted] partitioned into up to [parts] contiguous ranges
+      whose in-order concatenation reproduces the unsplit stream exactly
+      (see {!Hexastore.scan_split}).  [None] when the store cannot split
+      — the executor then runs the scan sequentially. *)
+
+  val pin : t -> (t * (unit -> unit)) option
+  (** Snapshot isolation hook: [Some (view, unpin)] when the store
+      distinguishes a stable read view from its live, writer-mutated
+      self (see {!Delta.pin}); [None] for stores whose reads are already
+      stable under the one-writer protocol. *)
+
   val memory_words : t -> int
 end
 
@@ -46,6 +60,11 @@ module Hexastore_store : S with type t = Hexastore.t = struct
   let lookup = Hexastore.lookup
   let count = Hexastore.count
   let scan_sorted = Hexastore.scan_sorted
+  let scan_split = Hexastore.scan_split
+
+  (* Queries never mutate, so with one writer paused there is nothing to
+     isolate from: the live store is its own stable view. *)
+  let pin _ = None
   let memory_words = Hexastore.memory_words
 end
 
@@ -63,6 +82,8 @@ module Covp1_store : S with type t = Covp.t = struct
   (* The COVP baselines keep only per-property tables; they cannot
      stream an arbitrary pattern sorted on a chosen position. *)
   let scan_sorted _ _ _ = None
+  let scan_split _ _ _ ~parts:_ = None
+  let pin _ = None
   let memory_words = Covp.memory_words
 end
 
@@ -86,6 +107,8 @@ module Partial_store : S with type t = Partial.t = struct
   (* A partial store may be missing the ordering a sorted scan needs;
      stay conservative and let the planner fall back. *)
   let scan_sorted _ _ _ = None
+  let scan_split _ _ _ ~parts:_ = None
+  let pin _ = None
   let memory_words = Partial.memory_words
 end
 
@@ -100,6 +123,8 @@ module Delta_store : S with type t = Delta.t = struct
   let lookup = Delta.lookup
   let count = Delta.count
   let scan_sorted = Delta.scan_sorted
+  let scan_split = Delta.scan_split
+  let pin d = Some (Delta.pin d)
   let memory_words = Delta.memory_words
 end
 
@@ -124,6 +149,13 @@ let add_bulk_ids (Boxed ((module M), store)) trs = M.add_bulk_ids store trs
 let lookup (Boxed ((module M), store)) pat = M.lookup store pat
 let count (Boxed ((module M), store)) pat = M.count store pat
 let scan_sorted (Boxed ((module M), store)) pat pos = M.scan_sorted store pat pos
+let scan_split (Boxed ((module M), store)) pat pos ~parts = M.scan_split store pat pos ~parts
+
+let pin (Boxed ((module M), store) as b) =
+  match M.pin store with
+  | None -> (b, fun () -> ())
+  | Some (view, unpin) -> (Boxed ((module M), view), unpin)
+
 let memory_words (Boxed ((module M), store)) = M.memory_words store
 
 let add_triple b triple =

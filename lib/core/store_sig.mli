@@ -35,6 +35,22 @@ module type S = sig
       always serves it; the COVP baselines and the partial store never
       do; a delta layer merges its buffers into the base's scan. *)
 
+  val scan_split :
+    t -> Pattern.t -> Pattern.position -> parts:int ->
+    (Ordering.t * Dict.Term_dict.id_triple Seq.t array) option
+  (** [scan_sorted] partitioned into up to [parts] contiguous ranges
+      whose in-order concatenation reproduces the unsplit stream exactly
+      (see {!Hexastore.scan_split}); every seek runs eagerly during the
+      call, so the ranges are safe to force from distinct domains.
+      [None] when the store cannot split — the executor then runs the
+      scan sequentially. *)
+
+  val pin : t -> (t * (unit -> unit)) option
+  (** Snapshot isolation hook: [Some (view, unpin)] when the store
+      distinguishes a stable read view from its live, writer-mutated
+      self (see {!Delta.pin}); [None] for stores whose reads are already
+      stable under the one-writer protocol. *)
+
   val memory_words : t -> int
 end
 
@@ -75,6 +91,16 @@ val count : boxed -> Pattern.t -> int
 
 val scan_sorted :
   boxed -> Pattern.t -> Pattern.position -> (Ordering.t * (int -> Dict.Term_dict.id_triple Seq.t)) option
+
+val scan_split :
+  boxed -> Pattern.t -> Pattern.position -> parts:int ->
+  (Ordering.t * Dict.Term_dict.id_triple Seq.t array) option
+
+val pin : boxed -> boxed * (unit -> unit)
+(** [pin b] is [(view, unpin)]: a stable read view of [b] plus its
+    release.  For stores without a pinning protocol the view is [b]
+    itself and [unpin] a no-op, so callers can pin unconditionally. *)
+
 val memory_words : boxed -> int
 
 val add_triple : boxed -> Rdf.Triple.t -> bool

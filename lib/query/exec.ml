@@ -253,6 +253,42 @@ let eval_choice store sols (c : Planner.choice) =
 let eval_plan store choices =
   List.fold_left (eval_choice store) (Seq.return Binding.empty) choices
 
+(* Domain-parallel BGP evaluation.  The driving scan is split into
+   contiguous ranges on its sort position ([Store_sig.scan_split]); each
+   range seeds the full downstream pipeline — merge/hash probes included
+   — as one task on the [Par] pool, over a pinned view of the store so a
+   concurrent delta writer cannot mutate what the lanes read.  Ranges
+   partition the scan in output order, and every step operator is
+   left-order-preserving, so concatenating the per-domain runs in range
+   order reproduces the sequential stream exactly (row counters stay
+   exact; per-call counters like [query.join.*] and the hash build span
+   inflate by the part count — see DESIGN.md §13).  Unlike the
+   sequential path the fan-out is eager: all ranges run to completion
+   even if the consumer stops early (LIMIT/ASK).
+
+   [None] means "could not fan out" (store refused the split): fall back
+   to the sequential pipeline. *)
+let eval_bgp_parallel store (first : Planner.choice) rest parts pos =
+  let tp = first.Planner.tp in
+  let dict = Hexa.Store_sig.dict store in
+  match (resolve dict Binding.empty tp.s, resolve dict Binding.empty tp.p, resolve dict Binding.empty tp.o) with
+  | Some s, Some p, Some o -> (
+      let view, unpin = Hexa.Store_sig.pin store in
+      Fun.protect ~finally:unpin (fun () ->
+          match Hexa.Store_sig.scan_split view { Hexa.Pattern.s; p; o } pos ~parts with
+          | None -> None
+          | Some (_ord, ranges) ->
+              let task range () =
+                let seed =
+                  Seq.filter_map (extend_with Binding.empty tp) range
+                  |> counted m_rows_scan
+                in
+                List.of_seq (List.fold_left (eval_choice view) seed rest)
+              in
+              let runs = Par.run (Array.map task ranges) in
+              Some (List.to_seq (List.concat (Array.to_list runs)))))
+  | _ -> Some Seq.empty (* unknown constant: the pattern matches nothing *)
+
 let eval_bgp store tps =
   let choices = Planner.plan store tps in
   Telemetry.Events.emit
@@ -266,7 +302,12 @@ let eval_bgp store tps =
                   Format.asprintf "%a" Planner.pp_strategy c.Planner.strategy)
                 choices);
        });
-  eval_plan store choices
+  match choices with
+  | ({ Planner.par = Some { Planner.par_parts; par_pos }; _ } as first) :: rest -> (
+      match eval_bgp_parallel store first rest par_parts par_pos with
+      | Some rows -> rows
+      | None -> eval_plan store choices)
+  | _ -> eval_plan store choices
 
 (* --- grouping --------------------------------------------------------- *)
 
@@ -572,8 +613,12 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
             {
               op = "scan";
               detail =
-                Format.asprintf "%a index=%s strategy=%a" Algebra.pp_tp c.Planner.tp
-                  (Hexa.Ordering.name c.Planner.index) Planner.pp_strategy c.Planner.strategy;
+                Format.asprintf "%a index=%s strategy=%a%t" Algebra.pp_tp c.Planner.tp
+                  (Hexa.Ordering.name c.Planner.index) Planner.pp_strategy c.Planner.strategy
+                  (fun ppf ->
+                    match c.Planner.par with
+                    | Some { Planner.par_parts; _ } -> Format.fprintf ppf " par=%d" par_parts
+                    | None -> ());
               estimate = Some c.Planner.estimate;
               selectivity = Some c.Planner.selectivity;
               actual_rows;

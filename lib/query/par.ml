@@ -1,0 +1,164 @@
+(* A fixed-size OCaml 5 domain pool for intra-query parallelism.
+
+   Sizing: [HEXASTORE_DOMAINS] if set (>= 1), else
+   [Domain.recommended_domain_count ()].  The pool owns [target - 1]
+   worker domains — the caller of [run] is the remaining lane, helping
+   drain the queue instead of blocking, so a pool of size 1 degenerates
+   to plain sequential execution with no domains spawned at all.
+
+   Workers are spawned lazily on the first parallel [run] and joined by
+   an [at_exit] hook, so programs that never go parallel never pay for a
+   domain, and programs that do still exit cleanly.
+
+   Scheduling is deliberately simple: one global FIFO of thunks under a
+   mutex.  Jobs here are query sub-scans costing microseconds to
+   milliseconds, so handoff cost is noise; what matters is that nested
+   or concurrent [run] calls cannot deadlock, which caller-helping
+   guarantees (a caller whose jobs are stuck behind other batches works
+   the queue itself). *)
+
+let default_domains () =
+  match Sys.getenv_opt "HEXASTORE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n 64
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* domain-safety: atomic — the configured fan-out width, read lock-free
+   by the planner on every BGP; written at init and by
+   [set_domains]/[with_domains] (tests, bench arms, CLI). *)
+let target = Atomic.make 1
+
+let () = Atomic.set target (default_domains ())
+
+let domains () = Atomic.get target
+
+let set_domains n = Atomic.set target (max 1 (min 64 n))
+
+let lock = Mutex.create ()
+let work_ready = Condition.create ()
+let batch_done = Condition.create ()
+
+(* domain-safety: guarded — the shared job queue; every push/pop holds
+   [lock]. *)
+let jobs : (unit -> unit) Queue.t = Queue.create ()
+
+(* domain-safety: guarded — live worker handles, mutated under [lock] by
+   the lazy spawn path and drained once by the at_exit shutdown. *)
+let workers : unit Domain.t list ref = ref []
+
+(* domain-safety: guarded — shutdown flag for the worker loop, set under
+   [lock] by the at_exit hook. *)
+let stopping = ref false
+
+(* domain-safety: guarded — ensures the at_exit shutdown hook registers
+   once, from whichever domain spawns first, under [lock]. *)
+let exit_hook_registered = ref false
+
+let rec worker_loop () =
+  Mutex.lock lock;
+  while Queue.is_empty jobs && not !stopping do
+    Condition.wait work_ready lock
+  done;
+  if Queue.is_empty jobs then begin
+    (* stopping and drained *)
+    Mutex.unlock lock;
+    ()
+  end
+  else begin
+    let job = Queue.pop jobs in
+    Mutex.unlock lock;
+    job ();
+    worker_loop ()
+  end
+
+let shutdown () =
+  Mutex.lock lock;
+  stopping := true;
+  Condition.broadcast work_ready;
+  let ws = !workers in
+  workers := [];
+  Mutex.unlock lock;
+  List.iter Domain.join ws;
+  Mutex.lock lock;
+  stopping := false;
+  Mutex.unlock lock
+
+(* Called with [lock] held. *)
+let ensure_workers_locked () =
+  if not !exit_hook_registered then begin
+    exit_hook_registered := true;
+    at_exit shutdown
+  end;
+  let want = Atomic.get target - 1 in
+  let have = List.length !workers in
+  for _ = have + 1 to want do
+    workers := Domain.spawn worker_loop :: !workers
+  done
+
+let pool_size () =
+  Mutex.lock lock;
+  let n = List.length !workers in
+  Mutex.unlock lock;
+  n + 1
+
+(* Jobs must never raise into the worker loop: each slot captures its
+   outcome and the caller re-raises after the batch completes. *)
+let run (fs : (unit -> 'a) array) : 'a array =
+  let n = Array.length fs in
+  if n = 0 then [||]
+  else if n = 1 || domains () <= 1 then Array.map (fun f -> f ()) fs
+  else begin
+    let results : ('a, exn) result option array = Array.make n None in
+    let remaining = Atomic.make n in
+    let job i () =
+      (* lint: allow catch-all — domain boundary: the exception is
+         captured into the result slot and re-raised by the caller. *)
+      let r = try Ok (fs.(i) ()) with e -> Error e in
+      results.(i) <- Some r;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock lock;
+        Condition.broadcast batch_done;
+        Mutex.unlock lock
+      end
+    in
+    Mutex.lock lock;
+    ensure_workers_locked ();
+    for i = 0 to n - 1 do
+      Queue.push (job i) jobs
+    done;
+    Condition.broadcast work_ready;
+    Mutex.unlock lock;
+    (* Caller participation: drain jobs (this batch's or another
+       concurrent caller's — progress either way) until our batch is
+       done, then wait out any of our jobs still running on workers. *)
+    let rec help () =
+      Mutex.lock lock;
+      if Atomic.get remaining = 0 then Mutex.unlock lock
+      else if not (Queue.is_empty jobs) then begin
+        let j = Queue.pop jobs in
+        Mutex.unlock lock;
+        j ();
+        help ()
+      end
+      else begin
+        while Atomic.get remaining > 0 do
+          Condition.wait batch_done lock
+        done;
+        Mutex.unlock lock
+      end
+    in
+    help ();
+    Array.map
+      (function
+        | Some (Ok x) -> x
+        | Some (Error e) -> raise e
+        | None -> assert false (* remaining = 0 implies every slot filled *))
+      results
+  end
+
+let with_domains n f =
+  let saved = domains () in
+  set_domains n;
+  Fun.protect ~finally:(fun () -> set_domains saved) f

@@ -1,0 +1,43 @@
+(** A fixed-size OCaml 5 domain pool for intra-query parallelism.
+
+    The executor fans a BGP's driving scan across [domains ()] lanes:
+    the caller of {!run} plus [domains () - 1] lazily spawned worker
+    domains sharing one job queue.  Pool size comes from the
+    [HEXASTORE_DOMAINS] environment variable when set (clamped to
+    [1, 64]), else [Domain.recommended_domain_count ()].  With a size of
+    1 nothing is ever spawned and {!run} degenerates to a sequential
+    loop.  An [at_exit] hook joins the workers, so processes exit
+    cleanly whether or not they ever went parallel. *)
+
+val domains : unit -> int
+(** Configured fan-out width (>= 1).  The planner reads this on every
+    BGP to decide whether parallel scan ranges are worth planning. *)
+
+val set_domains : int -> unit
+(** Set the fan-out width (clamped to [1, 64]).  Already-spawned workers
+    are kept (the pool never shrinks); missing ones are spawned on the
+    next parallel {!run}. *)
+
+val with_domains : int -> (unit -> 'a) -> 'a
+(** [with_domains n f] runs [f] with the width set to [n], restoring the
+    previous width afterwards.  Used by the differential tests and the
+    bench's speedup arms. *)
+
+val run : (unit -> 'a) array -> 'a array
+(** [run fs] evaluates every thunk, in parallel when the width and batch
+    size allow, and returns their results in slot order.  The calling
+    domain participates (it helps drain the queue rather than block), so
+    concurrent or nested [run] calls cannot deadlock.  If a thunk
+    raises, the batch still completes and the first-slot exception is
+    re-raised in the caller.  Thunks must be safe to run on any domain:
+    for store scans that means eagerly-seeked {!Hexa.Store_sig.scan_split}
+    ranges over a pinned view. *)
+
+val pool_size : unit -> int
+(** Lanes currently backing {!run}: spawned workers + the caller.  1
+    until a parallel [run] first spawns. *)
+
+val shutdown : unit -> unit
+(** Join all workers (normally invoked by the [at_exit] hook; exposed
+    for tests).  The pool respawns lazily on the next parallel
+    {!run}. *)

@@ -37,18 +37,33 @@ type strategy =
     }
   | Hash_join of { vars : string list }
 
+(* Fan-out hint on a BGP's driving scan: split the scan into
+   [par_parts] contiguous ranges on the value at [par_pos] and evaluate
+   the downstream pipeline per range on the domain pool. *)
+type par_hint = {
+  par_parts : int;
+  par_pos : Hexa.Pattern.position;
+}
+
 type choice = {
   tp : Algebra.tp;
   estimate : int;
   selectivity : float;
   index : Hexa.Ordering.t;
   strategy : strategy;
+  par : par_hint option;
 }
 
 (* domain-safety: test-only — ablation switch flipped by the benchmark
    harness and strategy-equivalence tests around whole runs; production
    planning never writes it. *)
 let nested_loop_only = ref false
+
+(* domain-safety: test-only — fan-out floor: a driving scan below this
+   estimate stays sequential (range setup + domain handoff would
+   dominate).  Production planning only reads it; tests and the bench's
+   speedup arms lower it to force parallel plans on small fixtures. *)
+let parallel_min_rows = ref 512
 
 (* Largest independent right-side cardinality a hash join will buffer.
    Beyond this the build side no longer looks "small" and the
@@ -114,6 +129,25 @@ let first_free_var ord tp bound =
       | _ -> None)
     (Hexa.Ordering.positions ord)
 
+(* Parallel fan-out for a driving scan: worth it only when the pool has
+   width, the scan is big enough to amortise the handoff, and the store
+   can both serve and split a sorted scan on the pattern's first free
+   variable (splitting on the sort position keeps per-range output
+   order, so the in-order merge of the per-domain runs reproduces the
+   sequential stream exactly). *)
+let par_hint_for store dict ord (tp : Algebra.tp) est =
+  let parts = Par.domains () in
+  if parts <= 1 || est < !parallel_min_rows then None
+  else
+    match first_free_var ord tp [] with
+    | None -> None
+    | Some v -> (
+        match (sole_position_of v tp, pattern_of_tp dict tp) with
+        | Some pos, Some pat
+          when Hexa.Store_sig.scan_sorted store pat pos <> None ->
+            Some { par_parts = parts; par_pos = pos }
+        | _ -> None)
+
 let plan store tps =
   Telemetry.Metrics.incr m_plans;
   let dict = Hexa.Store_sig.dict store in
@@ -174,6 +208,7 @@ let plan store tps =
                 | shared -> hash_or_nested shared
             in
             Telemetry.Metrics.incr m_scan_index.(ord_index index);
+            let par = if acc = [] then par_hint_for store dict index tp est else None in
             let choice =
               {
                 tp;
@@ -181,6 +216,7 @@ let plan store tps =
                 selectivity = (if n = 0 then 0. else float_of_int est /. float_of_int n);
                 index;
                 strategy;
+                par;
               }
             in
             let sorted_on =
@@ -195,5 +231,9 @@ let plan store tps =
 let order_bgp store tps = List.map (fun c -> c.tp) (plan store tps)
 
 let pp_choice ppf c =
-  Format.fprintf ppf "%a  [index=%s strategy=%a est=%d sel=%.2e]" Algebra.pp_tp c.tp
+  Format.fprintf ppf "%a  [index=%s strategy=%a est=%d sel=%.2e%t]" Algebra.pp_tp c.tp
     (Hexa.Ordering.name c.index) pp_strategy c.strategy c.estimate c.selectivity
+    (fun ppf ->
+      match c.par with
+      | Some { par_parts; _ } -> Format.fprintf ppf " par=%d" par_parts
+      | None -> ())

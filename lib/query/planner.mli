@@ -48,6 +48,18 @@ type strategy =
       (** buffer the pattern's independent matches keyed on the shared
           variables, probe per binding *)
 
+(** Fan-out hint on a BGP's driving scan: the executor splits the scan
+    into [par_parts] contiguous ranges on the value at [par_pos]
+    ({!Hexa.Store_sig.scan_split}) and runs the downstream pipeline per
+    range on the {!Par} domain pool, concatenating the per-range runs in
+    order.  Planned only when {!Par.domains}[ () > 1], the estimate
+    clears {!parallel_min_rows}, and the store can serve a sorted scan
+    on the pattern's first free variable. *)
+type par_hint = {
+  par_parts : int;
+  par_pos : Hexa.Pattern.position;
+}
+
 (** One planned scan, in execution order. *)
 type choice = {
   tp : Algebra.tp;
@@ -57,12 +69,18 @@ type choice = {
       (** the ordering serving the step: the sorted scan's ordering for a
           merge join, the refined pattern's serving ordering otherwise *)
   strategy : strategy;
+  par : par_hint option;  (** set only on the first (driving-scan) step *)
 }
 
 val nested_loop_only : bool ref
 (** When set, every join strategy degrades to {!Nested_loop} (first step
     stays {!Scan}).  The ablation switch behind the join benchmark and
     the merge/hash ≡ nested-loop equivalence properties. *)
+
+val parallel_min_rows : int ref
+(** Smallest driving-scan estimate the planner will fan out; below it
+    the handoff overhead dominates.  Tests and the bench's speedup arms
+    lower it to force parallel plans on small fixtures. *)
 
 val hash_build_limit : int
 (** Largest independent right-side estimate a {!Hash_join} will buffer. *)

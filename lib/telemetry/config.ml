@@ -7,11 +7,12 @@ let enabled =
     | Some ("1" | "true" | "on") -> true
     | Some _ | None -> false)
 
-(* domain-safety: telemetry-gated — bumped only behind [enabled]; a
-   lost increment under racing domains skews a diagnostic count, never
-   query results. *)
-let count = ref 0
+(* domain-safety: atomic — bumped lock-free from every domain once
+   queries fan out; a plain ref would drop increments under parallel
+   emitters and the activity count backs the zero-allocation-when-idle
+   telemetry tests, which need it exact. *)
+let count = Atomic.make 0
 
-let activity_count () = !count
+let activity_count () = Atomic.get count
 
-let note_activity () = incr count
+let note_activity () = Atomic.incr count

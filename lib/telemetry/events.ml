@@ -4,9 +4,9 @@
    the point is to have the last ~1k operational events (query
    boundaries, plan choices, delta flushes, snapshot IO, slow queries)
    available for a post-hoc dump even when full telemetry was never
-   enabled.  Each emission is one array store plus one small record
-   allocation; the ring never grows, and overwrites are counted as
-   drops rather than silently discarded.
+   enabled.  Each emission is one mutex-guarded array store plus one
+   small record allocation; the ring never grows, and overwrites are
+   counted as drops rather than silently discarded.
 
    Deliberately independent of [Config.enabled] and of
    [Config.note_activity]: the disabled-telemetry tests assert that the
@@ -61,47 +61,64 @@ let enabled =
     | Some ("0" | "false" | "off") -> false
     | _ -> true)
 
-(* domain-safety: telemetry-gated — the ring storage itself; diagnostic
-   state only, a racing overwrite loses an event, never query results.
-   Reallocated only by [set_capacity] (tests/CLI). *)
+(* One mutex serialises every ring mutation and every dump: emitters on
+   different domains get distinct, gap-free sequence numbers, a reader
+   never observes a torn slot (an index bumped past an unwritten cell),
+   and [set_capacity]'s reallocation cannot race an in-flight store.
+   Emission already allocates an event record, so the uncontended
+   lock/unlock pair is noise by comparison. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* domain-safety: guarded — the ring storage itself; every write (and
+   [set_capacity]'s reallocation) happens under [lock], as does [dump],
+   so concurrent emitters cannot tear a slot. *)
 let ring : event option array ref = ref (Array.make default_capacity None)
 
-(* domain-safety: telemetry-gated — total emissions since the last
-   [clear]; drives both the ring write index and the drop count. *)
+(* domain-safety: guarded — total emissions since the last [clear];
+   bumped under [lock] so it exactly matches the filled ring slots and
+   the drop count stays accurate under concurrent emitters. *)
 let total = ref 0
 
 let capacity () = Array.length !ring
 
+(* Reads of [total] outside the lock are single-word and cannot tear;
+   they are exact whenever emitters are quiescent. *)
 let recorded () = !total
 
 let dropped () = max 0 (!total - capacity ())
 
 let emit kind =
   if !enabled then begin
-    let r = !ring in
-    r.(!total mod Array.length r) <- Some { seq = !total; at = Clock.now (); kind };
-    incr total
+    locked (fun () ->
+        let r = !ring in
+        r.(!total mod Array.length r) <- Some { seq = !total; at = Clock.now (); kind };
+        incr total)
   end
 
-let clear () = begin
-  Array.fill !ring 0 (Array.length !ring) None;
-  total := 0
-end
+let clear () =
+  locked (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      total := 0)
 
-let set_capacity n = begin
-  ring := Array.make (max 1 n) None;
-  total := 0
-end
+let set_capacity n =
+  locked (fun () ->
+      ring := Array.make (max 1 n) None;
+      total := 0)
 
 let dump () =
-  let r = !ring in
-  let cap = Array.length r in
-  let kept = min !total cap in
-  let first = !total - kept in
-  List.init kept (fun i ->
-      match r.((first + i) mod cap) with
-      | Some e -> e
-      | None -> assert false (* slots below [total] are always filled *))
+  locked (fun () ->
+      let r = !ring in
+      let cap = Array.length r in
+      let kept = min !total cap in
+      let first = !total - kept in
+      List.init kept (fun i ->
+          match r.((first + i) mod cap) with
+          | Some e -> e
+          | None -> assert false (* slots below [total] are always filled *)))
 
 let kind_name = function
   | Query_start _ -> "query.start"

@@ -1,20 +1,32 @@
 (* 40 log-spaced buckets with upper bounds 2^0 .. 2^39; the last bucket
-   additionally absorbs everything larger.  The array is allocated once
-   at registration, so observation mutates in place. *)
+   additionally absorbs everything larger.  Every cell is an [Atomic.t]
+   so concurrent observers on different domains never lose an update;
+   an observation is a handful of independent lock-free bumps, so a
+   reader racing a writer can see e.g. the bucket bumped before [sum]
+   — each individual series stays exact once emitters quiesce, but a
+   mid-flight snapshot is only approximately consistent across fields
+   (see DESIGN.md §13). *)
 
 let bucket_count = 40
 
 type t = {
   name : string;
-  buckets : int array;
-  mutable count : int;
-  mutable sum : int;
-  mutable min : int;
-  mutable max : int;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  min : int Atomic.t;
+  max : int Atomic.t;
 }
 
 let make name =
-  { name; buckets = Array.make bucket_count 0; count = 0; sum = 0; min = max_int; max = min_int }
+  {
+    name;
+    buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0;
+    min = Atomic.make max_int;
+    max = Atomic.make min_int;
+  }
 
 let name h = h.name
 
@@ -31,37 +43,53 @@ let bucket_of v =
     !i
   end
 
+(* Lock-free running min/max: retry the CAS until either it lands or
+   another domain has already published a value at least as extreme. *)
+let rec update_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then update_min cell v
+
+let rec update_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then update_max cell v
+
 let observe h v =
   if !Config.enabled then begin
     Config.note_activity ();
     let b = bucket_of v in
-    h.buckets.(b) <- h.buckets.(b) + 1;
-    h.count <- h.count + 1;
-    h.sum <- h.sum + v;
-    if v < h.min then h.min <- v;
-    if v > h.max then h.max <- v
+    Atomic.incr h.buckets.(b);
+    Atomic.incr h.count;
+    ignore (Atomic.fetch_and_add h.sum v);
+    update_min h.min v;
+    update_max h.max v
   end
 
-let count h = h.count
+let count h = Atomic.get h.count
 
-let sum h = h.sum
+let sum h = Atomic.get h.sum
 
-let min_value h = if h.count = 0 then None else Some h.min
+let min_value h = if count h = 0 then None else Some (Atomic.get h.min)
 
-let max_value h = if h.count = 0 then None else Some h.max
+let max_value h = if count h = 0 then None else Some (Atomic.get h.max)
 
-let mean h = if h.count = 0 then 0. else float_of_int h.sum /. float_of_int h.count
+let mean h = if count h = 0 then 0. else float_of_int (sum h) /. float_of_int (count h)
 
+(* Not atomic as a whole: reset while emitters race loses the races'
+   updates.  Callers reset between measurement arms, not mid-flight. *)
 let reset h =
-  Array.fill h.buckets 0 bucket_count 0;
-  h.count <- 0;
-  h.sum <- 0;
-  h.min <- max_int;
-  h.max <- min_int
+  Array.iter (fun cell -> Atomic.set cell 0) h.buckets;
+  Atomic.set h.count 0;
+  Atomic.set h.sum 0;
+  Atomic.set h.min max_int;
+  Atomic.set h.max min_int
 
 let fold_buckets f acc h =
   let acc = ref acc in
-  Array.iteri (fun i n -> if n > 0 then acc := f !acc ~le:(bound i) ~count:n) h.buckets;
+  Array.iteri
+    (fun i cell ->
+      let n = Atomic.get cell in
+      if n > 0 then acc := f !acc ~le:(bound i) ~count:n)
+    h.buckets;
   !acc
 
 (* Estimate the q-quantile from the bucket counts: find the bucket the
@@ -69,14 +97,16 @@ let fold_buckets f acc h =
    then clamp to the exact observed min/max (which tightens the coarse
    log-spaced bounds considerably for narrow distributions). *)
 let quantile h q =
-  if h.count = 0 then 0.
+  let total = count h in
+  if total = 0 then 0.
   else begin
     let q = if q < 0. then 0. else if q > 1. then 1. else q in
-    let target = q *. float_of_int h.count in
+    let target = q *. float_of_int total in
+    let hmin = Atomic.get h.min and hmax = Atomic.get h.max in
     let rec find i cum =
-      if i >= bucket_count then float_of_int h.max
+      if i >= bucket_count then float_of_int hmax
       else
-        let n = h.buckets.(i) in
+        let n = Atomic.get h.buckets.(i) in
         let cum' = cum + n in
         if n > 0 && float_of_int cum' >= target then
           let lower = if i = 0 then 0. else float_of_int (bound (i - 1)) in
@@ -85,7 +115,7 @@ let quantile h q =
           lower +. (frac *. (upper -. lower))
         else find (i + 1) cum'
     in
-    Float.max (float_of_int h.min) (Float.min (float_of_int h.max) (find 0 0))
+    Float.max (float_of_int hmin) (Float.min (float_of_int hmax) (find 0 0))
   end
 
 let to_json h =
@@ -96,8 +126,8 @@ let to_json h =
   in
   Json.Obj
     [
-      ("count", Json.Int h.count);
-      ("sum", Json.Int h.sum);
+      ("count", Json.Int (count h));
+      ("sum", Json.Int (sum h));
       ("min", match min_value h with None -> Json.Null | Some v -> Json.Int v);
       ("max", match max_value h with None -> Json.Null | Some v -> Json.Int v);
       ("mean", Json.Float (mean h));
@@ -105,9 +135,10 @@ let to_json h =
     ]
 
 let pp ppf h =
-  if h.count = 0 then Format.fprintf ppf "(empty)"
+  if count h = 0 then Format.fprintf ppf "(empty)"
   else begin
-    Format.fprintf ppf "count=%d sum=%d min=%d max=%d mean=%.1f" h.count h.sum h.min h.max (mean h);
+    Format.fprintf ppf "count=%d sum=%d min=%d max=%d mean=%.1f" (count h) (sum h)
+      (Atomic.get h.min) (Atomic.get h.max) (mean h);
     Format.fprintf ppf "@,  ";
     let first = ref true in
     ignore

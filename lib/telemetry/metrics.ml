@@ -1,11 +1,16 @@
+(* Counter and gauge cells are [Atomic.t] so instrumented code running
+   on pool domains (Query.Par) can bump them without a lock and without
+   losing updates; the registry itself is still only written by the
+   one-time module-init registrations. *)
+
 type counter = {
   c_name : string;
-  mutable c_value : int;
+  c_value : int Atomic.t;
 }
 
 type gauge = {
   g_name : string;
-  mutable g_value : float;
+  g_value : float Atomic.t;
 }
 
 type metric =
@@ -38,7 +43,7 @@ let register name make project =
 let counter name =
   match
     register name
-      (fun () -> `C { c_name = name; c_value = 0 })
+      (fun () -> `C { c_name = name; c_value = Atomic.make 0 })
       (function Counter c -> Some (`C c) | _ -> None)
   with
   | `C c -> c
@@ -47,7 +52,7 @@ let counter name =
 let gauge name =
   match
     register name
-      (fun () -> `G { g_name = name; g_value = 0. })
+      (fun () -> `G { g_name = name; g_value = Atomic.make 0. })
       (function Gauge g -> Some (`G g) | _ -> None)
   with
   | `G g -> g
@@ -67,28 +72,28 @@ let histogram name =
 let incr c =
   if !Config.enabled then begin
     Config.note_activity ();
-    c.c_value <- c.c_value + 1
+    Atomic.incr c.c_value
   end
 
 let add c n =
   if !Config.enabled then begin
     Config.note_activity ();
-    c.c_value <- c.c_value + n
+    ignore (Atomic.fetch_and_add c.c_value n)
   end
 
 let set g v =
   if !Config.enabled then begin
     Config.note_activity ();
-    g.g_value <- v
+    Atomic.set g.g_value v
   end
 
 let observe = Histogram.observe
 
 (* --- reading ----------------------------------------------------------- *)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 
-let gauge_value g = g.g_value
+let gauge_value g = Atomic.get g.g_value
 
 let counter_name c = c.c_name
 
@@ -103,7 +108,7 @@ let snapshot_counters ?(prefix = "") () =
   fold
     (fun acc name m ->
       match m with
-      | Counter c when String.starts_with ~prefix name -> (name, c.c_value) :: acc
+      | Counter c when String.starts_with ~prefix name -> (name, value c) :: acc
       | _ -> acc)
     []
   |> List.rev
@@ -112,8 +117,8 @@ let reset_all () =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.
+      | Counter c -> Atomic.set c.c_value 0
+      | Gauge g -> Atomic.set g.g_value 0.
       | Histogram h -> Histogram.reset h)
     registry
 
@@ -124,8 +129,8 @@ let to_json () =
     fold
       (fun (cs, gs, hs) name m ->
         match m with
-        | Counter c -> ((name, Json.Int c.c_value) :: cs, gs, hs)
-        | Gauge g -> (cs, (name, Json.Float g.g_value) :: gs, hs)
+        | Counter c -> ((name, Json.Int (value c)) :: cs, gs, hs)
+        | Gauge g -> (cs, (name, Json.Float (gauge_value g)) :: gs, hs)
         | Histogram h -> (cs, gs, (name, Histogram.to_json h) :: hs))
       ([], [], [])
   in
@@ -151,10 +156,10 @@ let pp_report ppf () =
       match m with
       | Counter c ->
           section "counters";
-          Format.fprintf ppf "  %-48s %d@," name c.c_value
+          Format.fprintf ppf "  %-48s %d@," name (value c)
       | Gauge g ->
           section "gauges";
-          Format.fprintf ppf "  %-48s %g@," name g.g_value
+          Format.fprintf ppf "  %-48s %g@," name (gauge_value g)
       | Histogram h ->
           section "histograms";
           Format.fprintf ppf "  @[<v>%-48s %a@]@," name Histogram.pp h)

@@ -114,13 +114,22 @@ let default_threshold_s () =
    tests around whole runs.  Diagnostic routing only. *)
 let threshold_s = ref (default_threshold_s ())
 
-(* domain-safety: telemetry-gated — the bounded slow-query log (newest
-   first); diagnostic state appended behind the threshold check, never
-   read on query paths. *)
+(* Serialises slow-log appends/rotations against concurrent noters on
+   other domains (and against a dump racing an append). *)
+let slow_lock = Mutex.create ()
+
+let slow_locked f =
+  Mutex.lock slow_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock slow_lock) f
+
+(* domain-safety: guarded — the bounded slow-query log (newest first);
+   appended and read under [slow_lock] so a rotation cannot race another
+   domain's append. *)
 let slow_log : slow_query list ref = ref []
 
-(* domain-safety: telemetry-gated — total slow queries observed,
-   including entries already rotated out of the bounded log. *)
+(* domain-safety: guarded — total slow queries observed, including
+   entries already rotated out of the bounded log; bumped under
+   [slow_lock] alongside the append it counts. *)
 let slow_total = ref 0
 
 let set_threshold_s s = threshold_s := s
@@ -132,21 +141,21 @@ let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take
 let note ~label ~plan d =
   if d.wall_s >= !threshold_s then begin
     let plan = plan () in
-    incr slow_total;
-    slow_log :=
-      { sq_label = label; sq_at = Clock.now (); sq_delta = d; sq_plan = plan }
-      :: take (max_slow_entries - 1) !slow_log;
+    let entry = { sq_label = label; sq_at = Clock.now (); sq_delta = d; sq_plan = plan } in
+    slow_locked (fun () ->
+        incr slow_total;
+        slow_log := entry :: take (max_slow_entries - 1) !slow_log);
     Events.emit (Events.Slow_query { label; wall_s = d.wall_s; plan })
   end
 
-let slow_queries () = List.rev !slow_log
+let slow_queries () = List.rev (slow_locked (fun () -> !slow_log))
 
 let slow_count () = !slow_total
 
-let clear_slow_log () = begin
-  slow_log := [];
-  slow_total := 0
-end
+let clear_slow_log () =
+  slow_locked (fun () ->
+      slow_log := [];
+      slow_total := 0)
 
 let slow_query_to_json sq =
   Json.Obj

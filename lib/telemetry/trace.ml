@@ -7,38 +7,68 @@ type span = {
 
 let max_spans = 8192
 
-(* domain-safety: telemetry-gated — span recording happens only behind
-   [Config.enabled]; the bounded buffer is diagnostic state, not query
-   state. *)
-let buffer : span list ref = ref []
+(* The span buffer is sharded by domain: each domain records into the
+   slot indexed by its domain id mod [shard_count], so concurrent
+   emitters on a parallel query almost never contend.  Domain ids grow
+   without bound across spawns, so two domains *can* share a shard —
+   each shard therefore still carries its own mutex, making the shard a
+   contention optimisation rather than a correctness assumption.  The
+   capacity bound ([max_spans]) and the nesting [depth] are per shard:
+   a single-domain process keeps exactly the historical semantics (all
+   spans land in one shard), while a multi-domain process gets
+   per-domain nesting depths and up to [shard_count * max_spans]
+   buffered spans.  Dumps merge the shards by a global completion
+   sequence number, reproducing the exact completion order a single
+   buffer would have recorded. *)
 
-(* domain-safety: telemetry-gated — tracks [buffer]'s length behind the
-   same gate. *)
-let buffered = ref 0
+let shard_count = 8
 
-(* domain-safety: telemetry-gated — overflow tally for the span buffer,
-   written only on gated recording paths. *)
-let dropped_count = ref 0
+type shard = {
+  lock : Mutex.t;
+  mutable spans : (int * span) list;  (* newest first, tagged with completion seq *)
+  mutable buffered : int;
+  mutable dropped : int;
+  mutable depth : int;
+}
 
-(* domain-safety: telemetry-gated — span nesting depth, balanced by
-   [exit_span] behind the gate. *)
-let depth = ref 0
+(* domain-safety: domain-sharded — one buffer slot per domain (domain id
+   mod shard_count), each guarded by its own mutex for the collision
+   case; reads merge all shards by completion seq. *)
+let shards =
+  Array.init shard_count (fun _ ->
+      { lock = Mutex.create (); spans = []; buffered = 0; dropped = 0; depth = 0 })
 
-(* Registry mirror of [dropped_count], so a Prometheus scrape of the
+(* domain-safety: atomic — global completion sequence tag, fetched
+   lock-free by whichever domain finishes a span next; only orders the
+   merged dump. *)
+let next_seq = Atomic.make 0
+
+let my_shard () = shards.((Domain.self () :> int) mod shard_count)
+
+let locked sh f =
+  Mutex.lock sh.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
+
+(* Registry mirror of the drop tally, so a Prometheus scrape of the
    registry sees span-buffer overflow without a separate dump. *)
 let c_dropped = Metrics.counter "telemetry.trace.dropped"
 
-let dropped () = !dropped_count
+let dropped () = Array.fold_left (fun acc sh -> acc + sh.dropped) 0 shards
 
-let record s =
-  if !buffered >= max_spans then begin
-    incr dropped_count;
-    Metrics.incr c_dropped
-  end
-  else begin
-    buffer := s :: !buffer;
-    incr buffered
-  end
+let record sh s =
+  let overflow =
+    locked sh (fun () ->
+        if sh.buffered >= max_spans then begin
+          sh.dropped <- sh.dropped + 1;
+          true
+        end
+        else begin
+          sh.spans <- (Atomic.fetch_and_add next_seq 1, s) :: sh.spans;
+          sh.buffered <- sh.buffered + 1;
+          false
+        end)
+  in
+  if overflow then Metrics.incr c_dropped
 
 type handle = {
   h_name : string;
@@ -55,17 +85,23 @@ let enter_span name =
   if not !Config.enabled then disabled_handle
   else begin
     Config.note_activity ();
-    let d = !depth in
-    incr depth;
+    let sh = my_shard () in
+    let d =
+      locked sh (fun () ->
+          let d = sh.depth in
+          sh.depth <- d + 1;
+          d)
+    in
     { h_name = name; h_start = Clock.now (); h_depth = d; h_closed = false }
   end
 
 let exit_span h =
   if not h.h_closed then begin
     h.h_closed <- true;
-    decr depth;
-    record
-      { name = h.h_name; start = h.h_start; duration = Clock.now () -. h.h_start; depth = h.h_depth }
+    let duration = Clock.now () -. h.h_start in
+    let sh = my_shard () in
+    locked sh (fun () -> sh.depth <- sh.depth - 1);
+    record sh { name = h.h_name; start = h.h_start; duration; depth = h.h_depth }
   end
 
 let with_span name f =
@@ -75,13 +111,25 @@ let with_span name f =
     Fun.protect ~finally:(fun () -> exit_span h) f
   end
 
-let spans () = List.rev !buffer
+let spans () =
+  let tagged =
+    Array.fold_left (fun acc sh -> locked sh (fun () -> sh.spans) :: acc) [] shards
+    |> List.concat
+  in
+  tagged
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  |> List.map snd
 
 let clear () =
-  buffer := [];
-  buffered := 0;
-  dropped_count := 0;
-  depth := 0
+  Array.iter
+    (fun sh ->
+      locked sh (fun () ->
+          sh.spans <- [];
+          sh.buffered <- 0;
+          sh.dropped <- 0;
+          sh.depth <- 0))
+    shards;
+  Atomic.set next_seq 0
 
 let span_to_json s =
   Json.Obj
@@ -96,14 +144,14 @@ let to_json () =
   Json.Obj
     [
       ("spans", Json.List (List.map span_to_json (spans ())));
-      ("dropped", Json.Int !dropped_count);
+      ("dropped", Json.Int (dropped ()));
     ]
 
 let pp ppf () =
   Format.fprintf ppf "@[<v>";
   List.iter
-    (fun s ->
+    (fun (s : span) ->
       Format.fprintf ppf "%s%-40s %.6fs@," (String.make (2 * s.depth) ' ') s.name s.duration)
     (spans ());
-  if !dropped_count > 0 then Format.fprintf ppf "(%d spans dropped)@," !dropped_count;
+  if dropped () > 0 then Format.fprintf ppf "(%d spans dropped)@," (dropped ());
   Format.fprintf ppf "@]"

@@ -1,0 +1,358 @@
+(* Tests for the PR-8 concurrency layer: the [Query.Par] domain pool,
+   range-split sorted scans, parallel ≡ sequential differential
+   execution across all store kinds, multi-domain telemetry safety, the
+   delta pin/flush protocol, and the writer-vs-readers stress runner. *)
+
+open Rdf
+module C = Check
+module CC = Check.Concurrent
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: a denser random graph than fig1 so parallel range splits
+   and multi-way joins have real work.  Nodes serve as both subjects
+   and objects, so chained patterns join non-trivially. *)
+(* ------------------------------------------------------------------ *)
+
+let num_nodes = 10
+let num_preds = 4
+let node_term i = Term.iri (Printf.sprintf "http://example.org/n%d" i)
+let pred_term i = Term.iri (Printf.sprintf "http://example.org/p%d" i)
+
+let fixture_triples =
+  let st = Random.State.make [| 0xbeef |] in
+  List.init 60 (fun _ ->
+      Triple.make
+        (node_term (Random.State.int st num_nodes))
+        (pred_term (Random.State.int st num_preds))
+        (node_term (Random.State.int st num_nodes)))
+
+let make_hexastore () = Hexa.Hexastore.of_triples fixture_triples
+
+(* A delta whose merged view equals the fixture: two thirds flushed into
+   the base, the rest pending in the insert buffer, plus a tombstoned
+   decoy — so merged scans, splits and pins all have buffers to merge. *)
+let make_delta () =
+  let d = Hexa.Delta.create ~insert_threshold:100_000 ~delete_threshold:100_000 () in
+  let decoy = Triple.make (node_term 0) (pred_term 0) (Term.iri "http://example.org/decoy") in
+  let rec split i = function
+    | [] -> ([], [])
+    | t :: rest ->
+        let base, pending = split (i + 1) rest in
+        if i < 40 then (t :: base, pending) else (base, t :: pending)
+  in
+  let base, pending = split 0 fixture_triples in
+  List.iter (fun t -> ignore (Hexa.Delta.add d t)) base;
+  ignore (Hexa.Delta.add d decoy);
+  Hexa.Delta.flush d;
+  List.iter (fun t -> ignore (Hexa.Delta.add d t)) pending;
+  ignore (Hexa.Delta.remove d decoy);
+  assert (Hexa.Delta.pending_inserts d > 0 && Hexa.Delta.pending_deletes d > 0);
+  d
+
+let all_boxed () =
+  [
+    Hexa.Store_sig.box_hexastore (make_hexastore ());
+    Hexa.Store_sig.box_covp (Hexa.Covp.of_triples Hexa.Covp.Covp1 fixture_triples);
+    Hexa.Store_sig.box_covp (Hexa.Covp.of_triples Hexa.Covp.Covp2 fixture_triples);
+    Hexa.Store_sig.box_delta (make_delta ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Par pool                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_par_run_order () =
+  Query.Par.with_domains 4 (fun () ->
+      let r = Query.Par.run (Array.init 32 (fun i () -> i * i)) in
+      Alcotest.(check (array int)) "slot order" (Array.init 32 (fun i -> i * i)) r)
+
+let test_par_exception () =
+  Query.Par.with_domains 2 (fun () ->
+      (match Query.Par.run [| (fun () -> 1); (fun () -> failwith "boom") |] with
+      | exception Failure m -> check_string "exception surfaces" "boom" m
+      | _ -> Alcotest.fail "expected the thunk's exception to re-raise");
+      (* The pool survives a failed batch. *)
+      let r = Query.Par.run (Array.init 8 (fun i () -> i + 1)) in
+      check_int "pool usable after failure" 36 (Array.fold_left ( + ) 0 r))
+
+let test_par_nested () =
+  Query.Par.with_domains 2 (fun () ->
+      let inner j = Array.fold_left ( + ) 0 (Query.Par.run (Array.init 5 (fun i () -> (10 * j) + i))) in
+      let r = Query.Par.run (Array.init 4 (fun j () -> inner j)) in
+      check_int "nested runs complete" (Array.fold_left ( + ) 0 (Array.init 4 inner)) (Array.fold_left ( + ) 0 r))
+
+let test_with_domains_restores () =
+  let before = Query.Par.domains () in
+  Query.Par.with_domains 3 (fun () -> check_int "inside" 3 (Query.Par.domains ()));
+  check_int "restored" before (Query.Par.domains ());
+  (try Query.Par.with_domains 2 (fun () -> failwith "x") with Failure _ -> ());
+  check_int "restored on raise" before (Query.Par.domains ())
+
+(* ------------------------------------------------------------------ *)
+(* Split-scan ≡ unsplit scan (satellite 3)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Interprets the generated case against one store's scan API: encode
+   the bound terms through its dictionary, pick a free position, and
+   demand that concatenating the k split ranges reproduces the unsplit
+   cursor exactly — same serving ordering, same triples, same order. *)
+let split_matches ~dict ~scan_sorted ~scan_split (mask, (si, pi, oi), posidx, parts) =
+  let bound bit term = if mask land bit = bit then Some term else None in
+  let enc = function
+    | None -> None
+    | Some t -> (
+        match Dict.Term_dict.find_term dict t with
+        | Some i -> Some i
+        | None -> Some (-1) (* unknown constant: matches nothing *))
+  in
+  let pat =
+    Hexa.Pattern.make
+      ?s:(enc (bound 1 (node_term si)))
+      ?p:(enc (bound 2 (pred_term pi)))
+      ?o:(enc (bound 4 (node_term oi)))
+      ()
+  in
+  let free =
+    List.filter_map
+      (fun (pos, bit) -> if mask land bit = 0 then Some pos else None)
+      [ (Hexa.Pattern.Subj, 1); (Hexa.Pattern.Pred, 2); (Hexa.Pattern.Obj, 4) ]
+  in
+  let pos = List.nth free (posidx mod List.length free) in
+  match scan_split pat pos ~parts with
+  | None -> scan_sorted pat pos = None
+  | Some (ord, ranges) -> (
+      match scan_sorted pat pos with
+      | None -> false
+      | Some (ord', seek) ->
+          ord = ord'
+          && Array.length ranges >= 1
+          && Array.length ranges <= parts
+          && List.concat_map List.of_seq (Array.to_list ranges)
+             = List.of_seq (seek min_int))
+
+let split_store = lazy (make_hexastore ())
+let split_delta = lazy (make_delta ())
+
+let gen_split_case =
+  QCheck.Gen.(
+    map
+      (fun (mask, ids, posidx, parts) -> (mask, ids, posidx, parts))
+      (quad (int_bound 6) (* all shapes except fully bound *)
+         (triple (int_bound (num_nodes - 1)) (int_bound (num_preds - 1)) (int_bound (num_nodes - 1)))
+         (int_bound 2) (int_range 1 7)))
+
+let prop_split_concat =
+  QCheck.Test.make
+    ~name:"k-way split scan = unsplit scan (hexastore + delta, all 0/1/2-bound shapes)"
+    ~count:300
+    (QCheck.make gen_split_case
+       ~print:(fun (mask, (si, pi, oi), posidx, parts) ->
+         Printf.sprintf "mask=%d s=n%d p=p%d o=n%d posidx=%d parts=%d" mask si pi oi posidx
+           parts))
+    (fun case ->
+      let h = Lazy.force split_store in
+      let d = Lazy.force split_delta in
+      split_matches ~dict:(Hexa.Hexastore.dict h)
+        ~scan_sorted:(Hexa.Hexastore.scan_sorted h)
+        ~scan_split:(Hexa.Hexastore.scan_split h) case
+      && split_matches ~dict:(Hexa.Delta.dict d)
+           ~scan_sorted:(Hexa.Delta.scan_sorted d)
+           ~scan_split:(Hexa.Delta.scan_split d) case)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel ≡ sequential differential (tentpole)                       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_atom =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return (Query.Algebra.Var "x"));
+        (2, return (Query.Algebra.Var "y"));
+        (1, return (Query.Algebra.Var "z"));
+        (2, map (fun i -> Query.Algebra.Term (node_term i)) (int_bound (num_nodes - 1)));
+        (1, map (fun i -> Query.Algebra.Term (pred_term i)) (int_bound (num_preds - 1)));
+      ])
+
+let gen_tp = QCheck.Gen.(map3 Query.Algebra.tp gen_atom gen_atom gen_atom)
+
+(* 100 cases × 4 store kinds × widths {1, 2, 4} ≈ 1,200 parallel-vs-
+   sequential runs, each also cross-checked against brute force. *)
+let prop_parallel_equals_sequential =
+  QCheck.Test.make
+    ~name:"parallel = sequential on random BGPs (4 stores x widths 1/2/4)" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 3) gen_tp))
+    (fun tps ->
+      List.for_all
+        (fun store ->
+          List.for_all
+            (fun d ->
+              match CC.differential store tps ~domains:d with
+              | [] -> true
+              | vs ->
+                  QCheck.Test.fail_reportf "%a" C.Violation.pp_report vs)
+            [ 1; 2; 4 ])
+        (all_boxed ()))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain telemetry (satellite 1)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_multi_domain_telemetry () =
+  let saved_events = !Telemetry.Events.enabled in
+  Telemetry.Events.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Events.enabled := saved_events;
+      Telemetry.Events.set_capacity 1024;
+      Telemetry.Events.clear ();
+      Telemetry.Trace.clear ())
+    (fun () ->
+      Telemetry.with_enabled true (fun () ->
+          Telemetry.Events.set_capacity 256 (* force overwrites *);
+          Telemetry.Events.clear ();
+          Telemetry.Trace.clear ();
+          let c = Telemetry.Metrics.counter "test.concurrent.emitters" in
+          let h = Telemetry.Metrics.histogram "test.concurrent.latency" in
+          let base_count = Telemetry.Histogram.count h in
+          let domains = 4 and per_domain = 500 in
+          let emitter i () =
+            for j = 1 to per_domain do
+              Telemetry.Metrics.incr c;
+              Telemetry.Metrics.observe h j;
+              Telemetry.Events.emit
+                (Telemetry.Events.Query_start { label = Printf.sprintf "d%d.%d" i j });
+              Telemetry.Trace.with_span "test.concurrent.span" (fun () -> ())
+            done
+          in
+          let ds = List.init domains (fun i -> Domain.spawn (emitter i)) in
+          List.iter Domain.join ds;
+          let total = domains * per_domain in
+          check_int "counter counts every increment" total (Telemetry.Metrics.value c);
+          check_int "histogram counts every observation" total
+            (Telemetry.Histogram.count h - base_count);
+          check_int "histogram sum is exact"
+            (domains * (per_domain * (per_domain + 1) / 2))
+            (Telemetry.Histogram.sum h);
+          (* Ring accounting: every emission is recorded, and each one
+             is either resident in the dump or counted as dropped — no
+             event is silently lost. *)
+          check_int "every emission recorded" total (Telemetry.Events.recorded ());
+          let dump = Telemetry.Events.dump () in
+          check_int "resident + dropped = emitted" total
+            (List.length dump + Telemetry.Events.dropped ());
+          let seqs = List.map (fun (e : Telemetry.Events.event) -> e.seq) dump in
+          check_bool "dump seqs strictly increasing" true
+            (List.for_all2 ( < ) seqs (List.tl seqs @ [ max_int ]));
+          (* No torn events: every resident label is well-formed. *)
+          List.iter
+            (fun (e : Telemetry.Events.event) ->
+              match e.kind with
+              | Telemetry.Events.Query_start { label } ->
+                  check_bool ("intact label " ^ label) true
+                    (Scanf.sscanf_opt label "d%d.%d" (fun d j ->
+                         d >= 0 && d < domains && j >= 1 && j <= per_domain)
+                    = Some true)
+              | _ -> Alcotest.fail "unexpected event kind in ring")
+            dump;
+          (* Spans: per-shard buffers are far larger than the load, so
+             nothing drops and every span survives intact. *)
+          let spans = Telemetry.Trace.spans () in
+          check_int "all spans recorded" total (List.length spans);
+          check_int "no spans dropped" 0 (Telemetry.Trace.dropped ());
+          List.iter
+            (fun (s : Telemetry.Trace.span) ->
+              check_string "span name intact" "test.concurrent.span" s.name;
+              check_bool "span depth sane" true (s.depth >= 0 && s.duration >= 0.))
+            spans))
+
+(* ------------------------------------------------------------------ *)
+(* Delta pin / flush protocol                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pin_isolates_snapshot () =
+  let d = Hexa.Delta.create ~insert_threshold:1000 ~delete_threshold:1000 () in
+  let t i = Triple.make (node_term i) (pred_term 0) (node_term (i + 1)) in
+  ignore (Hexa.Delta.add d (t 0));
+  ignore (Hexa.Delta.add d (t 1));
+  Hexa.Delta.flush d;
+  let view, unpin = Hexa.Delta.pin d in
+  check_int "one pin held" 1 (Hexa.Delta.pins d);
+  (* Staging is allowed under a pin; only base mutation must wait. *)
+  ignore (Hexa.Delta.add d (t 2));
+  ignore (Hexa.Delta.remove d (t 0));
+  check_int "writer sees staged state" 2 (Hexa.Delta.size d);
+  check_int "pinned view is isolated" 2 (Hexa.Delta.size view);
+  check_bool "view still has the removed triple" true (Hexa.Delta.mem view (t 0));
+  check_bool "view lacks the staged insert" false (Hexa.Delta.mem view (t 2));
+  unpin ();
+  unpin () (* idempotent *);
+  check_int "pin released" 0 (Hexa.Delta.pins d);
+  Hexa.Delta.flush d;
+  check_int "flush drains after release" 0 (Hexa.Delta.pending_inserts d)
+
+let test_pin_blocks_flush () =
+  let d = Hexa.Delta.create ~insert_threshold:1000 ~delete_threshold:1000 () in
+  let t i = Triple.make (node_term i) (pred_term 1) (node_term i) in
+  ignore (Hexa.Delta.add d (t 0));
+  Hexa.Delta.flush d;
+  let _view, unpin = Hexa.Delta.pin d in
+  ignore (Hexa.Delta.add d (t 1));
+  let flushed = Atomic.make false in
+  let flusher =
+    Domain.spawn (fun () ->
+        Hexa.Delta.flush d;
+        Atomic.set flushed true)
+  in
+  Unix.sleepf 0.05;
+  check_bool "flush waits while a pin is held" false (Atomic.get flushed);
+  check_int "nothing drained yet" 1 (Hexa.Delta.pending_inserts d);
+  unpin ();
+  Domain.join flusher;
+  check_bool "flush completes after release" true (Atomic.get flushed);
+  check_int "drained" 0 (Hexa.Delta.pending_inserts d);
+  check_int "base caught up" 2 (Hexa.Delta.size d)
+
+(* ------------------------------------------------------------------ *)
+(* Stress smoke (the @stress alias runs the CLI at 1/2/4 domains)      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stress_smoke () =
+  let r =
+    CC.stress { CC.readers = 2; rounds = 3; ops_per_round = 40; domains = 2; seed = 7 }
+  in
+  (match r.CC.violations with
+  | [] -> ()
+  | vs -> Alcotest.failf "stress violations:@.%a" C.Violation.pp_report vs);
+  check_int "ops applied" 120 r.CC.ops;
+  check_int "one compaction (round 3)" 1 r.CC.compactions;
+  check_bool "explicit flushes ran" true (r.CC.flushes >= 3);
+  check_bool "readers actually queried" true (r.CC.queries > 0)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "concurrent"
+    [
+      ( "par",
+        [
+          Alcotest.test_case "run preserves slot order" `Quick test_par_run_order;
+          Alcotest.test_case "exceptions re-raise, pool survives" `Quick test_par_exception;
+          Alcotest.test_case "nested runs don't deadlock" `Quick test_par_nested;
+          Alcotest.test_case "with_domains restores" `Quick test_with_domains_restores;
+        ] );
+      ("split", [ qt prop_split_concat ]);
+      ("differential", [ qt prop_parallel_equals_sequential ]);
+      ( "telemetry",
+        [ Alcotest.test_case "4-domain emitters, exact accounting" `Quick test_multi_domain_telemetry ] );
+      ( "delta-pin",
+        [
+          Alcotest.test_case "pin isolates a snapshot" `Quick test_pin_isolates_snapshot;
+          Alcotest.test_case "pin blocks flush until release" `Quick test_pin_blocks_flush;
+        ] );
+      ("stress", [ Alcotest.test_case "writer vs readers smoke" `Quick test_stress_smoke ]);
+    ]

@@ -285,7 +285,7 @@ let test_mutability_classes () =
       | None -> Alcotest.failf "class %s does not round-trip" (C.Mutability.class_name c))
     [
       C.Mutability.Immutable_after_init; C.Mutability.Guarded; C.Mutability.Telemetry_gated;
-      C.Mutability.Test_only;
+      C.Mutability.Test_only; C.Mutability.Atomic; C.Mutability.Domain_sharded;
     ];
   check_bool "unknown class rejected" true (C.Mutability.class_of_string "safe" = None)
 
