@@ -983,9 +983,22 @@ type par_arm = {
 
 type par_query = { pq : string; pq_rows : int; pq_arms : par_arm list }
 
+(* One extra pass at the widest width with telemetry on: the pool's own
+   accounting ([Query.Par.stats]) plus the task wait/run latency
+   histograms from the registry — the PR-9 "pool" section of the JSON
+   artifact. *)
+type pool_figure = {
+  pf_width : int;
+  pf_stats : Query.Par.stats;
+  pf_wait : Telemetry.Monitor.hist_sample option;
+  pf_run : Telemetry.Monitor.hist_sample option;
+}
+
 let parallel_widths = [ 1; 2; 4 ]
 
 let parallel_memo : (int * par_query list) option ref = ref None
+
+let pool_memo : pool_figure option ref = ref None
 
 let parallel_results env =
   match !parallel_memo with
@@ -1060,6 +1073,42 @@ let parallel_results env =
                       { pq = name; pq_rows = rows; pq_arms = List.map (arm name q) parallel_widths })
                     queries
                 in
+                let () =
+                  (* Pool accounting pass: same four BGPs, widest width,
+                     telemetry on so the wait/run histograms fill.  Stats
+                     are reset first so the lane/submitted/completed
+                     invariants the validator checks hold exactly. *)
+                  let width = List.fold_left max 1 parallel_widths in
+                  Query.Par.with_domains width (fun () ->
+                      let saved = !Query.Planner.parallel_min_rows in
+                      Query.Planner.parallel_min_rows := 0;
+                      Fun.protect
+                        ~finally:(fun () -> Query.Planner.parallel_min_rows := saved)
+                        (fun () ->
+                          Query.Par.reset_stats ();
+                          Telemetry.with_enabled true (fun () ->
+                              List.iter
+                                (fun (_, tps) ->
+                                  ignore (Query.Exec.run boxed (Query.Algebra.Bgp tps)))
+                                queries);
+                          let find name =
+                            List.fold_left
+                              (fun acc (n, s) ->
+                                match s with
+                                | Telemetry.Monitor.S_histogram h when n = name -> Some h
+                                | _ -> acc)
+                              None
+                              (Telemetry.Monitor.sample ()).Telemetry.Monitor.metrics
+                          in
+                          pool_memo :=
+                            Some
+                              {
+                                pf_width = width;
+                                pf_stats = Query.Par.stats ();
+                                pf_wait = find "par.task.wait_us";
+                                pf_run = find "par.task.run_us";
+                              }))
+                in
                 (n_triples, results))
       in
       parallel_memo := Some r;
@@ -1104,13 +1153,42 @@ let fig_parallel env =
                 r.pq_arms)
           results
       in
+      let pool_points =
+        match !pool_memo with
+        | None -> []
+        | Some p ->
+            let s = p.pf_stats in
+            let completed = max 1 s.Query.Par.completed in
+            List.mapi
+              (fun lane n ->
+                {
+                  Harness.size = n_triples;
+                  method_ = Printf.sprintf "pool-util-lane%d" lane;
+                  seconds = float_of_int n /. float_of_int completed;
+                })
+              (Array.to_list s.Query.Par.lane_tasks)
+            @ List.concat_map
+                (fun (tag, h) ->
+                  match h with
+                  | None -> []
+                  | Some h ->
+                      [
+                        {
+                          Harness.size = n_triples;
+                          method_ = Printf.sprintf "pool-%s-p95-us" tag;
+                          seconds = h.Telemetry.Monitor.hs_p95;
+                        };
+                      ])
+                [ ("wait", p.pf_wait); ("run", p.pf_run) ]
+      in
       print_series ~figure:"parallel"
         ~title:
           (Printf.sprintf
              "Domain-parallel BGP execution at widths 1/2/4 (%d cores; speedup series are \
-              ratios, not seconds)"
+              ratios, pool-util series are task fractions per lane, pool-*-p95 series are \
+              microseconds)"
              (Domain.recommended_domain_count ()))
-        points
+        (points @ pool_points)
 
 let parallel_json env =
   match parallel_results env with
@@ -1153,6 +1231,44 @@ let parallel_json env =
                    if w = 1 then None
                    else Some (Printf.sprintf "d%d" w, Telemetry.Json.Float (aggregate w)))
                  parallel_widths) );
+        ]
+
+let pool_json env =
+  ignore (parallel_results env);
+  match !pool_memo with
+  | None -> Telemetry.Json.Null
+  | Some p ->
+      let s = p.pf_stats in
+      let completed = max 1 s.Query.Par.completed in
+      let hist_json = function
+        | None -> Telemetry.Json.Null
+        | Some h ->
+            Telemetry.Json.Obj
+              [
+                ("count", Telemetry.Json.Int h.Telemetry.Monitor.hs_count);
+                ("p50_us", Telemetry.Json.Float h.Telemetry.Monitor.hs_p50);
+                ("p95_us", Telemetry.Json.Float h.Telemetry.Monitor.hs_p95);
+                ("p99_us", Telemetry.Json.Float h.Telemetry.Monitor.hs_p99);
+              ]
+      in
+      Telemetry.Json.Obj
+        [
+          ("width", Telemetry.Json.Int p.pf_width);
+          ("submitted", Telemetry.Json.Int s.Query.Par.submitted);
+          ("completed", Telemetry.Json.Int s.Query.Par.completed);
+          ("caller_helped", Telemetry.Json.Int s.Query.Par.caller_helped);
+          ("queue_depth", Telemetry.Json.Int s.Query.Par.queue_depth);
+          ("in_flight", Telemetry.Json.Int s.Query.Par.in_flight);
+          ( "lane_tasks",
+            Telemetry.Json.List
+              (List.map (fun n -> Telemetry.Json.Int n) (Array.to_list s.Query.Par.lane_tasks)) );
+          ( "utilization",
+            Telemetry.Json.List
+              (List.map
+                 (fun n -> Telemetry.Json.Float (float_of_int n /. float_of_int completed))
+                 (Array.to_list s.Query.Par.lane_tasks)) );
+          ("task_wait_us", hist_json p.pf_wait);
+          ("task_run_us", hist_json p.pf_run);
         ]
 
 (* ------------------------------------------------------------------- *)
@@ -1278,10 +1394,11 @@ let emit_json ~mode ~path env =
     Telemetry.Json.Obj
       [
         ("schema", Telemetry.Json.String "hexastore-bench/v1");
-        ("pr", Telemetry.Json.Int 8);
+        ("pr", Telemetry.Json.Int 9);
         ("mode", Telemetry.Json.String (mode_name mode));
         ("join", join_json env);
         ("parallel", parallel_json env);
+        ("pool", pool_json env);
         ("profiling", profiling_json ~mode env);
         ( "workloads",
           Telemetry.Json.Obj

@@ -192,6 +192,61 @@ let check_parallel ~pr ~mode json =
           end)
         widths
 
+(* The PR-9 pool-accounting section: the parallel figure's widest arm
+   re-run with telemetry on, snapshotting [Query.Par.stats] and the
+   task wait/run histograms.  Required from PR 9 on.  The invariants
+   are the ones the pool's own hammer test enforces, re-checked here on
+   the artifact: the per-lane tallies must sum to the completed count,
+   nothing may still be queued or in flight after the queries return,
+   utilization fractions live in [0,1] and sum to ~1, and the latency
+   quantiles are monotone.  All hold at any width/core count, so none
+   are mode-gated. *)
+let check_pool ~pr json =
+  match Telemetry.Json.member "pool" json with
+  | None | Some Telemetry.Json.Null ->
+      if pr >= 9 then fail "pool section missing (required since PR 9)"
+  | Some pool ->
+      let ctx = "pool" in
+      let num k = require_number ~ctx pool k in
+      let width = num "width" and submitted = num "submitted" and completed = num "completed" in
+      if width < 1. then fail "%s: width %g < 1" ctx width;
+      if submitted <> completed then
+        fail "%s: submitted (%g) <> completed (%g) on a quiescent pool" ctx submitted completed;
+      if num "queue_depth" <> 0. then fail "%s: queue not drained" ctx;
+      if num "in_flight" <> 0. then fail "%s: tasks still in flight" ctx;
+      if num "caller_helped" < 0. then fail "%s: negative caller_helped" ctx;
+      let floats key =
+        match require ~ctx pool key with
+        | Telemetry.Json.List vs -> List.filter_map Telemetry.Json.to_float_opt vs
+        | _ -> fail "%s.%s is not a list" ctx key
+      in
+      let lanes = floats "lane_tasks" and utils = floats "utilization" in
+      let lane_sum = List.fold_left ( +. ) 0. lanes in
+      if lane_sum <> completed then
+        fail "%s: lane_tasks sum (%g) <> completed (%g)" ctx lane_sum completed;
+      List.iter
+        (fun u -> if u < 0. || u > 1. then fail "%s: utilization %g outside [0,1]" ctx u)
+        utils;
+      let util_sum = List.fold_left ( +. ) 0. utils in
+      if completed > 0. && abs_float (util_sum -. 1.) > 1e-6 then
+        fail "%s: utilization sums to %g, not 1" ctx util_sum;
+      let hist key =
+        match require ~ctx pool key with
+        | Telemetry.Json.Null -> ()
+        | h ->
+            let ctx = ctx ^ "." ^ key in
+            if require_number ~ctx h "count" < 0. then fail "%s: negative count" ctx;
+            let p50 = require_number ~ctx h "p50_us" in
+            let p95 = require_number ~ctx h "p95_us" in
+            let p99 = require_number ~ctx h "p99_us" in
+            if not (p50 <= p95 && p95 <= p99) then
+              fail "%s: quantiles not monotone (p50=%g p95=%g p99=%g)" ctx p50 p95 p99
+      in
+      hist "task_wait_us";
+      hist "task_run_us";
+      Printf.printf "bench-check: pool width %g ran %g tasks over %d lanes (%g caller-helped)\n"
+        width completed (List.length lanes) (num "caller_helped")
+
 let parse_file path =
   match Telemetry.Json.of_string (read_file path) with
   | Ok j -> j
@@ -292,6 +347,7 @@ let () =
   check_join ~mode json;
   check_profiling ~pr ~mode json;
   check_parallel ~pr ~mode json;
+  check_pool ~pr json;
   let overhead = require ~ctx:"root" json "telemetry_overhead" in
   let off = require_number ~ctx:"telemetry_overhead" overhead "disabled_seconds" in
   let on = require_number ~ctx:"telemetry_overhead" overhead "enabled_seconds" in

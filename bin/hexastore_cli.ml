@@ -288,6 +288,94 @@ let metrics_cmd =
           text exposition (with histogram quantiles) or JSON.")
     Term.(const run $ data_arg $ format_arg $ query_arg $ output_arg $ chrome_arg)
 
+(* --- top --------------------------------------------------------------- *)
+
+let top_cmd =
+  let query_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:"Query (or @FILE) the driver domain loops while the monitor watches; repeatable. \
+                With no queries the monitor watches an idle registry.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Sampling interval (default 1s).")
+  in
+  let ticks_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "ticks" ] ~docv:"N" ~doc:"Number of samples to take before exiting (default 5).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Force the pool fan-out width (default: HEXASTORE_DOMAINS or the host's \
+                recommended domain count).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON view per tick instead of tables.")
+  in
+  let run data format queries interval ticks domains json =
+    handle_errors (fun () ->
+        Telemetry.enabled := true;
+        Option.iter Query.Par.set_domains domains;
+        (* Parallel plans on watchable stores: without this, loads small
+           enough to demo with never cross the fan-out floor and top
+           shows an idle pool. *)
+        Query.Planner.parallel_min_rows := 0;
+        let store = load_store ~format data in
+        let boxed = Hexa.Store_sig.box_hexastore store in
+        let qs =
+          List.map
+            (fun query_text ->
+              Query.Sparql.parse ~namespaces:(Rdf.Namespace.default ()) (read_query_arg query_text))
+            queries
+        in
+        (* The driver loops the query list on its own domain so the main
+           domain can sample on a steady cadence; queries that fan out
+           pull the pool's workers in on top of that. *)
+        let stop = Atomic.make false in
+        let driver =
+          match qs with
+          | [] -> None
+          | qs ->
+              Some
+                (Domain.spawn (fun () ->
+                     while not (Atomic.get stop) do
+                       List.iter
+                         (fun (q : Query.Sparql.query) ->
+                           if q.is_ask then ignore (Query.Exec.ask boxed q.algebra)
+                           else ignore (Query.Exec.run boxed q.algebra))
+                         qs
+                     done))
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set stop true;
+            Option.iter Domain.join driver)
+          (fun () ->
+            let step = Telemetry.Monitor.watch () in
+            for tick = 1 to max 1 ticks do
+              Unix.sleepf (max 0.01 interval);
+              let view = step () in
+              if json then
+                print_endline (Telemetry.Json.to_string (Telemetry.Monitor.view_to_json view))
+              else
+                Format.printf "== hexastore top — tick %d/%d ==@.%a@.@." tick (max 1 ticks)
+                  Telemetry.Monitor.pp_view view
+            done))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Watch the live telemetry registry: load data, loop queries on a driver domain, and \
+          print rate-computed views (counters/sec, pool queue depth and utilization, task \
+          latency quantiles) every interval.")
+    Term.(const run $ data_arg $ format_arg $ query_arg $ interval_arg $ ticks_arg $ domains_arg $ json_arg)
+
 (* --- stats ------------------------------------------------------------ *)
 
 let stats_cmd =
@@ -415,6 +503,7 @@ let () =
             explain_cmd;
             profile_cmd;
             metrics_cmd;
+            top_cmd;
             stats_cmd;
             convert_cmd;
             snapshot_cmd;

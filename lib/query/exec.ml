@@ -270,23 +270,40 @@ let eval_plan store choices =
    to the sequential pipeline. *)
 let eval_bgp_parallel store (first : Planner.choice) rest parts pos =
   let tp = first.Planner.tp in
+  let label = Printf.sprintf "bgp(%d)" (1 + List.length rest) in
+  let fanout achieved =
+    (* Planned vs achieved ranges into the flight recorder: achieved = 0
+       records a refused split (the sequential fallback), and the width
+       says how many lanes the achieved ranges were spread over. *)
+    Telemetry.Events.emit
+      (Telemetry.Events.Par_fanout { label; planned = parts; achieved; width = Par.domains () })
+  in
   let dict = Hexa.Store_sig.dict store in
   match (resolve dict Binding.empty tp.s, resolve dict Binding.empty tp.p, resolve dict Binding.empty tp.o) with
   | Some s, Some p, Some o -> (
       let view, unpin = Hexa.Store_sig.pin store in
       Fun.protect ~finally:unpin (fun () ->
           match Hexa.Store_sig.scan_split view { Hexa.Pattern.s; p; o } pos ~parts with
-          | None -> None
+          | None ->
+              fanout 0;
+              None
           | Some (_ord, ranges) ->
-              let task range () =
-                let seed =
-                  Seq.filter_map (extend_with Binding.empty tp) range
-                  |> counted m_rows_scan
-                in
-                List.of_seq (List.fold_left (eval_choice view) seed rest)
-              in
-              let runs = Par.run (Array.map task ranges) in
-              Some (List.to_seq (List.concat (Array.to_list runs)))))
+              fanout (Array.length ranges);
+              (* The fan-out span hands its handle to every range task,
+                 so the per-range spans (completing on pool domains)
+                 attach under the submitting query's trace tree instead
+                 of floating as per-domain roots. *)
+              Telemetry.Trace.with_span_h "exec.bgp.parallel" (fun parent ->
+                  let task range () =
+                    Telemetry.Trace.with_span ~parent "exec.bgp.par_range" (fun () ->
+                        let seed =
+                          Seq.filter_map (extend_with Binding.empty tp) range
+                          |> counted m_rows_scan
+                        in
+                        List.of_seq (List.fold_left (eval_choice view) seed rest))
+                  in
+                  let runs = Par.run (Array.map task ranges) in
+                  Some (List.to_seq (List.concat (Array.to_list runs))))))
   | _ -> Some Seq.empty (* unknown constant: the pattern matches nothing *)
 
 let eval_bgp store tps =
@@ -588,6 +605,28 @@ let measure_eval ~analyze thunk =
     (Some n, Some time_s, probes, gc)
   end
 
+(* ANALYZE companion to the planner's [par=N] hint: how many ranges the
+   store would actually split the driving scan into, via the same
+   pinned-view [scan_split] the parallel path takes.  [Some 0] means
+   the split would be refused at execution (sequential fallback). *)
+let achieved_fanout store (c : Planner.choice) =
+  match c.Planner.par with
+  | None -> None
+  | Some { Planner.par_parts; par_pos } -> (
+      let tp = c.Planner.tp in
+      let dict = Hexa.Store_sig.dict store in
+      match (resolve dict Binding.empty tp.s, resolve dict Binding.empty tp.p, resolve dict Binding.empty tp.o) with
+      | Some s, Some p, Some o ->
+          let view, unpin = Hexa.Store_sig.pin store in
+          Fun.protect ~finally:unpin (fun () ->
+              match
+                Hexa.Store_sig.scan_split view { Hexa.Pattern.s; p; o } par_pos
+                  ~parts:par_parts
+              with
+              | None -> Some 0
+              | Some (_ord, ranges) -> Some (Array.length ranges))
+      | _ -> Some 0)
+
 let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
   (* ANALYZE evaluates each node's sub-plan independently (and plan
      prefixes for BGP scans), so a node's cost includes its inputs —
@@ -617,7 +656,12 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
                   (Hexa.Ordering.name c.Planner.index) Planner.pp_strategy c.Planner.strategy
                   (fun ppf ->
                     match c.Planner.par with
-                    | Some { Planner.par_parts; _ } -> Format.fprintf ppf " par=%d" par_parts
+                    | Some { Planner.par_parts; _ } ->
+                        Format.fprintf ppf " par=%d" par_parts;
+                        if analyze then
+                          Option.iter
+                            (Format.fprintf ppf " achieved=%d")
+                            (achieved_fanout store c)
                     | None -> ());
               estimate = Some c.Planner.estimate;
               selectivity = Some c.Planner.selectivity;

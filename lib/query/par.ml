@@ -15,13 +15,26 @@
    milliseconds, so handoff cost is noise; what matters is that nested
    or concurrent [run] calls cannot deadlock, which caller-helping
    guarantees (a caller whose jobs are stuck behind other batches works
-   the queue itself). *)
+   the queue itself).
+
+   Instrumentation is two-tier.  A set of always-on [Atomic.t] cells
+   backs the [stats] snapshot (task/help/spawn accounting exact even
+   with telemetry off — the bench pool section and the concurrency
+   tests read these), and the same sites mirror into the telemetry
+   registry — counters, queue-depth / in-flight gauges and the
+   wait/run latency histograms — which the Prometheus exposition and
+   [Telemetry.Monitor] scrape.  Jobs are attributed to *lanes*: lane 0
+   is every caller domain (helping or running sequentially), lanes
+   1..width-1 are the spawned workers, identified by a domain-local
+   key set at spawn. *)
+
+let max_lanes = 64 (* = the width clamp below *)
 
 let default_domains () =
   match Sys.getenv_opt "HEXASTORE_DOMAINS" with
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> min n 64
+      | Some n when n >= 1 -> min n max_lanes
       | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
@@ -34,7 +47,7 @@ let () = Atomic.set target (default_domains ())
 
 let domains () = Atomic.get target
 
-let set_domains n = Atomic.set target (max 1 (min 64 n))
+let set_domains n = Atomic.set target (max 1 (min max_lanes n))
 
 let lock = Mutex.create ()
 let work_ready = Condition.create ()
@@ -56,6 +69,152 @@ let stopping = ref false
    once, from whichever domain spawns first, under [lock]. *)
 let exit_hook_registered = ref false
 
+(* --- pool accounting ---------------------------------------------------- *)
+
+(* Always-on atomics: a handful of lock-free bumps per task, noise
+   against the microsecond-scale jobs, and they keep [stats] exact
+   whether or not telemetry is enabled. *)
+
+(* domain-safety: atomic — tasks handed to the pool (parallel batches
+   and the sequential fast path alike); bumped lock-free by any
+   submitting domain. *)
+let s_submitted = Atomic.make 0
+
+(* domain-safety: atomic — tasks that finished running; bumped lock-free
+   by whichever lane executed the task. *)
+let s_completed = Atomic.make 0
+
+(* domain-safety: atomic — queue pops by a *caller* lane helping drain
+   the queue instead of blocking on its batch. *)
+let s_helped = Atomic.make 0
+
+(* domain-safety: atomic — worker domains ever spawned; bumped under
+   [lock] (spawn path) but read lock-free by [stats]. *)
+let s_spawned = Atomic.make 0
+
+(* domain-safety: atomic — worker domains joined by [shutdown]; with
+   [s_spawned] gives the live worker count without taking [lock]. *)
+let s_joined = Atomic.make 0
+
+(* domain-safety: atomic — tasks currently executing on some lane
+   (started, not yet finished); incremented/decremented lock-free
+   around each job body. *)
+let s_in_flight = Atomic.make 0
+
+(* domain-safety: atomic — per-lane task tallies (index = lane, 0 =
+   callers, 1.. = workers); each cell bumped lock-free by the one lane
+   it belongs to (lane 0 by any caller domain). *)
+let s_lane_tasks = Array.init max_lanes (fun _ -> Atomic.make 0)
+
+(* Which lane this domain is: 0 for callers (the default), 1..width-1
+   for spawned workers (set once at worker start).  Not a global —
+   every domain has its own cell. *)
+let lane_key = Domain.DLS.new_key (fun () -> 0)
+
+(* Registry mirrors (gated on [Telemetry.enabled] like every metric).
+   The fixed families register at module init; per-lane counters
+   register lazily from the first task a lane runs — the registry's
+   internal lock makes that safe from worker domains. *)
+let c_submitted = Telemetry.Metrics.counter "par.tasks.submitted"
+let c_completed = Telemetry.Metrics.counter "par.tasks.completed"
+let c_helped = Telemetry.Metrics.counter "par.tasks.caller_helped"
+let c_spawned = Telemetry.Metrics.counter "par.domains.spawned"
+let c_joined = Telemetry.Metrics.counter "par.domains.joined"
+let g_queue_depth = Telemetry.Metrics.gauge "par.queue.depth"
+let g_in_flight = Telemetry.Metrics.gauge "par.tasks.in_flight"
+let g_pool_size = Telemetry.Metrics.gauge "par.pool.size"
+let h_task_wait_us = Telemetry.Metrics.histogram "par.task.wait_us"
+let h_task_run_us = Telemetry.Metrics.histogram "par.task.run_us"
+
+(* domain-safety: atomic — memoised per-lane registry counters, filled
+   on a lane's first task; concurrent fills race only on lane 0 (all
+   callers) and both writers store the same registered counter, so
+   either winning is correct. *)
+let lane_counters : Telemetry.Metrics.counter option Atomic.t array =
+  Array.init max_lanes (fun _ -> Atomic.make None)
+
+let lane_counter lane =
+  let cell = lane_counters.(lane) in
+  match Atomic.get cell with
+  | Some c -> c
+  | None ->
+      let c = Telemetry.Metrics.counter (Printf.sprintf "par.lane.%d.tasks" lane) in
+      Atomic.set cell (Some c);
+      c
+
+(* Called with [lock] held (push/pop sites). *)
+let note_queue_depth_locked () =
+  Telemetry.Metrics.set g_queue_depth (float_of_int (Queue.length jobs))
+
+(* One task ran on this domain's lane: the always-on tallies plus the
+   gated registry mirrors.  [wait_us < 0] means "never queued" (the
+   sequential fast path), which skips the wait histogram. *)
+let note_task_start ~wait_us =
+  let lane = Domain.DLS.get lane_key in
+  Atomic.incr s_lane_tasks.(lane);
+  Atomic.incr s_in_flight;
+  if !Telemetry.Config.enabled then begin
+    Telemetry.Metrics.incr (lane_counter lane);
+    Telemetry.Metrics.set g_in_flight (float_of_int (Atomic.get s_in_flight));
+    if wait_us >= 0 then Telemetry.Metrics.observe h_task_wait_us wait_us
+  end
+
+let note_task_end ~run_us =
+  Atomic.incr s_completed;
+  ignore (Atomic.fetch_and_add s_in_flight (-1));
+  if !Telemetry.Config.enabled then begin
+    Telemetry.Metrics.incr c_completed;
+    Telemetry.Metrics.set g_in_flight (float_of_int (Atomic.get s_in_flight));
+    if run_us >= 0 then Telemetry.Metrics.observe h_task_run_us run_us
+  end
+
+type stats = {
+  width : int;
+  pool : int;
+  queue_depth : int;
+  in_flight : int;
+  submitted : int;
+  completed : int;
+  caller_helped : int;
+  spawned : int;
+  joined : int;
+  lane_tasks : int array;
+}
+
+let stats () =
+  Mutex.lock lock;
+  let queue_depth = Queue.length jobs in
+  let live_workers = List.length !workers in
+  Mutex.unlock lock;
+  let lanes =
+    let last = ref 0 in
+    Array.iteri (fun i c -> if Atomic.get c > 0 then last := i) s_lane_tasks;
+    Array.init (!last + 1) (fun i -> Atomic.get s_lane_tasks.(i))
+  in
+  {
+    width = domains ();
+    pool = live_workers + 1;
+    queue_depth;
+    in_flight = Atomic.get s_in_flight;
+    submitted = Atomic.get s_submitted;
+    completed = Atomic.get s_completed;
+    caller_helped = Atomic.get s_helped;
+    spawned = Atomic.get s_spawned;
+    joined = Atomic.get s_joined;
+    lane_tasks = lanes;
+  }
+
+let reset_stats () =
+  Atomic.set s_submitted 0;
+  Atomic.set s_completed 0;
+  Atomic.set s_helped 0;
+  Atomic.set s_spawned 0;
+  Atomic.set s_joined 0;
+  Atomic.set s_in_flight 0;
+  Array.iter (fun c -> Atomic.set c 0) s_lane_tasks
+
+(* --- the pool ----------------------------------------------------------- *)
+
 let rec worker_loop () =
   Mutex.lock lock;
   while Queue.is_empty jobs && not !stopping do
@@ -68,10 +227,15 @@ let rec worker_loop () =
   end
   else begin
     let job = Queue.pop jobs in
+    note_queue_depth_locked ();
     Mutex.unlock lock;
     job ();
     worker_loop ()
   end
+
+let worker lane () =
+  Domain.DLS.set lane_key lane;
+  worker_loop ()
 
 let shutdown () =
   Mutex.lock lock;
@@ -80,7 +244,13 @@ let shutdown () =
   let ws = !workers in
   workers := [];
   Mutex.unlock lock;
-  List.iter Domain.join ws;
+  List.iter
+    (fun w ->
+      Domain.join w;
+      Atomic.incr s_joined;
+      Telemetry.Metrics.incr c_joined)
+    ws;
+  Telemetry.Metrics.set g_pool_size 1.;
   Mutex.lock lock;
   stopping := false;
   Mutex.unlock lock
@@ -93,9 +263,12 @@ let ensure_workers_locked () =
   end;
   let want = Atomic.get target - 1 in
   let have = List.length !workers in
-  for _ = have + 1 to want do
-    workers := Domain.spawn worker_loop :: !workers
-  done
+  for lane = have + 1 to want do
+    workers := Domain.spawn (worker lane) :: !workers;
+    Atomic.incr s_spawned;
+    Telemetry.Metrics.incr c_spawned
+  done;
+  Telemetry.Metrics.set g_pool_size (float_of_int (List.length !workers + 1))
 
 let pool_size () =
   Mutex.lock lock;
@@ -103,31 +276,63 @@ let pool_size () =
   Mutex.unlock lock;
   n + 1
 
+(* Sequential fast path: no queue, no wait — but the task still counts,
+   on the caller's lane, so [stats] totals match what ran. *)
+let run_sequential fs =
+  Array.map
+    (fun f ->
+      Atomic.incr s_submitted;
+      Telemetry.Metrics.incr c_submitted;
+      let timed = !Telemetry.Config.enabled in
+      let t0 = if timed then Telemetry.Clock.now () else 0. in
+      note_task_start ~wait_us:(-1);
+      let x = f () in
+      note_task_end
+        ~run_us:
+          (if timed then int_of_float ((Telemetry.Clock.now () -. t0) *. 1e6) else -1);
+      x)
+    fs
+
 (* Jobs must never raise into the worker loop: each slot captures its
    outcome and the caller re-raises after the batch completes. *)
 let run (fs : (unit -> 'a) array) : 'a array =
   let n = Array.length fs in
   if n = 0 then [||]
-  else if n = 1 || domains () <= 1 then Array.map (fun f -> f ()) fs
+  else if n = 1 || domains () <= 1 then run_sequential fs
   else begin
     let results : ('a, exn) result option array = Array.make n None in
     let remaining = Atomic.make n in
+    (* Enqueue time, for the wait (enqueue -> start) histogram; only
+       read when telemetry is on, so gate the clock read too. *)
+    let timed = !Telemetry.Config.enabled in
+    let enqueued_at = if timed then Telemetry.Clock.now () else 0. in
     let job i () =
+      let started_at = if timed then Telemetry.Clock.now () else 0. in
+      note_task_start
+        ~wait_us:
+          (if timed then int_of_float ((started_at -. enqueued_at) *. 1e6) else -1);
       (* lint: allow catch-all — domain boundary: the exception is
          captured into the result slot and re-raised by the caller. *)
       let r = try Ok (fs.(i) ()) with e -> Error e in
       results.(i) <- Some r;
+      note_task_end
+        ~run_us:
+          (if timed then int_of_float ((Telemetry.Clock.now () -. started_at) *. 1e6)
+           else -1);
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock lock;
         Condition.broadcast batch_done;
         Mutex.unlock lock
       end
     in
+    ignore (Atomic.fetch_and_add s_submitted n);
+    Telemetry.Metrics.add c_submitted n;
     Mutex.lock lock;
     ensure_workers_locked ();
     for i = 0 to n - 1 do
       Queue.push (job i) jobs
     done;
+    note_queue_depth_locked ();
     Condition.broadcast work_ready;
     Mutex.unlock lock;
     (* Caller participation: drain jobs (this batch's or another
@@ -138,7 +343,10 @@ let run (fs : (unit -> 'a) array) : 'a array =
       if Atomic.get remaining = 0 then Mutex.unlock lock
       else if not (Queue.is_empty jobs) then begin
         let j = Queue.pop jobs in
+        note_queue_depth_locked ();
         Mutex.unlock lock;
+        Atomic.incr s_helped;
+        Telemetry.Metrics.incr c_helped;
         j ();
         help ()
       end

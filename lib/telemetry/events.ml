@@ -42,10 +42,17 @@ type kind =
       wall_s : float;
       plan : string;
     }
+  | Par_fanout of {
+      label : string;
+      planned : int;
+      achieved : int;
+      width : int;
+    }
 
 type event = {
   seq : int;  (* 0-based emission index, never wraps *)
   at : float; (* Clock.now at emission *)
+  dom : int;  (* id of the emitting domain *)
   kind : kind;
 }
 
@@ -93,9 +100,12 @@ let dropped () = max 0 (!total - capacity ())
 
 let emit kind =
   if !enabled then begin
+    (* The domain id is read outside the lock — it is a property of the
+       emitting domain, not of the ring. *)
+    let dom = (Domain.self () :> int) in
     locked (fun () ->
         let r = !ring in
-        r.(!total mod Array.length r) <- Some { seq = !total; at = Clock.now (); kind };
+        r.(!total mod Array.length r) <- Some { seq = !total; at = Clock.now (); dom; kind };
         incr total)
   end
 
@@ -129,6 +139,7 @@ let kind_name = function
   | Snapshot_save _ -> "snapshot.save"
   | Snapshot_load _ -> "snapshot.load"
   | Slow_query _ -> "query.slow"
+  | Par_fanout _ -> "par.fanout"
 
 let kind_fields = function
   | Query_start { label } -> [ ("label", Json.String label) ]
@@ -148,11 +159,19 @@ let kind_fields = function
         ("wall_s", Json.Float wall_s);
         ("plan", Json.String plan);
       ]
+  | Par_fanout { label; planned; achieved; width } ->
+      [
+        ("label", Json.String label);
+        ("planned", Json.Int planned);
+        ("achieved", Json.Int achieved);
+        ("width", Json.Int width);
+      ]
 
 let event_to_json e =
   Json.Obj
     (("seq", Json.Int e.seq)
     :: ("at", Json.Float e.at)
+    :: ("dom", Json.Int e.dom)
     :: ("kind", Json.String (kind_name e.kind))
     :: kind_fields e.kind)
 
@@ -187,6 +206,9 @@ let pp_kind ppf = function
   | Slow_query { label; wall_s; plan } ->
       Format.fprintf ppf "query.slow     %s wall=%.3fms@,  @[<v>%a@]" label (wall_s *. 1e3)
         pp_block plan
+  | Par_fanout { label; planned; achieved; width } ->
+      Format.fprintf ppf "par.fanout     %s planned=%d achieved=%d width=%d" label planned
+        achieved width
 
 let pp ppf () =
   Format.fprintf ppf "@[<v>";
@@ -195,7 +217,8 @@ let pp ppf () =
   | first :: _ as events ->
       List.iter
         (fun e ->
-          Format.fprintf ppf "[%8.6f] #%-5d %a@," (e.at -. first.at) e.seq pp_kind e.kind)
+          Format.fprintf ppf "[%8.6f] #%-5d d%-3d %a@," (e.at -. first.at) e.seq e.dom
+            pp_kind e.kind)
         events);
   if dropped () > 0 then Format.fprintf ppf "(%d events dropped)@," (dropped ());
   Format.fprintf ppf "@]"

@@ -42,10 +42,18 @@ type kind =
       wall_s : float;
       plan : string;  (** rendered [--analyze] tree *)
     }
+  | Par_fanout of {
+      label : string;
+      planned : int;   (** ranges the planner asked for ([par=N]) *)
+      achieved : int;  (** ranges the store actually split into; 0 = split refused *)
+      width : int;     (** pool width at execution time *)
+    }
 
 type event = {
   seq : int;  (** 0-based emission index; never wraps *)
   at : float; (** {!Clock.now} at emission *)
+  dom : int;  (** id of the emitting domain — attributes entries from
+                  parallel runs to their lane *)
   kind : kind;
 }
 

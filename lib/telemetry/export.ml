@@ -10,7 +10,26 @@
 
 (* --- Chrome trace-event JSON ------------------------------------------- *)
 
-let span_to_trace_event (s : Trace.span) =
+(* Chrome renders one lane per (pid, tid); mapping tid to the span's
+   domain makes a fanned query read as per-domain lanes.  Raw domain
+   ids grow without bound across spawns, so the exported tid is the
+   1-based rank of the span's domain among the distinct domains in the
+   dump — stable across runs (the single-domain case keeps the
+   historical tid=1) — and a thread_name metadata event names each
+   lane. *)
+
+let domain_ranks spans =
+  let doms =
+    List.sort_uniq compare (List.map (fun (s : Trace.span) -> s.Trace.dom) spans)
+  in
+  fun dom ->
+    let rec rank i = function
+      | [] -> 1 (* unseen domain: a span list not from [spans]; lane 1 *)
+      | d :: tl -> if d = dom then i else rank (i + 1) tl
+    in
+    rank 1 doms
+
+let span_to_trace_event ?(tid_of = fun _ -> 1) (s : Trace.span) =
   Json.Obj
     [
       ("name", Json.String s.Trace.name);
@@ -19,14 +38,35 @@ let span_to_trace_event (s : Trace.span) =
       ("ts", Json.Float (s.Trace.start *. 1e6));
       ("dur", Json.Float (s.Trace.duration *. 1e6));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
-      ("args", Json.Obj [ ("depth", Json.Int s.Trace.depth) ]);
+      ("tid", Json.Int (tid_of s.Trace.dom));
+      ( "args",
+        Json.Obj
+          ([ ("depth", Json.Int s.Trace.depth); ("id", Json.Int s.Trace.id) ]
+          @ (match s.Trace.parent with
+            | None -> []
+            | Some p -> [ ("parent", Json.Int p) ])
+          @ [ ("dom", Json.Int s.Trace.dom) ]) );
+    ]
+
+let thread_name_event tid =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "lane %d" tid)) ]);
     ]
 
 let chrome_trace_of_spans spans =
+  let tid_of = domain_ranks spans in
+  let tids = List.sort_uniq compare (List.map (fun (s : Trace.span) -> tid_of s.Trace.dom) spans) in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map span_to_trace_event spans));
+      ( "traceEvents",
+        Json.List
+          (List.map thread_name_event tids
+          @ List.map (fun s -> span_to_trace_event ~tid_of s) spans) );
       ("displayTimeUnit", Json.String "ms");
     ]
 

@@ -13,10 +13,17 @@
     is appended as synthesised series, since the recorder runs outside
     the registry gate. *)
 
-val span_to_trace_event : Trace.span -> Json.t
+val span_to_trace_event : ?tid_of:(int -> int) -> Trace.span -> Json.t
+(** One [ph:"X"] event; [tid_of] maps the span's domain id to the
+    emitted [tid] (default: constant 1).  [args] carries the span's
+    depth, id, parent (when present) and raw domain id. *)
 
 val chrome_trace_of_spans : Trace.span list -> Json.t
-(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. *)
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Spans are
+    assigned one [tid] lane per distinct domain (1-based rank of the
+    domain id, so a single-domain dump keeps [tid=1] and ranks are
+    stable run to run), preceded by [thread_name] metadata events
+    naming each lane. *)
 
 val chrome_trace : unit -> Json.t
 (** {!chrome_trace_of_spans} over the current span buffer. *)

@@ -18,27 +18,42 @@ type metric =
   | Gauge of gauge
   | Histogram of Histogram.t
 
-(* domain-safety: immutable-after-init — populated by the one-time
-   metric registrations at module init of each instrumented layer; the
-   hot path holds direct metric pointers and never touches the table. *)
+(* The registry table is guarded by [registry_lock]: most registrations
+   still happen at module init of each instrumented layer, but the pool
+   registers per-lane task counters lazily from whichever domain first
+   runs a task on that lane, and the profiler / monitor snapshot the
+   table from arbitrary domains — a Hashtbl resize racing either would
+   corrupt the buckets.  The hot path (incr/add/set/observe) holds
+   direct metric pointers and never touches the table, so the lock
+   costs nothing per event. *)
+let registry_lock = Mutex.create ()
+
+let registry_locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+(* domain-safety: guarded — every lookup/insert/iteration holds
+   [registry_lock]; lazy registrations (pool lane counters) and
+   snapshot readers (profiler, monitor) run on arbitrary domains. *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
 
 let register name make project =
-  match Hashtbl.find_opt registry name with
-  | Some existing -> (
-      match project existing with
-      | Some m -> m
+  registry_locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some existing -> (
+          match project existing with
+          | Some m -> m
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Telemetry.Metrics: %S is already registered as a %s" name
+                   (kind_name existing)))
       | None ->
-          invalid_arg
-            (Printf.sprintf "Telemetry.Metrics: %S is already registered as a %s" name
-               (kind_name existing)))
-  | None ->
-      let m = make () in
-      Hashtbl.add registry name
-        (match m with `C c -> Counter c | `G g -> Gauge g | `H h -> Histogram h);
-      m
+          let m = make () in
+          Hashtbl.add registry name
+            (match m with `C c -> Counter c | `G g -> Gauge g | `H h -> Histogram h);
+          m)
 
 let counter name =
   match
@@ -100,7 +115,11 @@ let counter_name c = c.c_name
 let gauge_name g = g.g_name
 
 let fold f acc =
-  let items = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  (* Snapshot the table under the lock, then fold outside it so [f] can
+     itself register metrics (or take the lock) without deadlocking. *)
+  let items =
+    registry_locked (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  in
   let items = List.sort (fun (a, _) (b, _) -> compare a b) items in
   List.fold_left (fun acc (name, m) -> f acc name m) acc items
 
@@ -114,13 +133,14 @@ let snapshot_counters ?(prefix = "") () =
   |> List.rev
 
 let reset_all () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> Atomic.set c.c_value 0
-      | Gauge g -> Atomic.set g.g_value 0.
-      | Histogram h -> Histogram.reset h)
-    registry
+  registry_locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Atomic.set g.g_value 0.
+          | Histogram h -> Histogram.reset h)
+        registry)
 
 (* --- export ------------------------------------------------------------ *)
 

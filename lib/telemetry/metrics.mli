@@ -9,7 +9,10 @@
 
     Registering the same name twice returns the existing metric;
     re-registering a name under a different metric kind raises
-    [Invalid_argument]. *)
+    [Invalid_argument].  Registration and every whole-registry read
+    ({!fold}, {!snapshot_counters}, {!reset_all}) are serialised by an
+    internal mutex, so late registrations from pool domains (per-lane
+    task counters) cannot race a profiler or monitor snapshot. *)
 
 type counter
 (** Monotonic (under normal use) integer counter. *)

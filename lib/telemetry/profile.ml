@@ -22,6 +22,10 @@ type delta = {
   counters : (string * int) list; (* non-zero counter deltas, name-sorted *)
 }
 
+(* Safe to call from any domain: [Metrics.snapshot_counters] walks the
+   registry under its lock (so a racing lazy registration — e.g. a pool
+   lane counter — cannot tear the listing) and the counter cells it
+   reads are atomics.  GC numbers are the calling domain's own. *)
 let snapshot () =
   let st = Gc.quick_stat () in
   {

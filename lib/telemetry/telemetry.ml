@@ -7,6 +7,7 @@ module Trace = Trace
 module Events = Events
 module Profile = Profile
 module Export = Export
+module Monitor = Monitor
 
 let enabled = Config.enabled
 

@@ -15,9 +15,11 @@
     On top sit the observability services: {!Events}, the always-on
     bounded flight recorder of operational events (its own gate,
     [HEXASTORE_EVENTS=0] to silence); {!Profile}, per-query
-    registry+GC snapshot/diff feeding a slow-query log; and {!Export},
-    Chrome trace-event JSON for spans and Prometheus text exposition
-    (with {!Histogram.quantile} estimates) for the registry. *)
+    registry+GC snapshot/diff feeding a slow-query log; {!Export},
+    Chrome trace-event JSON for spans (per-domain lanes) and Prometheus
+    text exposition (with {!Histogram.quantile} estimates) for the
+    registry; and {!Monitor}, registry snapshots diffed into
+    rate-computed views for live watching ([hexastore top]). *)
 
 module Config = Config
 module Clock = Clock
@@ -28,6 +30,7 @@ module Trace = Trace
 module Events = Events
 module Profile = Profile
 module Export = Export
+module Monitor = Monitor
 
 val enabled : bool ref
 (** The master gate ({!Config.enabled}); defaults to [false] unless

@@ -3,6 +3,9 @@ type span = {
   start : float;
   duration : float;
   depth : int;
+  id : int;
+  parent : int option;
+  dom : int;
 }
 
 let max_spans = 8192
@@ -13,13 +16,21 @@ let max_spans = 8192
    without bound across spawns, so two domains *can* share a shard —
    each shard therefore still carries its own mutex, making the shard a
    contention optimisation rather than a correctness assumption.  The
-   capacity bound ([max_spans]) and the nesting [depth] are per shard:
-   a single-domain process keeps exactly the historical semantics (all
-   spans land in one shard), while a multi-domain process gets
-   per-domain nesting depths and up to [shard_count * max_spans]
-   buffered spans.  Dumps merge the shards by a global completion
-   sequence number, reproducing the exact completion order a single
-   buffer would have recorded. *)
+   capacity bound ([max_spans]) is per shard: a single-domain process
+   keeps exactly the historical semantics (all spans land in one
+   shard), while a multi-domain process gets up to
+   [shard_count * max_spans] buffered spans.  Dumps merge the shards by
+   a global completion sequence number, reproducing the exact
+   completion order a single buffer would have recorded.
+
+   Span *identity* is not sharded: every span gets a process-unique id
+   from a global atomic, and each domain tracks its innermost open span
+   in domain-local storage, so a span's [parent] and [depth] follow the
+   dynamic nesting on that domain.  Cross-domain edges — a pool task
+   belonging to the query that submitted it — are made explicit by
+   passing the submitting span's handle as [?parent]; the task's spans
+   then attach under the query span even though they complete on
+   another domain. *)
 
 let shard_count = 8
 
@@ -28,7 +39,6 @@ type shard = {
   mutable spans : (int * span) list;  (* newest first, tagged with completion seq *)
   mutable buffered : int;
   mutable dropped : int;
-  mutable depth : int;
 }
 
 (* domain-safety: domain-sharded — one buffer slot per domain (domain id
@@ -36,12 +46,23 @@ type shard = {
    case; reads merge all shards by completion seq. *)
 let shards =
   Array.init shard_count (fun _ ->
-      { lock = Mutex.create (); spans = []; buffered = 0; dropped = 0; depth = 0 })
+      { lock = Mutex.create (); spans = []; buffered = 0; dropped = 0 })
 
 (* domain-safety: atomic — global completion sequence tag, fetched
    lock-free by whichever domain finishes a span next; only orders the
    merged dump. *)
 let next_seq = Atomic.make 0
+
+(* domain-safety: atomic — process-unique span id source (ids start at
+   1; 0 is reserved for "no span"), fetched lock-free by whichever
+   domain opens a span next. *)
+let next_id = Atomic.make 1
+
+(* The innermost open span on this domain, as [(id, next_depth)]:
+   [id = 0] means no span is open and the next one starts at depth
+   [next_depth] (0 at the root).  Not a global — each domain has its
+   own cell, written only by that domain, so nesting needs no lock. *)
+let current = Domain.DLS.new_key (fun () -> (0, 0))
 
 let my_shard () = shards.((Domain.self () :> int) mod shard_count)
 
@@ -74,41 +95,81 @@ type handle = {
   h_name : string;
   h_start : float;
   h_depth : int;
+  h_id : int;
+  h_parent : int option;
+  h_saved : int * int;  (* this domain's [current] before entry, restored at exit *)
   mutable h_closed : bool;
 }
 
 (* Shared no-op handle returned while the gate is off, so a disabled
    [enter_span] allocates nothing. *)
-let disabled_handle = { h_name = ""; h_start = 0.; h_depth = 0; h_closed = true }
+let disabled_handle =
+  {
+    h_name = "";
+    h_start = 0.;
+    h_depth = 0;
+    h_id = 0;
+    h_parent = None;
+    h_saved = (0, 0);
+    h_closed = true;
+  }
 
-let enter_span name =
+let enter_span ?parent name =
   if not !Config.enabled then disabled_handle
   else begin
     Config.note_activity ();
-    let sh = my_shard () in
-    let d =
-      locked sh (fun () ->
-          let d = sh.depth in
-          sh.depth <- d + 1;
-          d)
+    let saved = Domain.DLS.get current in
+    let parent_id, depth =
+      match parent with
+      | Some p when p.h_id <> 0 ->
+          (* Explicit cross-domain edge: attach under the given handle
+             regardless of what is open on this domain. *)
+          (p.h_id, p.h_depth + 1)
+      | Some _ (* disabled handle: the gate was off at the parent *) | None ->
+          saved
     in
-    { h_name = name; h_start = Clock.now (); h_depth = d; h_closed = false }
+    let id = Atomic.fetch_and_add next_id 1 in
+    Domain.DLS.set current (id, depth + 1);
+    {
+      h_name = name;
+      h_start = Clock.now ();
+      h_depth = depth;
+      h_id = id;
+      h_parent = (if parent_id = 0 then None else Some parent_id);
+      h_saved = saved;
+      h_closed = false;
+    }
   end
 
 let exit_span h =
   if not h.h_closed then begin
     h.h_closed <- true;
     let duration = Clock.now () -. h.h_start in
-    let sh = my_shard () in
-    locked sh (fun () -> sh.depth <- sh.depth - 1);
-    record sh { name = h.h_name; start = h.h_start; duration; depth = h.h_depth }
+    Domain.DLS.set current h.h_saved;
+    record (my_shard ())
+      {
+        name = h.h_name;
+        start = h.h_start;
+        duration;
+        depth = h.h_depth;
+        id = h.h_id;
+        parent = h.h_parent;
+        dom = (Domain.self () :> int);
+      }
   end
 
-let with_span name f =
+let with_span ?parent name f =
   if not !Config.enabled then f ()
   else begin
-    let h = enter_span name in
+    let h = enter_span ?parent name in
     Fun.protect ~finally:(fun () -> exit_span h) f
+  end
+
+let with_span_h ?parent name f =
+  if not !Config.enabled then f disabled_handle
+  else begin
+    let h = enter_span ?parent name in
+    Fun.protect ~finally:(fun () -> exit_span h) (fun () -> f h)
   end
 
 let spans () =
@@ -126,19 +187,23 @@ let clear () =
       locked sh (fun () ->
           sh.spans <- [];
           sh.buffered <- 0;
-          sh.dropped <- 0;
-          sh.depth <- 0))
+          sh.dropped <- 0))
     shards;
-  Atomic.set next_seq 0
+  Atomic.set next_seq 0;
+  Atomic.set next_id 1;
+  Domain.DLS.set current (0, 0)
 
 let span_to_json s =
   Json.Obj
-    [
-      ("name", Json.String s.name);
-      ("start", Json.Float s.start);
-      ("duration_s", Json.Float s.duration);
-      ("depth", Json.Int s.depth);
-    ]
+    ([
+       ("name", Json.String s.name);
+       ("start", Json.Float s.start);
+       ("duration_s", Json.Float s.duration);
+       ("depth", Json.Int s.depth);
+       ("id", Json.Int s.id);
+     ]
+    @ (match s.parent with None -> [] | Some p -> [ ("parent", Json.Int p) ])
+    @ [ ("dom", Json.Int s.dom) ])
 
 let to_json () =
   Json.Obj

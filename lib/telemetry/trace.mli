@@ -3,37 +3,61 @@
     A span is one timed region — a query operator, a bulk load, a
     benchmark body — named, clocked through the injectable {!Clock} (so
     a deterministic source gives deterministic traces), and recorded
-    with its nesting depth.  Completed spans accumulate in a process
-    buffer, bounded at an internal cap (further spans are counted as
-    dropped rather than recorded).
+    with its nesting depth, a process-unique id, its parent span (if
+    any) and the domain it completed on.  Completed spans accumulate in
+    a process buffer, bounded at an internal cap (further spans are
+    counted as dropped rather than recorded).
+
+    Nesting is tracked per domain (domain-local storage), so spans on
+    concurrent domains do not entangle.  A span opened inside a pool
+    task can be attached to the submitting query's span by passing that
+    span's handle as [?parent] — the explicit cross-domain edge the
+    Chrome-trace export renders as per-domain lanes under one query.
 
     While [Telemetry.enabled] is off, {!with_span} is exactly the
     wrapped call: one flag read, nothing recorded, nothing allocated. *)
 
 type span = {
   name : string;
-  start : float;    (** {!Clock.now} at entry *)
-  duration : float; (** seconds *)
-  depth : int;      (** nesting depth at entry, outermost = 0 *)
+  start : float;        (** {!Clock.now} at entry *)
+  duration : float;     (** seconds *)
+  depth : int;          (** nesting depth at entry, outermost = 0 *)
+  id : int;             (** process-unique, > 0 *)
+  parent : int option;  (** enclosing span's [id]: the innermost span
+                            open on the entering domain, or the handle
+                            passed as [?parent] *)
+  dom : int;            (** id of the domain the span completed on *)
 }
-
-val with_span : string -> (unit -> 'a) -> 'a
-(** Time [f] under [name].  The span is recorded even when [f] raises. *)
 
 type handle
 (** An open span from {!enter_span}.  The handle API exists for call
     sites that cannot be expressed as a closure (resource lifetimes
-    spanning functions); everywhere else use {!with_span} — the
-    [span-hygiene] lint rule enforces exactly that for library code. *)
+    spanning functions) and as the parent token for cross-domain
+    propagation ({!with_span_h}); everywhere else use {!with_span} —
+    the [span-hygiene] lint rule enforces exactly that for library
+    code. *)
 
-val enter_span : string -> handle
+val with_span : ?parent:handle -> string -> (unit -> 'a) -> 'a
+(** Time [f] under [name].  The span is recorded even when [f] raises.
+    [?parent] attaches it under an explicitly held handle (a pool task
+    joining its submitting query) instead of this domain's innermost
+    open span. *)
+
+val with_span_h : ?parent:handle -> string -> (handle -> 'a) -> 'a
+(** {!with_span}, but [f] receives the open span's handle — pass it as
+    [?parent] to spans created inside tasks fanned out to other
+    domains.  While the gate is off [f] gets a disabled handle (safe to
+    pass on: it propagates "no parent"). *)
+
+val enter_span : ?parent:handle -> string -> handle
 (** Open a span ([lint: allow span-hygiene] — this is the definition).
     While the gate is off, returns a shared no-op handle without
     allocating. *)
 
 val exit_span : handle -> unit
 (** Close and record the span.  Idempotent; a second call (or any call
-    on a disabled handle) is a no-op. *)
+    on a disabled handle) is a no-op.  Must run on the domain that
+    entered the span (it restores that domain's nesting state). *)
 
 val spans : unit -> span list
 (** Completed spans, in completion order. *)
@@ -44,7 +68,8 @@ val dropped : unit -> int
     counter. *)
 
 val clear : unit -> unit
-(** Empty the buffer, zero the drop count, reset nesting. *)
+(** Empty the buffer, zero the drop count, reset ids and the calling
+    domain's nesting. *)
 
 val to_json : unit -> Json.t
 

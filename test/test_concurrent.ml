@@ -85,6 +85,115 @@ let test_par_nested () =
       let r = Query.Par.run (Array.init 4 (fun j () -> inner j)) in
       check_int "nested runs complete" (Array.fold_left ( + ) 0 (Array.init 4 inner)) (Array.fold_left ( + ) 0 r))
 
+(* Pool-accounting hammer: four concurrent caller domains each drive 50
+   batches of 16 thunks through [Par.run] at width 4, then the stats
+   snapshot must balance exactly — every submitted task completed, the
+   per-lane tallies sum to the total, and shutdown leaves nothing queued
+   or in flight. *)
+let test_par_stats_hammer () =
+  Query.Par.shutdown ();
+  Query.Par.reset_stats ();
+  let callers = 4 and batches = 50 and batch = 16 in
+  Query.Par.with_domains 4 (fun () ->
+      let driver () =
+        for _ = 1 to batches do
+          let r = Query.Par.run (Array.init batch (fun i () -> i)) in
+          assert (Array.length r = batch)
+        done
+      in
+      let ds = List.init (callers - 1) (fun _ -> Domain.spawn driver) in
+      driver ();
+      List.iter Domain.join ds);
+  Query.Par.shutdown ();
+  let s = Query.Par.stats () in
+  let total = callers * batches * batch in
+  check_int "every task submitted" total s.Query.Par.submitted;
+  check_int "every task completed" total s.Query.Par.completed;
+  check_int "lane tallies sum to the total" total
+    (Array.fold_left ( + ) 0 s.Query.Par.lane_tasks);
+  check_int "queue drained at shutdown" 0 s.Query.Par.queue_depth;
+  check_int "nothing in flight at shutdown" 0 s.Query.Par.in_flight;
+  check_bool "spawned workers were joined" true (s.Query.Par.joined >= s.Query.Par.spawned)
+
+(* End-to-end observability of one fanned query: the executor must emit
+   a par.fanout event sized by the pool width, record one range span per
+   achieved range — every one a child of the query's parallel span — and
+   EXPLAIN --analyze must print the achieved fan-out next to the
+   planner's par= hint. *)
+let test_parallel_query_observability () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let saved_events = !Telemetry.Events.enabled in
+  let saved_min = !Query.Planner.parallel_min_rows in
+  Telemetry.Events.enabled := true;
+  Query.Planner.parallel_min_rows := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Events.enabled := saved_events;
+      Query.Planner.parallel_min_rows := saved_min;
+      Telemetry.Events.clear ();
+      Telemetry.Trace.clear ())
+    (fun () ->
+      Telemetry.with_enabled true (fun () ->
+          Telemetry.Events.clear ();
+          Telemetry.Trace.clear ();
+          Query.Par.with_domains 4 (fun () ->
+              let store = Hexa.Store_sig.box_hexastore (make_hexastore ()) in
+              let q =
+                Query.Algebra.Bgp
+                  [
+                    Query.Algebra.tp (Query.Algebra.Var "s") (Query.Algebra.Var "p")
+                      (Query.Algebra.Var "o");
+                  ]
+              in
+              ignore (Query.Exec.run store q);
+              let fanout =
+                List.find_map
+                  (fun (e : Telemetry.Events.event) ->
+                    match e.kind with
+                    | Telemetry.Events.Par_fanout { planned; achieved; width; _ } ->
+                        Some (planned, achieved, width)
+                    | _ -> None)
+                  (Telemetry.Events.dump ())
+              in
+              let achieved =
+                match fanout with
+                | None -> Alcotest.fail "no par.fanout event emitted"
+                | Some (planned, achieved, width) ->
+                    check_int "pool width recorded" 4 width;
+                    check_bool "achieved within the planned fan-out" true
+                      (achieved >= 0 && achieved <= planned);
+                    achieved
+              in
+              let spans = Telemetry.Trace.spans () in
+              let par_span =
+                List.find
+                  (fun (s : Telemetry.Trace.span) -> s.name = "exec.bgp.parallel")
+                  spans
+              in
+              let ranges =
+                List.filter
+                  (fun (s : Telemetry.Trace.span) -> s.name = "exec.bgp.par_range")
+                  spans
+              in
+              check_int "one range span per achieved range" achieved (List.length ranges);
+              List.iter
+                (fun (r : Telemetry.Trace.span) ->
+                  check_bool "range span parented to the parallel span" true
+                    (r.parent = Some par_span.id);
+                  check_int "range span one level under its parent" (par_span.depth + 1)
+                    r.depth)
+                ranges;
+              let txt =
+                Format.asprintf "%a" Query.Exec.pp_explain
+                  (Query.Exec.explain ~analyze:true store q)
+              in
+              check_bool "EXPLAIN --analyze reports achieved fan-out" true
+                (contains txt "achieved="))))
+
 let test_with_domains_restores () =
   let before = Query.Par.domains () in
   Query.Par.with_domains 3 (fun () -> check_int "inside" 3 (Query.Par.domains ()));
@@ -343,6 +452,9 @@ let () =
           Alcotest.test_case "run preserves slot order" `Quick test_par_run_order;
           Alcotest.test_case "exceptions re-raise, pool survives" `Quick test_par_exception;
           Alcotest.test_case "nested runs don't deadlock" `Quick test_par_nested;
+          Alcotest.test_case "stats hammer balances exactly" `Quick test_par_stats_hammer;
+          Alcotest.test_case "fanned query is fully observable" `Quick
+            test_parallel_query_observability;
           Alcotest.test_case "with_domains restores" `Quick test_with_domains_restores;
         ] );
       ("split", [ qt prop_split_concat ]);

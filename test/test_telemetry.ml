@@ -495,7 +495,12 @@ let test_chrome_trace () =
       | Error msg -> Alcotest.failf "chrome trace does not parse: %s" msg
       | Ok j -> check_string "stable re-encoding" s (Telemetry.Json.to_string j));
       match Telemetry.Json.member "traceEvents" json with
-      | Some (Telemetry.Json.List [ ev_inner; ev_outer ]) ->
+      | Some (Telemetry.Json.List [ meta; ev_inner; ev_outer ]) ->
+          (* Single-domain dump: one lane-name metadata event, then the
+             two spans on the historical tid=1 lane. *)
+          (match Telemetry.Json.member "ph" meta with
+          | Some (Telemetry.Json.String "M") -> ()
+          | _ -> Alcotest.fail "first trace event is not thread metadata");
           let str k ev =
             match Telemetry.Json.member k ev with
             | Some (Telemetry.Json.String s) -> s
@@ -517,7 +522,7 @@ let test_chrome_trace () =
             (match Telemetry.Json.path [ "args"; "depth" ] ev_inner with
             | Some v -> Option.value ~default:(-1.) (Telemetry.Json.to_float_opt v)
             | None -> -1.)
-      | _ -> Alcotest.fail "traceEvents is not a 2-element list")
+      | _ -> Alcotest.fail "traceEvents is not a metadata + 2-span list")
 
 let test_prometheus_exposition () =
   Telemetry.with_enabled true (fun () ->
@@ -570,6 +575,77 @@ let test_prometheus_exposition () =
             | Some _ -> ()
             | None -> Alcotest.failf "non-numeric sample value: %s" l))
     lines
+
+let test_prometheus_empty_histogram () =
+  ignore (Telemetry.Metrics.histogram "test.prom.empty");
+  let lines = String.split_on_char '\n' (Telemetry.Export.prometheus ()) in
+  let starts p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+  check_bool "TYPE line still declared" true
+    (List.exists (( = ) "# TYPE test_prom_empty histogram") lines);
+  check_bool "+Inf bucket closes an empty series at zero" true
+    (List.exists (starts "test_prom_empty_bucket{le=\"+Inf\"} 0") lines);
+  check_bool "no quantile estimates without observations" false
+    (List.exists (starts "test_prom_empty_quantile") lines)
+
+let test_chrome_trace_escaping () =
+  Telemetry.with_enabled true (fun () ->
+      Telemetry.Trace.clear ();
+      Telemetry.Trace.with_span "bad \"name\" \\lane\n\ttab \x01ctl" (fun () -> ());
+      let s = Telemetry.Json.to_string (Telemetry.Export.chrome_trace ()) in
+      match Telemetry.Json.of_string s with
+      | Error msg -> Alcotest.failf "hostile span name broke the trace: %s" msg
+      | Ok j -> check_string "stable re-encoding" s (Telemetry.Json.to_string j))
+
+let test_cross_domain_parenting () =
+  Telemetry.with_enabled true (fun () ->
+      Telemetry.Trace.clear ();
+      Telemetry.Trace.with_span_h "query" (fun h ->
+          Domain.join
+            (Domain.spawn (fun () ->
+                 Telemetry.Trace.with_span ~parent:h "worker" (fun () -> ()))));
+      let spans = Telemetry.Trace.spans () in
+      let find name = List.find (fun (s : Telemetry.Trace.span) -> s.name = name) spans in
+      let q = find "query" and w = find "worker" in
+      check_int "worker depth is one under the query" (q.depth + 1) w.depth;
+      check_bool "worker parent is the query span" true (w.parent = Some q.id);
+      check_bool "spans ran on distinct domains" true (q.dom <> w.dom);
+      (* Chrome rendering: each domain gets its own lane, announced by a
+         metadata event, with stable 1-based tids in domain-id order. *)
+      match Telemetry.Json.member "traceEvents" (Telemetry.Export.chrome_trace ()) with
+      | Some (Telemetry.Json.List evs) ->
+          let is_meta ev =
+            match Telemetry.Json.member "ph" ev with
+            | Some (Telemetry.Json.String "M") -> true
+            | _ -> false
+          in
+          let metas, span_evs = List.partition is_meta evs in
+          check_int "one lane-name event per domain" 2 (List.length metas);
+          let tid ev =
+            match Option.bind (Telemetry.Json.member "tid" ev) Telemetry.Json.to_float_opt with
+            | Some f -> int_of_float f
+            | None -> -1
+          in
+          check_bool "per-domain lanes are tids 1 and 2" true
+            (List.sort_uniq compare (List.map tid span_evs) = [ 1; 2 ])
+      | _ -> Alcotest.fail "no traceEvents")
+
+let test_events_dom_tag () =
+  with_events true (fun () ->
+      Telemetry.Events.clear ();
+      Telemetry.Events.emit (Telemetry.Events.Query_start { label = "here" });
+      Domain.join
+        (Domain.spawn (fun () ->
+             Telemetry.Events.emit (Telemetry.Events.Query_start { label = "there" })));
+      match Telemetry.Events.dump () with
+      | [ a; b ] ->
+          check_int "local event tagged with the emitting domain"
+            (Domain.self () :> int)
+            a.Telemetry.Events.dom;
+          check_bool "spawned domain's event tagged differently" true
+            (b.Telemetry.Events.dom <> a.Telemetry.Events.dom);
+          check_bool "dom is serialised" true
+            (Telemetry.Json.member "dom" (Telemetry.Events.event_to_json b) <> None)
+      | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
 
 let test_trace_dropped_counter () =
   Telemetry.with_enabled true (fun () ->
@@ -642,13 +718,20 @@ let gen_event_kind =
         map3
           (fun label wall_s plan -> Telemetry.Events.Slow_query { label; wall_s; plan })
           s (float_bound_exclusive 10.) s;
+        map3
+          (fun label planned (achieved, width) ->
+            Telemetry.Events.Par_fanout { label; planned; achieved; width })
+          s small_nat
+          (pair small_nat (int_bound 64));
       ])
 
 let gen_event =
   QCheck.Gen.(
     map3
-      (fun seq at kind -> { Telemetry.Events.seq; at; kind })
-      small_nat (float_bound_exclusive 1e6) gen_event_kind)
+      (fun seq (at, dom) kind -> { Telemetry.Events.seq; at; dom; kind })
+      small_nat
+      (pair (float_bound_exclusive 1e6) (int_bound 8))
+      gen_event_kind)
 
 let qcheck_event_reencode =
   QCheck.Test.make ~name:"flight-recorder events re-encode stably" ~count:500
@@ -662,10 +745,15 @@ let qcheck_span_reencode =
     (QCheck.make
        QCheck.Gen.(
          map3
-           (fun name start (duration, depth) ->
-             { Telemetry.Trace.name; start; duration; depth })
-           string_printable (float_bound_exclusive 1e9)
-           (pair (float_bound_exclusive 10.) (int_bound 12))))
+           (fun name (start, duration) (depth, id, parent, dom) ->
+             { Telemetry.Trace.name; start; duration; depth; id; parent; dom })
+           string_printable
+           (pair (float_bound_exclusive 1e9) (float_bound_exclusive 10.))
+           (map3
+              (fun depth (id, dom) parent -> (depth, 1 + id, parent, dom))
+              (int_bound 12)
+              (pair small_nat (int_bound 8))
+              (oneof [ return None; map (fun p -> Some (1 + p)) small_nat ]))))
     (fun sp -> reencodes_stably (Telemetry.Export.span_to_trace_event sp))
 
 let qt = QCheck_alcotest.to_alcotest
@@ -884,6 +972,7 @@ let () =
           Alcotest.test_case "always-on" `Quick test_events_always_on;
           Alcotest.test_case "query and delta narration" `Quick test_events_instrumentation;
           Alcotest.test_case "json round-trip" `Quick test_events_json_roundtrip;
+          Alcotest.test_case "domain tagging" `Quick test_events_dom_tag;
           qt qcheck_event_reencode;
         ] );
       ( "profile",
@@ -896,7 +985,12 @@ let () =
         [
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+          Alcotest.test_case "chrome trace escaping" `Quick test_chrome_trace_escaping;
+          Alcotest.test_case "cross-domain parenting and lanes" `Quick
+            test_cross_domain_parenting;
           Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "prometheus empty histogram" `Quick
+            test_prometheus_empty_histogram;
           qt qcheck_span_reencode;
         ] );
       ( "explain",
