@@ -1342,6 +1342,201 @@ let lubm_queries dict =
         ("LQ5", fun s -> force_list (Queries_lubm.lq5 s ids));
       ]
 
+(* ------------------------------------------------------------------- *)
+(* The PR-10 representation sweep (figures repr-memory / repr-wall)     *)
+(* ------------------------------------------------------------------- *)
+
+(* Each load workload's largest prefix rebuilt under every index
+   representation — raw, frame-of-reference bit-packed, delta+varint —
+   over the same shared dictionary, so the same resolved query ids run
+   against every arm.  Memory comes from the exact per-structure
+   accounting; wall time covers the full workload query suites plus the
+   join figure's planned BGPs (the acceptance bar: >= 2.5x smaller with
+   join wall within 1.3x of raw). *)
+
+type repr_arm = {
+  ra_repr : string;
+  ra_memory_mb : float;
+  ra_aggregate_s : float;
+  ra_queries : (string * float) list;
+}
+
+type repr_workload = {
+  rw_name : string;
+  rw_triples : int;
+  rw_arms : repr_arm list;
+}
+
+type repr_sweep = {
+  rs_workloads : repr_workload list;
+  rs_join_triples : int;
+  rs_join : (string * float) list;  (* representation name, planned wall *)
+}
+
+let repr_kinds = Vectors.Sorted_ivec.[ Raw; Packed; Delta_varint ]
+
+let repr_cache : repr_sweep option ref = ref None
+
+let hexa_of stores =
+  List.find_map (function Stores.Hexa h -> Some h | Stores.Covp _ -> None) stores
+
+let rebuild_as kind h =
+  let triples =
+    Array.of_list (List.rev (Hexa.Hexastore.fold (fun tr acc -> tr :: acc) h []))
+  in
+  let fresh = Hexa.Hexastore.create ~dict:(Hexa.Hexastore.dict h) ~repr:kind () in
+  ignore (Hexa.Hexastore.add_bulk_ids fresh triples);
+  fresh
+
+let repr_results env =
+  match !repr_cache with
+  | Some r -> r
+  | None ->
+      let workload rw_name sized queries_of =
+        match List.rev sized with
+        | [] -> None
+        | { Harness.n_triples; stores; dict } :: _ ->
+            Option.map
+              (fun h ->
+                let queries = queries_of dict in
+                let arms =
+                  List.map
+                    (fun kind ->
+                      let store = Stores.Hexa (rebuild_as kind h) in
+                      let ra_queries =
+                        List.map
+                          (fun (qname, run) ->
+                            let seconds, _ =
+                              Telemetry.with_enabled false (fun () ->
+                                  Harness.time ~warmup:1 ~repeats:timing_repeats (fun () ->
+                                      run store))
+                            in
+                            (qname, seconds))
+                          queries
+                      in
+                      {
+                        ra_repr = Vectors.Sorted_ivec.kind_name kind;
+                        ra_memory_mb = Harness.words_to_mb (Stores.memory_words store);
+                        ra_aggregate_s = List.fold_left (fun a (_, s) -> a +. s) 0. ra_queries;
+                        ra_queries;
+                      })
+                    repr_kinds
+                in
+                { rw_name; rw_triples = n_triples; rw_arms = arms })
+              (hexa_of stores)
+      in
+      let rs_join_triples, rs_join =
+        match List.rev (Lazy.force env.barton) with
+        | [] -> (0, [])
+        | { Harness.stores; dict; n_triples } :: _ -> (
+            match (hexa_of stores, Queries_barton.resolve_ids dict) with
+            | Some h, Some _ ->
+                ( n_triples,
+                  List.map
+                    (fun kind ->
+                      let store = Hexa.Store_sig.box_hexastore (rebuild_as kind h) in
+                      let seconds =
+                        List.fold_left
+                          (fun acc (_, tps) ->
+                            let s, _ =
+                              Telemetry.with_enabled false (fun () ->
+                                  Harness.time ~warmup:1 ~repeats:timing_repeats (fun () ->
+                                      Query.Exec.count store (Query.Algebra.Bgp tps)))
+                            in
+                            acc +. s)
+                          0. join_queries
+                      in
+                      (Vectors.Sorted_ivec.kind_name kind, seconds))
+                    repr_kinds )
+            | _ -> (0, []))
+      in
+      let r =
+        {
+          rs_workloads =
+            List.filter_map Fun.id
+              [
+                workload "lubm" (Lazy.force env.lubm) lubm_queries;
+                workload "barton" (Lazy.force env.barton) barton_queries;
+              ];
+          rs_join_triples;
+          rs_join;
+        }
+      in
+      repr_cache := Some r;
+      r
+
+let fig_repr env =
+  let r = repr_results env in
+  let mem_points =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun a ->
+            {
+              Harness.size = w.rw_triples;
+              method_ = w.rw_name ^ "-" ^ a.ra_repr;
+              seconds = a.ra_memory_mb;
+            })
+          w.rw_arms)
+      r.rs_workloads
+  in
+  print_series ~figure:"repr-memory"
+    ~title:"Index representation footprint per workload (MB, not seconds)" mem_points;
+  let wall_points =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun a ->
+            {
+              Harness.size = w.rw_triples;
+              method_ = w.rw_name ^ "-" ^ a.ra_repr;
+              seconds = a.ra_aggregate_s;
+            })
+          w.rw_arms)
+      r.rs_workloads
+    @ List.map
+        (fun (k, s) -> { Harness.size = r.rs_join_triples; method_ = "join-" ^ k; seconds = s })
+        r.rs_join
+  in
+  print_series ~figure:"repr-wall"
+    ~title:"Aggregate query wall time per index representation (workload suites + join BGPs)"
+    wall_points
+
+let repr_json env =
+  let r = repr_results env in
+  match r.rs_workloads with
+  | [] -> Telemetry.Json.Null
+  | _ ->
+      let arm a =
+        Telemetry.Json.Obj
+          [
+            ("memory_mb", Telemetry.Json.Float a.ra_memory_mb);
+            ("aggregate_seconds", Telemetry.Json.Float a.ra_aggregate_s);
+            ( "queries",
+              Telemetry.Json.Obj
+                (List.map (fun (q, s) -> (q, Telemetry.Json.Float s)) a.ra_queries) );
+          ]
+      in
+      Telemetry.Json.Obj
+        [
+          ( "workloads",
+            Telemetry.Json.Obj
+              (List.map
+                 (fun w ->
+                   ( w.rw_name,
+                     Telemetry.Json.Obj
+                       (("triples", Telemetry.Json.Int w.rw_triples)
+                       :: List.map (fun a -> (a.ra_repr, arm a)) w.rw_arms) ))
+                 r.rs_workloads) );
+          ( "join",
+            Telemetry.Json.Obj
+              (("triples", Telemetry.Json.Int r.rs_join_triples)
+              :: List.map
+                   (fun (k, s) ->
+                     (k, Telemetry.Json.Obj [ ("aggregate_seconds", Telemetry.Json.Float s) ]))
+                   r.rs_join) );
+        ]
+
 let figure_json (figure, title, points) =
   Telemetry.Json.Obj
     [
@@ -1394,11 +1589,12 @@ let emit_json ~mode ~path env =
     Telemetry.Json.Obj
       [
         ("schema", Telemetry.Json.String "hexastore-bench/v1");
-        ("pr", Telemetry.Json.Int 9);
+        ("pr", Telemetry.Json.Int 10);
         ("mode", Telemetry.Json.String (mode_name mode));
         ("join", join_json env);
         ("parallel", parallel_json env);
         ("pool", pool_json env);
+        ("repr", repr_json env);
         ("profiling", profiling_json ~mode env);
         ( "workloads",
           Telemetry.Json.Obj
@@ -1494,7 +1690,7 @@ let figures =
     ("abl-dict", abl_dict);
     ("abl-share", abl_share); ("abl-star", abl_star); ("abl-partial", abl_partial);
     ("abl-cyclic", abl_cyclic); ("abl-usage", abl_usage); ("abl-telemetry", abl_telemetry);
-    ("parallel", fig_parallel);
+    ("parallel", fig_parallel); ("repr", fig_repr);
   ]
 
 let run_bench full smoke selected bechamel list_only json_path =

@@ -247,6 +247,78 @@ let check_pool ~pr json =
       Printf.printf "bench-check: pool width %g ran %g tasks over %d lanes (%g caller-helped)\n"
         width completed (List.length lanes) (num "caller_helped")
 
+(* The PR-10 representation sweep: each load workload rebuilt under
+   every index representation, plus the join figure's planned queries
+   re-run per representation.  Required from PR 10 on.  The headline
+   bars are the PR's acceptance criteria: at least one compressed
+   representation must shrink the measured store footprint by >= 2.5x
+   on {e both} load workloads while keeping the join figure's aggregate
+   wall time within 1.3x of Raw.  The wall bar is waived in smoke mode,
+   where a single query is microseconds of noise; the memory ratio is a
+   structural property of the encoding and holds at any store size. *)
+let check_repr ~pr ~mode json =
+  match Telemetry.Json.member "repr" json with
+  | None | Some Telemetry.Json.Null ->
+      if pr >= 10 then fail "repr section missing (required since PR 10)"
+  | Some repr ->
+      let compressed = [ "packed"; "delta_varint" ] in
+      let all_reprs = "raw" :: compressed in
+      let workload_names = [ "lubm"; "barton" ] in
+      let workloads =
+        match require ~ctx:"repr" repr "workloads" with
+        | Telemetry.Json.Obj ws -> ws
+        | _ -> fail "repr.workloads is not an object"
+      in
+      let arm w r =
+        match List.assoc_opt w workloads with
+        | None -> fail "repr.workloads missing %S" w
+        | Some wj -> require ~ctx:("repr.workloads." ^ w) wj r
+      in
+      List.iter
+        (fun w ->
+          List.iter
+            (fun r ->
+              let ctx = Printf.sprintf "repr.workloads.%s.%s" w r in
+              let a = arm w r in
+              if require_number ~ctx a "memory_mb" <= 0. then
+                fail "%s: non-positive memory_mb" ctx;
+              if require_number ~ctx a "aggregate_seconds" < 0. then
+                fail "%s: negative aggregate wall time" ctx)
+            all_reprs)
+        workload_names;
+      let mem w r =
+        require_number ~ctx:(Printf.sprintf "repr.workloads.%s.%s" w r) (arm w r) "memory_mb"
+      in
+      let join = require ~ctx:"repr" repr "join" in
+      let wall r =
+        require_number ~ctx:("repr.join." ^ r) (require ~ctx:"repr.join" join r)
+          "aggregate_seconds"
+      in
+      let raw_wall = wall "raw" in
+      if raw_wall <= 0. then fail "repr.join.raw: non-positive aggregate wall time";
+      let qualifying =
+        List.filter
+          (fun r ->
+            let min_ratio =
+              List.fold_left (fun acc w -> min acc (mem w "raw" /. mem w r)) infinity
+                workload_names
+            in
+            let wall_ok = String.equal mode "smoke" || wall r <= 1.3 *. raw_wall in
+            List.iter
+              (fun w ->
+                Printf.printf "bench-check: repr %s on %s: %.2fx smaller (%.2f -> %.2f MB)\n" r
+                  w (mem w "raw" /. mem w r) (mem w "raw") (mem w r))
+              workload_names;
+            Printf.printf "bench-check: repr %s join wall %.4gs vs raw %.4gs (%.2fx)\n" r
+              (wall r) raw_wall (wall r /. raw_wall);
+            min_ratio >= 2.5 && wall_ok)
+          compressed
+      in
+      if qualifying = [] then
+        fail
+          "repr: no compressed representation clears the bars (>= 2.5x memory reduction on \
+           both workloads, join wall within 1.3x of raw)"
+
 let parse_file path =
   match Telemetry.Json.of_string (read_file path) with
   | Ok j -> j
@@ -254,12 +326,14 @@ let parse_file path =
 
 (* --compare OLD NEW: flag >2x wall-time or probe-count regressions on
    every query the two artifacts share (workload queries by total probe
-   count, join queries per arm). *)
+   count, join queries per arm), plus >1.5x memory_mb growth on shared
+   workload figures when both artifacts carry PR 10's exact accounting
+   (older gauges were coarse, so cross-era ratios would be noise). *)
 let compare_files old_path new_path =
   let old_json = parse_file old_path and new_json = parse_file new_path in
   let regressions = ref [] in
-  let flag what old_v new_v =
-    if old_v > 0. && new_v > 2. *. old_v then
+  let flag ?(bar = 2.) what old_v new_v =
+    if old_v > 0. && new_v > bar *. old_v then
       regressions := Printf.sprintf "%s: %g -> %g (%.1fx)" what old_v new_v (new_v /. old_v) :: !regressions
   in
   let queries_of ctx json path =
@@ -296,6 +370,24 @@ let compare_files old_path new_path =
               flag (workload ^ "." ^ qname ^ ".probes") (probe_total oq) (probe_total nq))
         olds)
     [ "lubm"; "barton" ];
+  let pr_of json =
+    match Telemetry.Json.member "pr" json with Some (Telemetry.Json.Int n) -> n | _ -> 0
+  in
+  if pr_of old_json >= 10 && pr_of new_json >= 10 then begin
+    let memory_mb json workload =
+      List.fold_left
+        (fun acc key -> Option.bind acc (Telemetry.Json.member key))
+        (Some json)
+        [ "workloads"; workload; "memory_mb" ]
+      |> Fun.flip Option.bind Telemetry.Json.to_float_opt
+    in
+    List.iter
+      (fun workload ->
+        match (memory_mb old_json workload, memory_mb new_json workload) with
+        | Some o, Some n -> flag ~bar:1.5 (workload ^ ".memory_mb") o n
+        | _ -> ())
+      [ "lubm"; "barton" ]
+  end;
   let old_join = queries_of "join" old_json [ "join"; "queries" ]
   and new_join = queries_of "join" new_json [ "join"; "queries" ] in
   List.iter
@@ -348,6 +440,7 @@ let () =
   check_profiling ~pr ~mode json;
   check_parallel ~pr ~mode json;
   check_pool ~pr json;
+  check_repr ~pr ~mode json;
   let overhead = require ~ctx:"root" json "telemetry_overhead" in
   let off = require_number ~ctx:"telemetry_overhead" overhead "disabled_seconds" in
   let on = require_number ~ctx:"telemetry_overhead" overhead "enabled_seconds" in

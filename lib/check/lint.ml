@@ -10,6 +10,7 @@ type rule =
   | Query_probe
   | Span_hygiene
   | Domain_unsafe_global
+  | Repr_abstraction
 
 let rule_name = function
   | Missing_mli -> "missing-mli"
@@ -20,6 +21,7 @@ let rule_name = function
   | Query_probe -> "query-probe"
   | Span_hygiene -> "span-hygiene"
   | Domain_unsafe_global -> "domain-unsafe-global"
+  | Repr_abstraction -> "repr-abstraction"
 
 (* PR 1's scanner had to assemble these patterns at runtime so the
    substring search would not flag this very file; the token scanner
@@ -48,6 +50,13 @@ let clock_exempt path =
    membership tests there bypass the planner's merge/hash operators. *)
 let query_scoped path = Filename.basename (Filename.dirname path) = "query"
 
+(* The codec modules are an implementation detail of the vectors layer:
+   everyone else reads compressed data through the Sorted_ivec
+   stream/slice API, which is what lets a representation swap leave the
+   planner, executor and snapshot code untouched. *)
+let pats_repr_codec = [ "Packed_ivec"; "Delta_ivec" ]
+let vectors_scoped path = Filename.basename (Filename.dirname path) = "vectors"
+
 let allow_marker rule = "lint: allow " ^ rule_name rule
 
 (* --- telemetry ----------------------------------------------------------- *)
@@ -60,7 +69,7 @@ let c_violations =
     (fun r -> (r, Telemetry.Metrics.counter ("check.lint.violations." ^ rule_name r)))
     [
       Missing_mli; Obj_magic; Printf_in_lib; Catch_all; Raw_clock; Query_probe;
-      Span_hygiene; Domain_unsafe_global;
+      Span_hygiene; Domain_unsafe_global; Repr_abstraction;
     ]
 
 let count_violation rule =
@@ -98,6 +107,14 @@ let path_hits (t : L.t) wanted =
       | _ -> ())
     toks;
   List.rev !hits
+
+(* Any mention of a codec module name.  Unlike [path_hits] this keeps
+   dot-preceded tokens, so a qualified [Vectors.Packed_ivec.get] is
+   caught through its [Packed_ivec] component. *)
+let codec_hits (t : L.t) =
+  Array.to_list t.L.tokens
+  |> List.filter (fun (tok : L.token) ->
+         tok.L.kind = L.Uident && List.mem tok.L.text pats_repr_codec)
 
 (* [with _ ->] possibly spanning lines; a named wildcard ([with _e ->])
    is a different token, and [with _ as e ->] has no arrow after the
@@ -218,6 +235,15 @@ let scan_source ~path contents =
                  ^ " is a manual span pair; use Trace.with_span so spans balance on every \
                     exit path (annotate the line to waive a resource-lifetime span)")
                   [ tok ]))
+    @ (if vectors_scoped path then []
+       else
+         let allowed = marker_lines t (allow_marker Repr_abstraction) in
+         codec_hits t
+         |> List.filter (fun (tok : L.token) ->
+                not (List.mem tok.L.line allowed || List.mem (tok.L.line - 1) allowed))
+         |> of_hits Repr_abstraction
+              "codec module addressed outside lib/vectors; read compressed data through \
+               the Sorted_ivec stream/slice API (annotate the line to waive)")
   @ (if Filename.check_suffix path ".mli" then [] else domain_safety_violations ~path t)
 
 (* --- directory walking -------------------------------------------------- *)

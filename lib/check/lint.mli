@@ -36,6 +36,13 @@
       reason.  This is the gate the ROADMAP concurrency item consumes:
       un-attested shared mutable state cannot reach a multi-domain
       executor unnoticed.
+    - {b repr-abstraction}: no mention of the compressed codec modules
+      ([Packed_ivec], [Delta_ivec]) outside a [vectors] directory —
+      every other layer reads compressed data through the
+      [Sorted_ivec] stream/slice API, which is what lets a
+      representation swap leave planner, executor and snapshots
+      untouched.  Waived with [lint: allow repr-abstraction] in a
+      comment on the same line or the line directly above.
 
     All content rules run over the {!Lexer} token stream, so comment and
     string contexts are exact: a pattern inside a string literal or
@@ -57,6 +64,7 @@ type rule =
   | Query_probe
   | Span_hygiene
   | Domain_unsafe_global
+  | Repr_abstraction
 
 val rule_name : rule -> string
 

@@ -59,14 +59,23 @@ let index_of h = function
   | Ordering.Ops -> Hexastore.ops h
 
 (* Words of one ordering's terminal lists, walked through its index (each
-   list visited once per ordering). *)
+   list visited once per ordering), mirroring the exact per-structure
+   accounting of [Hexastore.memory_words]: a 4-word bucket entry per
+   list plus the table's bucket array — stores seed their list tables at
+   1024 buckets and the stdlib Hashtbl doubles once the entry count
+   exceeds twice the bucket count. *)
 let family_list_words h ord =
-  let acc = ref 0 in
+  let words = ref 0 and entries = ref 0 in
   Index.iter
     (fun _ v ->
-      Pair_vector.iter (fun _ l -> acc := !acc + 2 + Vectors.Sorted_ivec.memory_words l) v)
+      Pair_vector.iter
+        (fun _ l ->
+          incr entries;
+          words := !words + 4 + Vectors.Sorted_ivec.memory_words l)
+        v)
     (index_of h ord);
-  !acc + 16
+  let rec buckets b = if !entries > 2 * b then buckets (2 * b) else b in
+  !words + buckets 1024 + 4
 
 let estimate_memory_words h keep =
   let kept = Ordering.Set.of_list keep in

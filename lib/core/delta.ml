@@ -147,7 +147,7 @@ let rebuild_base t batch =
          incr i)
        t.base ());
   Array.blit batch 0 all n (Array.length batch);
-  let fresh = Hexastore.create ~dict:(Hexastore.dict t.base) () in
+  let fresh = Hexastore.create ~dict:(Hexastore.dict t.base) ~repr:(Hexastore.repr t.base) () in
   ignore (Hexastore.add_bulk_ids fresh all);
   (* Adopt in place so aliases to the base (e.g. a dataset graph fronted
      by this delta) keep seeing the store's contents. *)

@@ -53,10 +53,23 @@ type t = {
   mutable p_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (s,o) -> properties; sop & osp *)
   mutable s_lists : (int, Sorted_ivec.t) Hashtbl.t;  (* (p,o) -> subjects;   pos & ops *)
   mutable size : int;
+  mutable repr : Sorted_ivec.kind;
+      (* Target representation: [Raw] stores stay mutable; a compressed
+         kind makes [add_bulk_ids] end with a whole-store [compress],
+         and point mutations [inflate] back to the mutable form. *)
 }
 
-let create ?dict () =
+let repr_of_env () =
+  match Sys.getenv_opt "HEXASTORE_REPR" with
+  | None | Some "" -> Sorted_ivec.Raw
+  | Some s -> (
+      match Sorted_ivec.kind_of_name s with
+      | Some k -> k
+      | None -> invalid_arg (Printf.sprintf "HEXASTORE_REPR: unknown representation %S" s))
+
+let create ?dict ?repr () =
   let dict = match dict with Some d -> d | None -> Dict.Term_dict.create () in
+  let repr = match repr with Some r -> r | None -> repr_of_env () in
   {
     dict;
     spo = Index.create ();
@@ -69,9 +82,16 @@ let create ?dict () =
     p_lists = Hashtbl.create 1024;
     s_lists = Hashtbl.create 1024;
     size = 0;
+    repr;
   }
 
 let dict t = t.dict
+
+let is_flat t = Index.is_flat t.spo
+
+let repr t = t.repr
+
+let repr_name t = if is_flat t then Sorted_ivec.kind_name t.repr else "raw"
 
 (* In-place structural adoption: [dst] takes over [src]'s indices and
    terminal lists while keeping its own identity, so aliases to [dst]
@@ -90,7 +110,8 @@ let replace_contents dst ~from:src =
   dst.o_lists <- src.o_lists;
   dst.p_lists <- src.p_lists;
   dst.s_lists <- src.s_lists;
-  dst.size <- src.size
+  dst.size <- src.size;
+  dst.repr <- src.repr
 
 let size t = t.size
 (* Handing out an index is counted as a probe of it: the benchmark
@@ -165,9 +186,15 @@ let add_ids t { s; p; o } =
   end
 
 let mem_ids t { s; p; o } =
-  match Hashtbl.find_opt t.o_lists (Pair_key.make s p) with
-  | None -> false
-  | Some l -> Sorted_ivec.mem l o
+  if is_flat t then
+    (* Flat stores keep no list tables — answer via the spo streams. *)
+    match Index.find_list t.spo s p with
+    | None -> false
+    | Some l -> Sorted_ivec.mem l o
+  else
+    match Hashtbl.find_opt t.o_lists (Pair_key.make s p) with
+    | None -> false
+    | Some l -> Sorted_ivec.mem l o
 
 (* Undo one triple's contribution to an index: decrement the header
    vector's total and, when the shared list has gone empty, unlink the
@@ -557,22 +584,113 @@ let scan_split t pat pos ~parts =
 
 (* --- direct accessors ------------------------------------------------ *)
 
-let probe_lists ord table key =
+let probe_lists ord r =
   note_ord ord;
-  let r = Hashtbl.find_opt table key in
   (match r with
   | Some l when !Telemetry.Config.enabled ->
       Telemetry.Metrics.observe m_scan_len (Sorted_ivec.length l)
   | _ -> ());
   r
 
-let objects_of_sp t ~s ~p = probe_lists Ordering.Spo t.o_lists (Pair_key.make s p)
-let properties_of_so t ~s ~o = probe_lists Ordering.Sop t.p_lists (Pair_key.make s o)
-let subjects_of_po t ~p ~o = probe_lists Ordering.Pos t.s_lists (Pair_key.make p o)
+(* The paper-notation accessors read the shared tables directly on raw
+   stores; a flat store has no tables, so they take the two-level index
+   path (same lists, as slices of the terminal streams). *)
+let objects_of_sp t ~s ~p =
+  probe_lists Ordering.Spo
+    (if is_flat t then Index.find_list t.spo s p
+     else Hashtbl.find_opt t.o_lists (Pair_key.make s p))
+
+let properties_of_so t ~s ~o =
+  probe_lists Ordering.Sop
+    (if is_flat t then Index.find_list t.sop s o
+     else Hashtbl.find_opt t.p_lists (Pair_key.make s o))
+
+let subjects_of_po t ~p ~o =
+  probe_lists Ordering.Pos
+    (if is_flat t then Index.find_list t.pos p o
+     else Hashtbl.find_opt t.s_lists (Pair_key.make p o))
 
 let subjects t = Index.headers t.spo
 let properties t = Index.headers t.pso
 let objects t = Index.headers t.osp
+
+(* --- accounting ------------------------------------------------------- *)
+
+(* Exact accounting: the table's bucket array plus 4 words per entry
+   (bucket cons: block header, key, value, next) plus each list's own
+   footprint.  On flat stores the tables are empty husks and the
+   terminal payloads are counted inside the indices' streams. *)
+let lists_memory table =
+  let stats = Hashtbl.stats table in
+  Hashtbl.fold
+    (fun _ l acc -> acc + 4 + Sorted_ivec.memory_words l)
+    table
+    (stats.Hashtbl.num_buckets + 4)
+
+let memory_words t =
+  Index.memory_words t.spo + Index.memory_words t.sop + Index.memory_words t.pso
+  + Index.memory_words t.pos + Index.memory_words t.osp + Index.memory_words t.ops
+  + lists_memory t.o_lists + lists_memory t.p_lists + lists_memory t.s_lists
+
+let memory_words_with_dict t = memory_words t + Dict.Term_dict.memory_words t.dict
+
+(* --- representation switching ----------------------------------------- *)
+
+(* Whole-store re-encode into six flat compressed indices.  The shared
+   list tables are dropped (their contents live on, concatenated inside
+   the terminal streams); point mutations revert via {!inflate}. *)
+let compress t =
+  if t.repr <> Sorted_ivec.Raw && not (is_flat t) then begin
+    let before = memory_words t in
+    let kind = t.repr in
+    t.spo <- Index.compress ~kind t.spo;
+    t.sop <- Index.compress ~kind t.sop;
+    t.pso <- Index.compress ~kind t.pso;
+    t.pos <- Index.compress ~kind t.pos;
+    t.osp <- Index.compress ~kind t.osp;
+    t.ops <- Index.compress ~kind t.ops;
+    t.o_lists <- Hashtbl.create 1;
+    t.p_lists <- Hashtbl.create 1;
+    t.s_lists <- Hashtbl.create 1;
+    Sorted_ivec.note_bytes_saved ((before - memory_words t) * 8)
+  end
+
+(* Rebuild the mutable hashed form from the flat streams — the write
+   path's escape hatch. *)
+let inflate t =
+  if is_flat t then begin
+    let all = Array.of_seq (full_scan t) in
+    t.spo <- Index.create ();
+    t.sop <- Index.create ();
+    t.pso <- Index.create ();
+    t.pos <- Index.create ();
+    t.osp <- Index.create ();
+    t.ops <- Index.create ();
+    t.o_lists <- Hashtbl.create 1024;
+    t.p_lists <- Hashtbl.create 1024;
+    t.s_lists <- Hashtbl.create 1024;
+    t.size <- 0;
+    ignore (add_bulk_ids t all : int)
+  end
+
+(* Public mutation entry points: shadow the raw implementations above
+   with representation-aware wrappers.  Point mutations inflate first
+   and leave the store raw (recompressing per triple would be O(n));
+   bulk loads re-establish the configured representation at the end, so
+   a delta-layer flush lands compressed again. *)
+let add_ids t tr =
+  if is_flat t then inflate t;
+  add_ids t tr
+
+let remove_ids t tr =
+  if is_flat t then inflate t;
+  remove_ids t tr
+
+let add_bulk_ids t triples =
+  if is_flat t then inflate t;
+  let n = add_bulk_ids t triples in
+  if t.repr <> Sorted_ivec.Raw then compress t;
+  n
 
 (* --- term-level API --------------------------------------------------- *)
 
@@ -618,19 +736,13 @@ let count_terms t ?s ?p ?o () =
 let to_triples t =
   List.of_seq (Seq.map (Dict.Term_dict.decode_triple t.dict) (full_scan t))
 
-(* --- accounting and invariants ---------------------------------------- *)
-
-let lists_memory table =
-  Hashtbl.fold (fun _ l acc -> acc + 2 + Sorted_ivec.memory_words l) table 16
-
-let memory_words t =
-  Index.memory_words t.spo + Index.memory_words t.sop + Index.memory_words t.pso
-  + Index.memory_words t.pos + Index.memory_words t.osp + Index.memory_words t.ops
-  + lists_memory t.o_lists + lists_memory t.p_lists + lists_memory t.s_lists
-
-let memory_words_with_dict t = memory_words t + Dict.Term_dict.memory_words t.dict
+(* --- invariants ------------------------------------------------------- *)
 
 let check_invariant t =
+  (* Twin orderings share terminal lists physically on raw stores; a
+     flat store materialises fresh slice headers per lookup, so sharing
+     there means equal windows onto one stream — logical equality. *)
+  let same_list a b = if is_flat t then Sorted_ivec.equal a b else a == b in
   Index.check_invariant t.spo;
   Index.check_invariant t.sop;
   Index.check_invariant t.pso;
@@ -650,7 +762,7 @@ let check_invariant t =
       Pair_vector.iter
         (fun p l ->
           (match Index.find_list t.pso p s with
-          | Some l' -> assert (l == l')
+          | Some l' -> assert (same_list l l')
           | None -> assert false);
           Sorted_ivec.iter
             (fun o ->
@@ -659,14 +771,14 @@ let check_invariant t =
               | Some pl ->
                   assert (Sorted_ivec.mem pl p);
                   (match Index.find_list t.osp o s with
-                  | Some pl' -> assert (pl == pl')
+                  | Some pl' -> assert (same_list pl pl')
                   | None -> assert false)
               | None -> assert false);
               match Index.find_list t.pos p o with
               | Some sl ->
                   assert (Sorted_ivec.mem sl s);
                   (match Index.find_list t.ops o p with
-                  | Some sl' -> assert (sl == sl')
+                  | Some sl' -> assert (same_list sl sl')
                   | None -> assert false)
               | None -> assert false)
             l)

@@ -24,12 +24,41 @@ type id_triple = Dict.Term_dict.id_triple = {
   o : int;
 }
 
-val create : ?dict:Dict.Term_dict.t -> unit -> t
+val create : ?dict:Dict.Term_dict.t -> ?repr:Vectors.Sorted_ivec.kind -> unit -> t
 (** A fresh empty store.  Pass [dict] to share a mapping table with
     another store (the benchmarks do this so Hexastore and the COVP
-    baselines agree on ids). *)
+    baselines agree on ids).  [repr] selects the index representation:
+    [Raw] (mutable, the default) or a compressed kind that
+    {!add_bulk_ids} re-establishes after every bulk load.  When absent,
+    read from the [HEXASTORE_REPR] environment variable
+    ([raw]/[packed]/[delta_varint]).
+    @raise Invalid_argument on an unknown [HEXASTORE_REPR] value. *)
 
 val dict : t -> Dict.Term_dict.t
+
+(** {1 Representation} *)
+
+val repr : t -> Vectors.Sorted_ivec.kind
+(** The configured target representation. *)
+
+val repr_name : t -> string
+(** The {e effective} representation right now: the configured kind's
+    name while the store is flat-compressed, ["raw"] otherwise (e.g.
+    after a point mutation inflated it). *)
+
+val is_flat : t -> bool
+(** Whether the six indices are currently flat compressed. *)
+
+val compress : t -> unit
+(** Re-encode the whole store into flat compressed indices of the
+    configured kind (no-op when [repr] is [Raw] or already flat).
+    Reads keep working unchanged through slices/views; point mutations
+    transparently {!inflate} first.  Adds the recovered bytes to the
+    [vectors.repr.bytes_saved] counter. *)
+
+val inflate : t -> unit
+(** Rebuild the mutable hashed representation from a flat store (no-op
+    when already raw). *)
 
 val size : t -> int
 (** Number of distinct triples. *)

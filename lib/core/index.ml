@@ -1,4 +1,16 @@
-type t = {
+(* An ordering is either the mutable hash-of-pair-vectors build form or
+   a flat compressed CSR layout: one sorted header stream, a packed
+   row-pointer stream into one concatenated key stream, and a second
+   packed row-pointer stream into one concatenated terminal stream.
+   The flat form exists because the store's memory is dominated by the
+   per-object overhead of hundreds of thousands of tiny lists and
+   vectors, not by element widths — flattening removes the objects,
+   the codecs then shrink the payload.  All reads go through
+   [Sorted_ivec] slices / [Pair_vector] views, so the query layers
+   never see the difference; mutation of a flat index raises, and the
+   store swaps representations wholesale instead. *)
+
+type hashed = {
   headers : (int, Pair_vector.t) Hashtbl.t;
   sorted : Vectors.Sorted_ivec.t;
       (* Header ids, maintained sorted on every add/remove so that
@@ -6,50 +18,218 @@ type t = {
          re-sorting the hash keys (O(h log h)) per call. *)
 }
 
+type flat = {
+  n_headers : int;
+  fhdr_s : Vectors.Sorted_ivec.stream; (* h sorted header ids *)
+  fheaders : Vectors.Sorted_ivec.t; (* whole-stream slice of fhdr_s *)
+  fkey_off : Vectors.Sorted_ivec.stream; (* h+1 offsets into fkeys (packed) *)
+  fkeys : Vectors.Sorted_ivec.stream; (* E second-level keys, one segment per header *)
+  flist_off : Vectors.Sorted_ivec.stream; (* E+1 offsets into fterms (packed) *)
+  fterms : Vectors.Sorted_ivec.stream; (* N terminal ids, one segment per (header,key) *)
+}
+
+type t = Hashed of hashed | Flat of flat
+
 let create ?(initial_headers = 64) () =
-  { headers = Hashtbl.create initial_headers; sorted = Vectors.Sorted_ivec.create () }
+  Hashed { headers = Hashtbl.create initial_headers; sorted = Vectors.Sorted_ivec.create () }
 
-let header_count t = Hashtbl.length t.headers
+let is_flat = function Flat _ -> true | Hashed _ -> false
 
-let find_vector t h = Hashtbl.find_opt t.headers h
+let header_count = function Hashed h -> Hashtbl.length h.headers | Flat f -> f.n_headers
+
+let frozen op = invalid_arg ("Index." ^ op ^ ": flat compressed index is immutable")
+
+(* The r-th header's pair vector, as a view over the streams. *)
+let flat_vector f r =
+  let k0 = Vectors.Sorted_ivec.stream_get f.fkey_off r in
+  let k1 = Vectors.Sorted_ivec.stream_get f.fkey_off (r + 1) in
+  let l0 = Vectors.Sorted_ivec.stream_get f.flist_off k0 in
+  let l1 = Vectors.Sorted_ivec.stream_get f.flist_off k1 in
+  Pair_vector.view
+    ~keys:(Vectors.Sorted_ivec.slice f.fkeys ~off:k0 ~len:(k1 - k0))
+    ~total:(l1 - l0)
+    ~payload:(fun j ->
+      let a = Vectors.Sorted_ivec.stream_get f.flist_off (k0 + j) in
+      let b = Vectors.Sorted_ivec.stream_get f.flist_off (k0 + j + 1) in
+      Vectors.Sorted_ivec.slice f.fterms ~off:a ~len:(b - a))
+
+let flat_rank f h =
+  let r = Vectors.Sorted_ivec.index_geq f.fheaders h in
+  if r < f.n_headers && Vectors.Sorted_ivec.get f.fheaders r = h then Some r else None
+
+let find_vector t h =
+  match t with
+  | Hashed t -> Hashtbl.find_opt t.headers h
+  | Flat f -> ( match flat_rank f h with Some r -> Some (flat_vector f r) | None -> None)
 
 let get_or_create_vector t h =
-  match Hashtbl.find_opt t.headers h with
-  | Some v -> v
-  | None ->
-      let v = Pair_vector.create () in
-      Hashtbl.add t.headers h v;
-      ignore (Vectors.Sorted_ivec.add t.sorted h);
-      v
+  match t with
+  | Flat _ -> frozen "get_or_create_vector"
+  | Hashed t -> (
+      match Hashtbl.find_opt t.headers h with
+      | Some v -> v
+      | None ->
+          let v = Pair_vector.create () in
+          Hashtbl.add t.headers h v;
+          ignore (Vectors.Sorted_ivec.add t.sorted h);
+          v)
 
 let find_list t first second =
-  match find_vector t first with None -> None | Some v -> Pair_vector.find v second
+  match t with
+  | Hashed _ -> (
+      match find_vector t first with None -> None | Some v -> Pair_vector.find v second)
+  | Flat f -> (
+      (* Straight to the terminal slice: two packed-offset reads after
+         the two key binary searches, no intermediate view. *)
+      match flat_rank f first with
+      | None -> None
+      | Some r ->
+          let k0 = Vectors.Sorted_ivec.stream_get f.fkey_off r in
+          let k1 = Vectors.Sorted_ivec.stream_get f.fkey_off (r + 1) in
+          let keys = Vectors.Sorted_ivec.slice f.fkeys ~off:k0 ~len:(k1 - k0) in
+          let j = Vectors.Sorted_ivec.index_geq keys second in
+          if j < k1 - k0 && Vectors.Sorted_ivec.get keys j = second then begin
+            let a = Vectors.Sorted_ivec.stream_get f.flist_off (k0 + j) in
+            let b = Vectors.Sorted_ivec.stream_get f.flist_off (k0 + j + 1) in
+            Some (Vectors.Sorted_ivec.slice f.fterms ~off:a ~len:(b - a))
+          end
+          else None)
 
 let remove_header t h =
-  if Hashtbl.mem t.headers h then begin
-    Hashtbl.remove t.headers h;
-    ignore (Vectors.Sorted_ivec.remove t.sorted h);
-    true
-  end
-  else false
+  match t with
+  | Flat _ -> frozen "remove_header"
+  | Hashed t ->
+      if Hashtbl.mem t.headers h then begin
+        Hashtbl.remove t.headers h;
+        ignore (Vectors.Sorted_ivec.remove t.sorted h);
+        true
+      end
+      else false
 
-let iter f t = Hashtbl.iter f t.headers
+let iter f t =
+  match t with
+  | Hashed t -> Hashtbl.iter f t.headers
+  | Flat fl ->
+      for r = 0 to fl.n_headers - 1 do
+        f (Vectors.Sorted_ivec.get fl.fheaders r) (flat_vector fl r)
+      done
 
 let iter_sorted f t =
-  Vectors.Sorted_ivec.iter (fun h -> f h (Hashtbl.find t.headers h)) t.sorted
+  match t with
+  | Hashed t -> Vectors.Sorted_ivec.iter (fun h -> f h (Hashtbl.find t.headers h)) t.sorted
+  | Flat _ -> iter f t (* flat iteration is already in ascending header order *)
 
-let headers t = Vectors.Sorted_ivec.copy t.sorted
+let headers t =
+  match t with
+  | Hashed t -> Vectors.Sorted_ivec.copy t.sorted
+  | Flat f -> Vectors.Sorted_ivec.copy f.fheaders
 
-let headers_view t = t.sorted
+let headers_view = function Hashed t -> t.sorted | Flat f -> f.fheaders
 
-let total t = Hashtbl.fold (fun _ v acc -> acc + Pair_vector.total v) t.headers 0
+let total = function
+  | Hashed t -> Hashtbl.fold (fun _ v acc -> acc + Pair_vector.total v) t.headers 0
+  | Flat f -> Vectors.Sorted_ivec.stream_length f.fterms
 
-let memory_words t =
-  Hashtbl.fold (fun _ v acc -> acc + 3 + Pair_vector.memory_words v) t.headers 16
-  + Vectors.Sorted_ivec.memory_words t.sorted
+(* Exact accounting.  Hashed: the table's own array + 4 words per
+   entry (bucket cons: header, key, value, next) + each pair vector.
+   Flat: the four streams, the header slice, and the spine records. *)
+let memory_words = function
+  | Hashed t ->
+      let stats = Hashtbl.stats t.headers in
+      Hashtbl.fold (fun _ v acc -> acc + 4 + Pair_vector.memory_words v) t.headers
+        (stats.Hashtbl.num_buckets + 4)
+      + Vectors.Sorted_ivec.memory_words t.sorted
+  | Flat f ->
+      2 (* Flat box *) + 8 (* flat record *)
+      + Vectors.Sorted_ivec.memory_words f.fheaders
+      + Vectors.Sorted_ivec.stream_memory_words f.fhdr_s
+      + Vectors.Sorted_ivec.stream_memory_words f.fkey_off
+      + Vectors.Sorted_ivec.stream_memory_words f.fkeys
+      + Vectors.Sorted_ivec.stream_memory_words f.flist_off
+      + Vectors.Sorted_ivec.stream_memory_words f.fterms
+
+(* Rebuild any index as a flat compressed one.  [kind] picks the codec
+   for the header/key/terminal streams; the two row-pointer streams are
+   always bit-packed so offset reads stay O(1). *)
+let compress ~kind t =
+  if kind = Vectors.Sorted_ivec.Raw then invalid_arg "Index.compress: kind must be compressed";
+  let h = header_count t in
+  let e = ref 0 and n = ref 0 in
+  iter
+    (fun _ v ->
+      e := !e + Pair_vector.length v;
+      n := !n + Pair_vector.total v)
+    t;
+  let e = !e and n = !n in
+  let hdrs = Array.make (max h 1) 0 in
+  let key_off = Array.make (h + 1) 0 in
+  let keys = Array.make (max e 1) 0 in
+  let list_off = Array.make (e + 1) 0 in
+  let terms = Array.make (max n 1) 0 in
+  let hi = ref 0 and ei = ref 0 and ni = ref 0 in
+  iter_sorted
+    (fun hdr v ->
+      hdrs.(!hi) <- hdr;
+      key_off.(!hi) <- !ei;
+      incr hi;
+      Pair_vector.iter
+        (fun key list ->
+          keys.(!ei) <- key;
+          list_off.(!ei) <- !ni;
+          incr ei;
+          Vectors.Sorted_ivec.iter
+            (fun x ->
+              terms.(!ni) <- x;
+              incr ni)
+            list)
+        v)
+    t;
+  key_off.(h) <- e;
+  list_off.(e) <- n;
+  assert (!hi = h && !ei = e && !ni = n);
+  let packed = Vectors.Sorted_ivec.Packed in
+  let fhdr_s =
+    Vectors.Sorted_ivec.stream_of_array kind ~segments:[| 0 |] (Array.sub hdrs 0 h)
+  in
+  Flat
+    {
+    n_headers = h;
+    fhdr_s;
+    fheaders = Vectors.Sorted_ivec.slice fhdr_s ~off:0 ~len:h;
+    fkey_off = Vectors.Sorted_ivec.stream_of_array packed ~segments:[||] key_off;
+    fkeys =
+      Vectors.Sorted_ivec.stream_of_array kind ~segments:(Array.sub key_off 0 h)
+        (Array.sub keys 0 e);
+    flist_off = Vectors.Sorted_ivec.stream_of_array packed ~segments:[||] list_off;
+      fterms =
+        Vectors.Sorted_ivec.stream_of_array kind ~segments:(Array.sub list_off 0 e)
+          (Array.sub terms 0 n);
+    }
+
+let block_violations = function
+  | Hashed _ -> []
+  | Flat f ->
+      List.concat_map
+        (fun (name, s) ->
+          List.map
+            (fun e -> name ^ ": " ^ e)
+            (Vectors.Sorted_ivec.stream_validate s))
+        [
+          ("headers", f.fhdr_s);
+          ("key_off", f.fkey_off);
+          ("keys", f.fkeys);
+          ("list_off", f.flist_off);
+          ("terms", f.fterms);
+        ]
 
 let check_invariant t =
-  iter (fun _ v -> Pair_vector.check_invariant v) t;
-  Vectors.Sorted_ivec.check_invariant t.sorted;
-  assert (Vectors.Sorted_ivec.length t.sorted = Hashtbl.length t.headers);
-  Vectors.Sorted_ivec.iter (fun h -> assert (Hashtbl.mem t.headers h)) t.sorted
+  (match t with
+  | Hashed h ->
+      Vectors.Sorted_ivec.check_invariant h.sorted;
+      assert (Vectors.Sorted_ivec.length h.sorted = Hashtbl.length h.headers);
+      Vectors.Sorted_ivec.iter (fun hd -> assert (Hashtbl.mem h.headers hd)) h.sorted
+  | Flat f ->
+      Vectors.Sorted_ivec.check_invariant f.fheaders;
+      assert (Vectors.Sorted_ivec.length f.fheaders = f.n_headers);
+      assert (block_violations t = []));
+  iter (fun _ v -> Pair_vector.check_invariant v) t

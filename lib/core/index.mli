@@ -9,6 +9,22 @@
 type t
 
 val create : ?initial_headers:int -> unit -> t
+(** A fresh mutable (hashed) index. *)
+
+val compress : kind:Vectors.Sorted_ivec.kind -> t -> t
+(** Rebuild as a flat compressed index: headers, second-level keys and
+    terminal ids become three shared codec streams addressed by two
+    bit-packed row-pointer streams, and every lookup answers with
+    zero-copy slices/views.  Flat indices are immutable — the mutating
+    operations below raise [Invalid_argument]; the store swaps whole
+    representations instead ([Hexastore.compress]/[inflate]).
+    @raise Invalid_argument on [Raw]. *)
+
+val is_flat : t -> bool
+
+val block_violations : t -> string list
+(** Codec-level audits of every backing stream (empty on hashed
+    indices or when sound). *)
 
 val header_count : t -> int
 

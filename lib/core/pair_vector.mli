@@ -14,6 +14,18 @@ type t
 
 val create : ?capacity:int -> unit -> t
 
+val view :
+  keys:Vectors.Sorted_ivec.t ->
+  total:int ->
+  payload:(int -> Vectors.Sorted_ivec.t) ->
+  t
+(** An immutable pair vector over precomputed parts — the flat
+    compressed index's lookup result.  [keys] is the (possibly
+    compressed-slice) sorted key vector, [total] the triple count under
+    it, and [payload j] materialises the [j]-th terminal-list slice.
+    Mutating operations ({!get_or_insert}, {!remove}, {!bump_total})
+    raise [Invalid_argument] on views. *)
+
 val length : t -> int
 (** Number of (key, list) entries. *)
 

@@ -2,7 +2,24 @@ exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
 
-let magic = "HEXSNAP1"
+(* Format 2 (PR 10) adds one representation byte right after the magic
+   — inside the checksum — recording the store's configured codec so a
+   compressed store round-trips byte-identically (same tag out, same
+   tag back in, recompression on load).  Format-1 blobs still load, as
+   raw stores. *)
+let magic = "HEXSNAP2"
+let magic_v1 = "HEXSNAP1"
+
+let repr_tag = function
+  | Vectors.Sorted_ivec.Raw -> 0
+  | Vectors.Sorted_ivec.Packed -> 1
+  | Vectors.Sorted_ivec.Delta_varint -> 2
+
+let repr_of_tag = function
+  | 0 -> Vectors.Sorted_ivec.Raw
+  | 1 -> Vectors.Sorted_ivec.Packed
+  | 2 -> Vectors.Sorted_ivec.Delta_varint
+  | b -> corrupt "unknown representation tag %d" b
 
 (* --- FNV-1a 64-bit, over the payload bytes ---------------------------- *)
 
@@ -79,6 +96,7 @@ let read_varint src =
 let save_channel h oc =
   let sink = { oc; out_hash = fnv_offset } in
   output_string oc magic;
+  write_byte sink (repr_tag (Hexastore.repr h));
   let dict = Hexastore.dict h in
   let n_terms = Dict.Term_dict.size dict in
   write_varint sink n_terms;
@@ -127,8 +145,10 @@ let save h path =
 
 let load_channel ic =
   let got = try really_input_string ic (String.length magic) with End_of_file -> "" in
-  if got <> magic then corrupt "bad magic (not a Hexastore snapshot)";
+  if got <> magic && got <> magic_v1 then corrupt "bad magic (not a Hexastore snapshot)";
   let src = { ic; in_hash = fnv_offset } in
+  (* Format 1 predates representation tags: such blobs are raw. *)
+  let repr = if got = magic then repr_of_tag (read_byte src) else Vectors.Sorted_ivec.Raw in
   let dict = Dict.Term_dict.create () in
   let n_terms = read_varint src in
   (* Each term costs at least 2 bytes (length varint + 1 char). *)
@@ -177,7 +197,7 @@ let load_channel ic =
   (match input_char ic with
   | _ -> corrupt "trailing bytes after checksum"
   | exception End_of_file -> ());
-  let h = Hexastore.create ~dict () in
+  let h = Hexastore.create ~dict ~repr () in
   let added = Hexastore.add_bulk_ids h triples in
   if added <> n_triples then corrupt "duplicate triples in snapshot";
   h

@@ -7,6 +7,7 @@ type summary = {
   distinct_objects : int;
   memory_words : int;
   memory_mb : float;
+  repr : string;
 }
 
 let words_to_mb w = float_of_int (w * 8) /. (1024. *. 1024.)
@@ -29,6 +30,7 @@ let summary h =
     distinct_objects = Sorted_ivec.length (Hexastore.objects h);
     memory_words;
     memory_mb = words_to_mb memory_words;
+    repr = Hexastore.repr_name h;
   }
 
 let property_histogram h =
@@ -76,5 +78,5 @@ let selectivity h pat =
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "@[<v>triples: %d@,subjects: %d@,properties: %d@,objects: %d@,memory: %.2f MB@]"
-    s.triples s.distinct_subjects s.distinct_properties s.distinct_objects s.memory_mb
+    "@[<v>triples: %d@,subjects: %d@,properties: %d@,objects: %d@,memory: %.2f MB@,repr: %s@]"
+    s.triples s.distinct_subjects s.distinct_properties s.distinct_objects s.memory_mb s.repr

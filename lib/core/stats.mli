@@ -12,9 +12,13 @@ type summary = {
   distinct_objects : int;
   memory_words : int;
   memory_mb : float;
+  repr : string;  (** effective representation ({!Hexastore.repr_name}) *)
 }
 
 val summary : Hexastore.t -> summary
+(** Refreshes the memory gauges with the {e exact} per-structure
+    accounting aggregated through [Index.memory_words] (bucket arrays,
+    entry conses, codec streams — everything counted once). *)
 
 val property_histogram : Hexastore.t -> (int * int) list
 (** (property id, triple count) pairs, descending by count.  The Barton

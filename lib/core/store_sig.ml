@@ -46,6 +46,10 @@ module type S = sig
       self (see {!Delta.pin}); [None] for stores whose reads are already
       stable under the one-writer protocol. *)
 
+  val repr_name : t -> string
+  (** Effective index representation right now ("raw", "packed",
+      "delta_varint").  Baseline stores are always "raw". *)
+
   val memory_words : t -> int
 end
 
@@ -65,6 +69,7 @@ module Hexastore_store : S with type t = Hexastore.t = struct
   (* Queries never mutate, so with one writer paused there is nothing to
      isolate from: the live store is its own stable view. *)
   let pin _ = None
+  let repr_name = Hexastore.repr_name
   let memory_words = Hexastore.memory_words
 end
 
@@ -84,6 +89,7 @@ module Covp1_store : S with type t = Covp.t = struct
   let scan_sorted _ _ _ = None
   let scan_split _ _ _ ~parts:_ = None
   let pin _ = None
+  let repr_name _ = "raw"
   let memory_words = Covp.memory_words
 end
 
@@ -109,6 +115,7 @@ module Partial_store : S with type t = Partial.t = struct
   let scan_sorted _ _ _ = None
   let scan_split _ _ _ ~parts:_ = None
   let pin _ = None
+  let repr_name _ = "raw"
   let memory_words = Partial.memory_words
 end
 
@@ -125,6 +132,7 @@ module Delta_store : S with type t = Delta.t = struct
   let scan_sorted = Delta.scan_sorted
   let scan_split = Delta.scan_split
   let pin d = Some (Delta.pin d)
+  let repr_name d = Hexastore.repr_name (Delta.base d)
   let memory_words = Delta.memory_words
 end
 
@@ -156,6 +164,7 @@ let pin (Boxed ((module M), store) as b) =
   | None -> (b, fun () -> ())
   | Some (view, unpin) -> (Boxed ((module M), view), unpin)
 
+let repr_name (Boxed ((module M), store)) = M.repr_name store
 let memory_words (Boxed ((module M), store)) = M.memory_words store
 
 let add_triple b triple =

@@ -51,6 +51,11 @@ module type S = sig
       self (see {!Delta.pin}); [None] for stores whose reads are already
       stable under the one-writer protocol. *)
 
+  val repr_name : t -> string
+  (** Effective index representation right now ("raw", "packed",
+      "delta_varint"; see {!Hexastore.repr_name}).  Baseline stores are
+      always "raw". *)
+
   val memory_words : t -> int
 end
 
@@ -100,6 +105,8 @@ val pin : boxed -> boxed * (unit -> unit)
 (** [pin b] is [(view, unpin)]: a stable read view of [b] plus its
     release.  For stores without a pinning protocol the view is [b]
     itself and [unpin] a no-op, so callers can pin unconditionally. *)
+
+val repr_name : boxed -> string
 
 val memory_words : boxed -> int
 

@@ -652,7 +652,7 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
             {
               op = "scan";
               detail =
-                Format.asprintf "%a index=%s strategy=%a%t" Algebra.pp_tp c.Planner.tp
+                Format.asprintf "%a index=%s strategy=%a%t%t" Algebra.pp_tp c.Planner.tp
                   (Hexa.Ordering.name c.Planner.index) Planner.pp_strategy c.Planner.strategy
                   (fun ppf ->
                     match c.Planner.par with
@@ -662,7 +662,14 @@ let rec explain_build ~analyze store (q : Algebra.t) : explain_node =
                           Option.iter
                             (Format.fprintf ppf " achieved=%d")
                             (achieved_fanout store c)
-                    | None -> ());
+                    | None -> ())
+                  (fun ppf ->
+                    (* Which index representation served the scan; raw is
+                       the default and stays unannotated so pre-PR10
+                       goldens read unchanged. *)
+                    match Hexa.Store_sig.repr_name store with
+                    | "raw" -> ()
+                    | r -> Format.fprintf ppf " repr=%s" r);
               estimate = Some c.Planner.estimate;
               selectivity = Some c.Planner.selectivity;
               actual_rows;

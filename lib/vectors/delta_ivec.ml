@@ -1,0 +1,271 @@
+(* Delta + LEB128 varint coding over block-aligned segments.
+
+   Block metadata — start positions [bstart] (nb+1), first values
+   [bfirst] (nb), payload byte offsets [bbyte] (nb+1) — is itself kept
+   bit-packed, since with many tiny segments (one per terminal list)
+   the metadata would otherwise dominate the payload.  The payload for
+   a block is the varint gap sequence between consecutive elements; the
+   first element lives only in [bfirst]. *)
+
+let block_size = 128
+
+let m_blocks_decoded = Telemetry.Metrics.counter "vectors.repr.blocks_decoded"
+
+(* One-block point-read cache.  The record is immutable and swapped
+   atomically, so concurrent readers from pool domains can at worst
+   waste a decode — never observe a torn block. *)
+type cache = { cb : int; cvals : int array }
+
+type t = {
+  n : int;
+  bstart : Packed_ivec.t; (* nb + 1 block start positions, last = n *)
+  bfirst : Packed_ivec.t; (* nb block-first values *)
+  bbyte : Packed_ivec.t; (* nb + 1 payload byte offsets, last = payload end *)
+  data : Bytes.t;
+  cache : cache Atomic.t;
+}
+
+let length t = t.n
+
+let bstart t b = Packed_ivec.get t.bstart b
+
+let write_varint buf v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !v)
+
+let of_array ~segments a =
+  let n = Array.length a in
+  Array.iteri
+    (fun i s ->
+      if s < 0 || s > n || (i > 0 && s < segments.(i - 1)) then
+        invalid_arg "Delta_ivec.of_array: segments not ascending within [0, n]")
+    segments;
+  (* Cut positions: every segment start, and every [block_size] elements
+     in between. *)
+  let starts = ref [] in
+  let nseg = Array.length segments in
+  let si = ref 0 in
+  let pos = ref 0 in
+  while !pos < n do
+    starts := !pos :: !starts;
+    while !si < nseg && segments.(!si) <= !pos do
+      incr si
+    done;
+    let next_seg = if !si < nseg then segments.(!si) else n in
+    pos := min (!pos + block_size) next_seg
+  done;
+  let starts = Array.of_list (List.rev !starts) in
+  let nb = Array.length starts in
+  let bstart = Array.make (nb + 1) n in
+  Array.blit starts 0 bstart 0 nb;
+  let bfirst = Array.make nb 0 in
+  let bbyte = Array.make (nb + 1) 0 in
+  let buf = Buffer.create (2 * n) in
+  for b = 0 to nb - 1 do
+    let bs = bstart.(b) and be = bstart.(b + 1) in
+    bfirst.(b) <- a.(bs);
+    bbyte.(b) <- Buffer.length buf;
+    for i = bs + 1 to be - 1 do
+      let gap = a.(i) - a.(i - 1) in
+      if gap <= 0 then invalid_arg "Delta_ivec.of_array: block not strictly increasing";
+      write_varint buf gap
+    done
+  done;
+  bbyte.(nb) <- Buffer.length buf;
+  {
+    n;
+    bstart = Packed_ivec.of_array bstart;
+    bfirst = Packed_ivec.of_array bfirst;
+    bbyte = Packed_ivec.of_array bbyte;
+    data = Buffer.to_bytes buf;
+    cache = Atomic.make { cb = -1; cvals = [||] };
+  }
+
+(* Greatest block [b] with [bstart b <= i]; callers guarantee
+   [0 <= i < n]. *)
+let block_of t i =
+  let lo = ref 0 and hi = ref (Packed_ivec.length t.bfirst - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if Packed_ivec.get t.bstart mid <= i then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let decode_into t b buf =
+  Telemetry.Metrics.incr m_blocks_decoded;
+  let count = bstart t (b + 1) - bstart t b in
+  buf.(0) <- Packed_ivec.get t.bfirst b;
+  let off = ref (Packed_ivec.get t.bbyte b) in
+  for j = 1 to count - 1 do
+    let gap = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      let byte = Char.code (Bytes.get t.data !off) in
+      incr off;
+      gap := !gap lor ((byte land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      continue := byte land 0x80 <> 0
+    done;
+    buf.(j) <- buf.(j - 1) + !gap
+  done;
+  count
+
+let cached_block t b =
+  let c = Atomic.get t.cache in
+  if c.cb = b then c.cvals
+  else begin
+    let vals = Array.make (bstart t (b + 1) - bstart t b) 0 in
+    ignore (decode_into t b vals : int);
+    Atomic.set t.cache { cb = b; cvals = vals };
+    vals
+  end
+
+let get t i =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Delta_ivec.get: index %d out of bounds [0,%d)" i t.n);
+  let b = block_of t i in
+  (cached_block t b).(i - bstart t b)
+
+let iter_range f t ~lo ~hi =
+  let lo = max lo 0 and hi = min hi t.n in
+  if lo < hi then begin
+    let buf = Array.make block_size 0 in
+    let b0 = block_of t lo and b1 = block_of t (hi - 1) in
+    for b = b0 to b1 do
+      let bs = bstart t b and be = bstart t (b + 1) in
+      ignore (decode_into t b buf : int);
+      for j = max lo bs - bs to min hi be - bs - 1 do
+        f (Array.unsafe_get buf j)
+      done
+    done
+  end
+
+let to_seq_range t ~lo ~hi =
+  let hi = min hi t.n in
+  (* Each closure captures its block's private decoded array, so a
+     cursor costs one ≤128-entry buffer per block visited and re-forcing
+     an earlier node never races a shared buffer. *)
+  let rec from_pos i bs be vals () =
+    if i >= hi then Seq.Nil
+    else if i < be then Seq.Cons (vals.(i - bs), from_pos (i + 1) bs be vals)
+    else enter i ()
+  and enter i () =
+    if i >= hi then Seq.Nil
+    else begin
+      let b = block_of t i in
+      let bs = bstart t b and be = bstart t (b + 1) in
+      let vals = Array.make (be - bs) 0 in
+      ignore (decode_into t b vals : int);
+      from_pos i bs be vals ()
+    end
+  in
+  enter (max lo 0)
+
+let search_range t ~lo ~hi ~from x =
+  let hi = min hi t.n in
+  let from = max (max lo 0) from in
+  if from >= hi then hi
+  else begin
+    let bl = block_of t from in
+    if Packed_ivec.get t.bfirst bl > x then
+      (* Every element at position >= from is >= bfirst(bl) > x — for a
+         monotone window that makes [from] itself the first hit. *)
+      from
+    else begin
+      let bh = block_of t (hi - 1) in
+      (* Gallop over block firsts for the last block with bfirst <= x. *)
+      let step = ref 1 in
+      let blo = ref bl in
+      while !blo + !step <= bh && Packed_ivec.get t.bfirst (!blo + !step) <= x do
+        blo := !blo + !step;
+        step := !step * 2
+      done;
+      let bhi = ref (min bh (!blo + !step)) in
+      while !blo < !bhi do
+        let mid = (!blo + !bhi + 1) / 2 in
+        if Packed_ivec.get t.bfirst mid <= x then blo := mid else bhi := mid - 1
+      done;
+      let b = !blo in
+      let bs = bstart t b and be = bstart t (b + 1) in
+      let vals = cached_block t b in
+      (* First position >= x inside the one decoded block. *)
+      let jlo = ref (max from bs - bs) and jhi = ref (min hi be - bs) in
+      if !jlo < !jhi && vals.(!jhi - 1) < x then
+        (* Whole in-window block below x: the next block's first value is
+           > x by choice of [b], so its start position is the answer. *)
+        if be < hi then be else hi
+      else begin
+        while !jlo < !jhi do
+          let mid = (!jlo + !jhi) / 2 in
+          if Array.unsafe_get vals mid < x then jlo := mid + 1 else jhi := mid
+        done;
+        bs + !jlo
+      end
+    end
+  end
+
+let to_array t =
+  let a = Array.make t.n 0 in
+  let i = ref 0 in
+  iter_range
+    (fun v ->
+      a.(!i) <- v;
+      incr i)
+    t ~lo:0 ~hi:t.n;
+  a
+
+let encoded_bytes t = Bytes.length t.data
+
+let bytes_words len = 1 + ((len + 8) / 8)
+
+let memory_words t =
+  let c = Atomic.get t.cache in
+  1 + 6 (* record *)
+  + Packed_ivec.memory_words t.bstart
+  + Packed_ivec.memory_words t.bfirst
+  + Packed_ivec.memory_words t.bbyte
+  + bytes_words (Bytes.length t.data)
+  + 2 (* Atomic.t cell *)
+  + 3 (* cache record *)
+  + (Array.length c.cvals + 1)
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  List.iter
+    (fun (name, p) ->
+      List.iter (fun e -> err "%s: %s" name e) (Packed_ivec.validate p))
+    [ ("bstart", t.bstart); ("bfirst", t.bfirst); ("bbyte", t.bbyte) ];
+  let nb = Packed_ivec.length t.bfirst in
+  if Packed_ivec.length t.bstart <> nb + 1 then
+    err "bstart length %d, expected %d" (Packed_ivec.length t.bstart) (nb + 1);
+  if Packed_ivec.length t.bbyte <> nb + 1 then
+    err "bbyte length %d, expected %d" (Packed_ivec.length t.bbyte) (nb + 1);
+  if !errs = [] then begin
+    if nb > 0 && bstart t 0 <> 0 then err "bstart.(0) = %d, expected 0" (bstart t 0);
+    if bstart t nb <> t.n then err "bstart.(%d) = %d, expected n = %d" nb (bstart t nb) t.n;
+    if Packed_ivec.get t.bbyte nb <> Bytes.length t.data then
+      err "bbyte.(%d) = %d, expected payload end %d" nb (Packed_ivec.get t.bbyte nb)
+        (Bytes.length t.data);
+    let buf = Array.make block_size 0 in
+    for b = 0 to nb - 1 do
+      let bs = bstart t b and be = bstart t (b + 1) in
+      if be <= bs then err "block %d: empty or non-ascending bounds [%d,%d)" b bs be;
+      if be - bs > block_size then err "block %d: %d elements > block size" b (be - bs);
+      if Packed_ivec.get t.bbyte (b + 1) < Packed_ivec.get t.bbyte b then
+        err "block %d: payload offsets not ascending" b;
+      if be > bs && be - bs <= block_size then begin
+        ignore (decode_into t b buf : int);
+        if buf.(0) <> Packed_ivec.get t.bfirst b then
+          err "block %d: first value %d <> header %d" b buf.(0) (Packed_ivec.get t.bfirst b);
+        for j = 1 to be - bs - 1 do
+          if buf.(j) <= buf.(j - 1) then
+            err "block %d: not strictly increasing at offset %d" b j
+        done
+      end
+    done
+  end;
+  List.rev !errs

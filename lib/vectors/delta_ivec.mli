@@ -1,0 +1,62 @@
+(** Delta + varint encoded integer streams, block-aligned for galloping.
+
+    A stream is a concatenation of segments, each strictly increasing
+    (the flat-index layout: every terminal list or key run is one
+    segment).  Blocks hold at most 128 elements and never span a
+    segment boundary, so every segment starts on a block boundary and
+    the exponential probe of [search_range] can gallop over block-first
+    values — which are stored uncompressed in bit-packed side arrays —
+    and decode at most one block per seek.
+
+    Each block's payload is the varint-encoded gap sequence between
+    consecutive elements (gaps are [>= 1] by strict monotonicity); the
+    block's first value lives in the side array.  Point reads go
+    through a single-block decode cache; sequential cursors carry their
+    own stack-local decode buffer, so no full array is ever
+    materialised. *)
+
+type t
+
+val block_size : int
+(** 128: maximum elements per block. *)
+
+val of_array : segments:int array -> int array -> t
+(** [of_array ~segments a] encodes [a], cutting blocks at every position
+    listed in [segments] (ascending, each in [0, length a]) and every
+    {!block_size} elements in between.
+    @raise Invalid_argument if a resulting block is not strictly
+    increasing, or if [segments] is not ascending/in range. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** Decodes the containing block through the shared one-block cache;
+    O(1) on a cache hit, one block decode on a miss.
+    @raise Invalid_argument out of bounds. *)
+
+val iter_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
+(** Elements at positions [lo, hi) in order, decoding block by block
+    into a stack-local buffer. *)
+
+val to_seq_range : t -> lo:int -> hi:int -> int Seq.t
+(** Same elements lazily; the cursor owns a private decode buffer. *)
+
+val search_range : t -> lo:int -> hi:int -> from:int -> int -> int
+(** [search_range t ~lo ~hi ~from x] is the position of the first
+    element [>= x] within [\[max lo from, hi)], or [hi] if none.  The
+    window [\[lo, hi)] must be block-aligned on the left and monotone
+    (i.e. a single segment, as produced by [of_array ~segments]).
+    Gallops over block-first values, then decodes at most one block. *)
+
+val to_array : t -> int array
+
+val encoded_bytes : t -> int
+(** Varint payload size in bytes (excluding block metadata). *)
+
+val memory_words : t -> int
+(** Exact heap footprint in words, metadata and cache included. *)
+
+val validate : t -> string list
+(** Structural audit: per-block header consistency (first values,
+    byte-offset monotonicity, in-block strict monotonicity, gap
+    encoding).  Returns human-readable violations; empty means sound. *)

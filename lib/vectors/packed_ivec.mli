@@ -1,0 +1,44 @@
+(** Frame-of-reference bit-packed integer vectors.
+
+    The vector is cut into fixed 128-entry blocks; each block stores its
+    minimum and a fixed cell width [w], and every element is encoded as
+    [v - min] in exactly [w] bits.  A cell is decoded with a single
+    unaligned 64-bit read plus shift and mask, so random access is O(1)
+    — the property that lets a bit-packed vector sit behind
+    [Sorted_ivec.get]/[index_geq] without per-access block decodes.
+
+    Values need not be sorted (frame-of-reference only assumes a small
+    per-block range).  Blocks whose range needs more than 56 bits — the
+    widest cell a single unaligned 64-bit window can span at any bit
+    offset — fall back to raw 8-byte cells (width 64). *)
+
+type t
+
+val block_size : int
+(** 128: entries per block (the last block may be shorter). *)
+
+val of_array : int array -> t
+(** Encodes a copy of the array; the input is not retained. *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** O(1). @raise Invalid_argument out of bounds. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val iter_range : (int -> unit) -> t -> lo:int -> hi:int -> unit
+(** Elements at positions [lo, hi) in order. *)
+
+val to_array : t -> int array
+
+val encoded_bytes : t -> int
+(** Size of the packed payload (cells only, excluding headers). *)
+
+val memory_words : t -> int
+(** Exact heap footprint in words, headers included. *)
+
+val validate : t -> string list
+(** Structural audit: block header consistency (minimum tightness, cell
+    widths, data-offset monotonicity, buffer sizing).  Returns
+    human-readable violations; empty means sound. *)

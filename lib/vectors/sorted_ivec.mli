@@ -9,9 +9,32 @@
     Mutation is by binary insertion — O(n) worst case, which mirrors the
     paper's observation that updates are the Hexastore's weak spot — with an
     O(1) amortised fast path when keys arrive in ascending order (the bulk
-    loading case). *)
+    loading case).
+
+    Since PR 10 a sorted vector is either that raw mutable form or an
+    immutable {e slice} of a shared compressed stream ({!Packed_ivec}
+    frame-of-reference bit-packing or {!Delta_ivec} delta+varint).
+    Every read — including the galloping {!search_from} the merge
+    kernels lean on — works on all three representations without
+    materialising arrays; mutations ({!add}, {!remove}, {!clear}) raise
+    [Invalid_argument] on compressed slices. *)
 
 type t
+
+(** Physical representation of a vector or stream. *)
+type kind = Raw | Packed | Delta_varint
+
+val kind_name : kind -> string
+(** ["raw"], ["packed"], ["delta_varint"]. *)
+
+val kind_of_name : string -> kind option
+(** Inverse of {!kind_name} (case-insensitive; ["delta"] also accepted).
+    This parses the [HEXASTORE_REPR] environment variable. *)
+
+val kind_of : t -> kind
+
+val is_compressed : t -> bool
+(** [kind_of v <> Raw]. *)
 
 val create : ?capacity:int -> unit -> t
 
@@ -104,3 +127,48 @@ val pp : Format.formatter -> t -> unit
 val check_invariant : t -> unit
 (** Asserts strict ascending order; test helper.
     @raise Assert_failure when the invariant is broken. *)
+
+(** {1 Compressed streams and slices}
+
+    A [stream] is one big encoded payload shared by many slices — the
+    flat index keeps four of them per ordering and exposes every
+    terminal list and key run as a 4-word slice header.  Streams are
+    encoded once from a complete array and never mutated. *)
+
+type stream
+
+val stream_of_array : kind -> segments:int array -> int array -> stream
+(** Encodes [a] with the given codec.  [segments] lists the start
+    positions of the monotone runs concatenated in [a] (ascending); the
+    delta codec aligns its blocks on them so every run starts on a
+    block boundary (the bit-packed codec, being order-agnostic, ignores
+    them).  @raise Invalid_argument on [Raw], or if a delta block is
+    not strictly increasing. *)
+
+val stream_length : stream -> int
+
+val stream_get : stream -> int -> int
+
+val slice : stream -> off:int -> len:int -> t
+(** A zero-copy view of positions [off, off+len).  For the delta codec
+    the window must be one monotone segment (as declared to
+    {!stream_of_array}).  @raise Invalid_argument out of bounds. *)
+
+val stream_memory_words : stream -> int
+(** Exact footprint of the encoded stream, headers included. *)
+
+val stream_validate : stream -> string list
+(** Codec-level structural audit; empty means sound. *)
+
+val compress : kind -> t -> t
+(** [compress k v] re-encodes [v]'s elements as a standalone
+    single-segment vector of representation [k].  [Raw] materialises a
+    mutable copy (identity on already-raw vectors). *)
+
+val block_violations : t -> string list
+(** Per-block header violations of the vector's backing stream (empty
+    for raw vectors) — the codec leg of [Check.Invariant.sorted_ivec]. *)
+
+val note_bytes_saved : int -> unit
+(** Adds to the [vectors.repr.bytes_saved] counter (store compression
+    reports its before/after delta here). *)

@@ -237,6 +237,84 @@ let test_delta_load_roundtrip () =
       check_bool "loaded delta starts quiescent" true
         (Delta.pending_inserts dl' = 0 && Delta.pending_deletes dl' = 0))
 
+(* --- compressed representations (PR 10) -------------------------------- *)
+
+(* The exact triple set baked into test/snapshots/pre_pr10.snap, a
+   HEXSNAP1 file written before the codec-tagged format existed. *)
+let golden_triples () =
+  List.concat_map
+    (fun i ->
+      let s = Rdf.Term.iri (Printf.sprintf "http://example.org/s%d" i) in
+      [
+        Rdf.Triple.make s
+          (Rdf.Term.iri "http://example.org/type")
+          (Rdf.Term.iri (Printf.sprintf "http://example.org/Class%d" (i mod 3)));
+        Rdf.Triple.make s
+          (Rdf.Term.iri "http://example.org/value")
+          (Rdf.Term.literal (string_of_int (i * 7)));
+      ])
+    (List.init 40 Fun.id)
+
+let test_golden_v1_load () =
+  (* A pre-PR10 snapshot must keep loading: as a raw store, with the
+     same ids the old writer assigned (positional dictionary). *)
+  let path = "snapshots/pre_pr10.snap" in
+  let h = Snapshot.load path in
+  check_int "golden size" 80 (Hexastore.size h);
+  Alcotest.(check string) "v1 loads as raw" "raw" (Hexastore.repr_name h);
+  Hexastore.check_invariant h;
+  let expected = Hexastore.of_triples (golden_triples ()) in
+  check_bool "golden contents (same ids)" true (same_contents expected h);
+  (* Re-saving upgrades the container format; the upgraded file still
+     round-trips to the same store. *)
+  with_tmp (fun path2 ->
+      Snapshot.save h path2;
+      let h2 = Snapshot.load path2 in
+      check_bool "v1 -> v2 rewrite preserves contents" true (same_contents h h2))
+
+let compressed_sample kind =
+  let h = Hexastore.create ~repr:kind () in
+  List.iter (fun tr -> ignore (Hexastore.add h tr)) (golden_triples ());
+  Hexastore.compress h;
+  h
+
+let test_compressed_roundtrip_bytes () =
+  (* Saving a compressed store, loading it, and saving again must be
+     byte-identical — the codec tag and the payload both survive. *)
+  List.iter
+    (fun kind ->
+      let name = Vectors.Sorted_ivec.kind_name kind in
+      with_tmp (fun p1 ->
+          with_tmp (fun p2 ->
+              let h = compressed_sample kind in
+              Alcotest.(check string) (name ^ " store is compressed") name
+                (Hexastore.repr_name h);
+              Snapshot.save h p1;
+              let h' = Snapshot.load p1 in
+              Alcotest.(check string) (name ^ " survives the round trip") name
+                (Hexastore.repr_name h');
+              check_bool (name ^ " contents survive") true (same_contents h h');
+              Hexastore.check_invariant h';
+              Snapshot.save h' p2;
+              check_bool (name ^ " re-save byte-identical") true
+                (String.equal (file_contents p1) (file_contents p2)))))
+    Vectors.Sorted_ivec.[ Packed; Delta_varint ]
+
+let test_codec_tag_in_checksum () =
+  (* Corrupting the repr byte (right after the magic) must be caught. *)
+  with_tmp (fun path ->
+      let h = compressed_sample Vectors.Sorted_ivec.Packed in
+      Snapshot.save h path;
+      let full = Bytes.of_string (file_contents path) in
+      let pos = String.length "HEXSNAP2" in
+      Bytes.set full pos (Char.chr (Char.code (Bytes.get full pos) lxor 0x01));
+      let oc = open_out_bin path in
+      output_bytes oc full;
+      close_out oc;
+      match Snapshot.load path with
+      | exception Snapshot.Corrupt _ -> ()
+      | _ -> Alcotest.fail "flipped codec tag accepted")
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -259,5 +337,12 @@ let () =
           Alcotest.test_case "bitflip" `Quick test_corruption_bitflip;
           Alcotest.test_case "trailing" `Quick test_corruption_trailing_garbage;
           qt prop_fuzz_never_crashes;
+        ] );
+      ( "repr",
+        [
+          Alcotest.test_case "golden_v1_load" `Quick test_golden_v1_load;
+          Alcotest.test_case "compressed_roundtrip_bytes" `Quick
+            test_compressed_roundtrip_bytes;
+          Alcotest.test_case "codec_tag_checksummed" `Quick test_codec_tag_in_checksum;
         ] );
     ]

@@ -776,6 +776,31 @@ let test_explain_golden_single () =
   in
   check_string "single-pattern plan" expected (render plan)
 
+let test_explain_golden_repr () =
+  (* The same plan over a compressed store carries a repr= annotation on
+     its scan node (raw stores stay unannotated, so the goldens above
+     double as the negative case). *)
+  let compressed =
+    let cfg = Workloads.Lubm.config ~universities:1 ~departments_per_university:1 () in
+    let h = Hexa.Hexastore.create ~repr:Vectors.Sorted_ivec.Packed () in
+    List.iter
+      (fun tr -> ignore (Hexa.Hexastore.add h tr))
+      (Workloads.Lubm.generate cfg);
+    Hexa.Hexastore.compress h;
+    Hexa.Store_sig.box_hexastore h
+  in
+  let plan =
+    Query.Exec.explain compressed
+      (parse "SELECT ?x WHERE { ?x rdf:type ub:GraduateStudent . }")
+  in
+  let expected =
+    "project [?x]\n"
+    ^ "└─ bgp 1 patterns\n"
+    ^ "   └─ scan ?x <" ^ rdf_type ^ "> <" ^ ub
+    ^ "GraduateStudent> . index=pos strategy=scan repr=packed  (est=96 sel=2.53e-02)"
+  in
+  check_string "compressed-store plan" expected (render plan)
+
 let test_explain_golden_hash () =
   (* The third step shares only ?x while the pipeline streams sorted on
      ?y (established by the FullProfessor scan), so the planner must
@@ -996,6 +1021,7 @@ let () =
       ( "explain",
         [
           Alcotest.test_case "golden single pattern" `Quick test_explain_golden_single;
+          Alcotest.test_case "golden compressed repr" `Quick test_explain_golden_repr;
           Alcotest.test_case "golden hash join" `Quick test_explain_golden_hash;
           Alcotest.test_case "golden analyze join" `Quick test_explain_golden_analyze;
           Alcotest.test_case "analyze matches count" `Quick test_explain_analyze_matches_count;

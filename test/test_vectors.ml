@@ -558,6 +558,161 @@ let test_gallop_interleaved_runs () =
 (* ------------------------------------------------------------------ *)
 (* Pair_key                                                            *)
 (* ------------------------------------------------------------------ *)
+(* Compressed codecs (PR 10)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let compressed_kinds = Sorted_ivec.[ Packed; Delta_varint ]
+let kname = Sorted_ivec.kind_name
+let check_string_list = Alcotest.(check (list string))
+
+(* Hand-picked encodings that stress the block format: all-equal deltas
+   (constant-gap runs pack to tiny widths), exact 128-block boundaries,
+   2^30-range outliers that force the wide-cell path, and spans so large
+   the frame-of-reference subtraction is the whole word. *)
+let adversarial_cases =
+  [
+    ("empty", []);
+    ("singleton", [ 7 ]);
+    ("all-equal gaps", List.init 300 (fun i -> i * 7));
+    ("dense run", List.init 400 (fun i -> i));
+    ("one block exactly", List.init 128 (fun i -> (i * 3) + 1));
+    ("one block plus one", List.init 129 (fun i -> (i * 3) + 1));
+    ("2^30 outlier", [ 0; 1; 2; 1 lsl 30; (1 lsl 30) + 1; 1 lsl 61 ]);
+    ("huge span", [ 0; max_int ]);
+    ("full word incl. min_int", [ min_int; -1; 0; max_int ]);
+  ]
+
+let test_codec_roundtrip_adversarial () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (label, xs0) ->
+          let name = Printf.sprintf "%s/%s" (kname kind) label in
+          let xs = List.sort_uniq compare xs0 in
+          let raw = Sorted_ivec.of_list xs in
+          let c = Sorted_ivec.compress kind raw in
+          check_int_list (name ^ " roundtrip") xs (Sorted_ivec.to_list c);
+          check_bool (name ^ " equal raw") true (Sorted_ivec.equal c raw);
+          check_string_list (name ^ " block headers") [] (Sorted_ivec.block_violations c);
+          Sorted_ivec.check_invariant c;
+          List.iteri (fun i x -> check_int (name ^ " get") x (Sorted_ivec.get c i)) xs;
+          (* decompressing restores a mutable vector *)
+          let back = Sorted_ivec.compress Sorted_ivec.Raw c in
+          check_bool (name ^ " back to raw") false (Sorted_ivec.is_compressed back);
+          check_int_list (name ^ " raw roundtrip") xs (Sorted_ivec.to_list back))
+        adversarial_cases)
+    compressed_kinds
+
+let test_codec_frozen () =
+  let c = Sorted_ivec.compress Sorted_ivec.Packed (Sorted_ivec.of_list [ 1; 2; 3 ]) in
+  check_bool "is_compressed" true (Sorted_ivec.is_compressed c);
+  Alcotest.check_raises "add" (Invalid_argument "Sorted_ivec.add: compressed vector is immutable")
+    (fun () -> ignore (Sorted_ivec.add c 9));
+  Alcotest.check_raises "remove"
+    (Invalid_argument "Sorted_ivec.remove: compressed vector is immutable") (fun () ->
+      ignore (Sorted_ivec.remove c 2));
+  Alcotest.check_raises "clear"
+    (Invalid_argument "Sorted_ivec.clear: compressed vector is immutable") (fun () ->
+      Sorted_ivec.clear c);
+  (* copy thaws: same elements, mutable again *)
+  let cp = Sorted_ivec.copy c in
+  check_bool "copy thaws" false (Sorted_ivec.is_compressed cp);
+  check_bool "copy adds" true (Sorted_ivec.add cp 9)
+
+(* A stream shared by several monotone runs, sliced the way the flat
+   index slices its terminal stream; every read on a slice must agree
+   with a raw rebuild of that run. *)
+let test_codec_stream_slices () =
+  let runs = [ [ 5; 9; 12 ]; [ 1; 2; 3; 4 ]; List.init 200 (fun i -> 2 * i); [ 42 ] ] in
+  let flat = Array.of_list (List.concat runs) in
+  let segments =
+    let acc = ref 0 in
+    Array.of_list
+      (List.map
+         (fun r ->
+           let s = !acc in
+           acc := s + List.length r;
+           s)
+         runs)
+  in
+  List.iter
+    (fun kind ->
+      let s = Sorted_ivec.stream_of_array kind ~segments flat in
+      check_int (kname kind ^ " stream_length") (Array.length flat) (Sorted_ivec.stream_length s);
+      Array.iteri (fun i x -> check_int (kname kind ^ " stream_get") x (Sorted_ivec.stream_get s i)) flat;
+      check_string_list (kname kind ^ " stream_validate") [] (Sorted_ivec.stream_validate s);
+      let off = ref 0 in
+      List.iter
+        (fun r ->
+          let len = List.length r in
+          let sl = Sorted_ivec.slice s ~off:!off ~len in
+          let raw = Sorted_ivec.of_list r in
+          check_int_list (kname kind ^ " slice") r (Sorted_ivec.to_list sl);
+          let hi = List.fold_left max 0 r + 2 in
+          for x = 0 to hi do
+            check_int (kname kind ^ " slice index_geq") (Sorted_ivec.index_geq raw x)
+              (Sorted_ivec.index_geq sl x);
+            for from = 0 to len do
+              check_int (kname kind ^ " slice search_from") (Sorted_ivec.search_from raw ~from x)
+                (Sorted_ivec.search_from sl ~from x)
+            done
+          done;
+          off := !off + len)
+        runs)
+    compressed_kinds
+
+(* Segment-per-element streams: every delta block is a singleton, the
+   degenerate block shape. *)
+let test_codec_singleton_segments () =
+  let n = 150 in
+  let flat = Array.init n (fun i -> ((i * 13) mod 7) + i) in
+  let segments = Array.init n (fun i -> i) in
+  List.iter
+    (fun kind ->
+      let s = Sorted_ivec.stream_of_array kind ~segments flat in
+      check_string_list (kname kind ^ " validate") [] (Sorted_ivec.stream_validate s);
+      Array.iteri
+        (fun i x ->
+          check_int (kname kind ^ " get") x (Sorted_ivec.stream_get s i);
+          let sl = Sorted_ivec.slice s ~off:i ~len:1 in
+          check_int_list (kname kind ^ " slice") [ x ] (Sorted_ivec.to_list sl))
+        flat)
+    compressed_kinds
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec encode∘decode = id, monotone blocks" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 350) (int_bound 100000))
+    (fun xs ->
+      let raw = Sorted_ivec.of_list xs in
+      List.for_all
+        (fun kind ->
+          let c = Sorted_ivec.compress kind raw in
+          Sorted_ivec.block_violations c = []
+          && Sorted_ivec.to_list c = Sorted_ivec.to_list raw
+          && Sorted_ivec.length c = Sorted_ivec.length raw
+          && Sorted_ivec.equal c raw)
+        compressed_kinds)
+
+let prop_codec_search_oracle =
+  QCheck.Test.make ~name:"compressed search_from/index_geq ≡ raw oracle" ~count:300
+    QCheck.(
+      triple (list_of_size Gen.(int_range 0 350) (int_bound 4000)) (int_bound 4200) small_nat)
+    (fun (xs, x, from0) ->
+      let raw = Sorted_ivec.of_list xs in
+      let n = Sorted_ivec.length raw in
+      let from = from0 mod (n + 1) in
+      List.for_all
+        (fun kind ->
+          let c = Sorted_ivec.compress kind raw in
+          Sorted_ivec.index_geq c x = Sorted_ivec.index_geq raw x
+          && Sorted_ivec.search_from c ~from x = Sorted_ivec.search_from raw ~from x
+          && Sorted_ivec.find_geq c x = Sorted_ivec.find_geq raw x
+          && Sorted_ivec.mem c x = Sorted_ivec.mem raw x
+          && Sorted_ivec.to_seq_from c x |> List.of_seq
+             = (Sorted_ivec.to_seq_from raw x |> List.of_seq))
+        compressed_kinds)
+
+(* ------------------------------------------------------------------ *)
 
 let test_pair_key_roundtrip () =
   List.iter
@@ -647,6 +802,15 @@ let () =
           Alcotest.test_case "gallop_interleaved_runs" `Quick test_gallop_interleaved_runs;
           qt prop_merge_join_gallop_oracle;
           qt prop_inter_seq_by_oracle;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "adversarial roundtrips" `Quick test_codec_roundtrip_adversarial;
+          Alcotest.test_case "frozen mutations" `Quick test_codec_frozen;
+          Alcotest.test_case "stream slices" `Quick test_codec_stream_slices;
+          Alcotest.test_case "singleton segments" `Quick test_codec_singleton_segments;
+          qt prop_codec_roundtrip;
+          qt prop_codec_search_oracle;
         ] );
       ( "pair_key",
         [
